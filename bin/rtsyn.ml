@@ -1,0 +1,238 @@
+(* rtsyn: command-line front end to the relative-timing synthesis flow.
+
+   Subcommands:
+     check  — parse an STG, report reachability, properties and encoding
+     synth  — run the Figure-2 flow and print the synthesis report
+     show   — pretty-print a specification (built-in or .g file)
+     list   — list built-in specifications *)
+
+module Stg = Rtcad_stg.Stg
+module Stg_io = Rtcad_stg.Stg_io
+module Library = Rtcad_stg.Library
+module Transform = Rtcad_stg.Transform
+module Sg = Rtcad_sg.Sg
+module Props = Rtcad_sg.Props
+module Encoding = Rtcad_sg.Encoding
+module Flow = Rtcad_core.Flow
+module Check = Rtcad_core.Check
+
+let load_spec = function
+  | `File path ->
+    (* .g files hold STGs; .hp files hold handshake processes, which are
+       compiled to STGs on the fly. *)
+    if Filename.check_suffix path ".hp" then begin
+      let ic = open_in path in
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Rtcad_hls.Compile.compile (Rtcad_hls.Parser.parse text)
+    end
+    else Stg_io.parse_file path
+  | `Builtin name -> (
+    match List.assoc_opt name (Library.all_named ()) with
+    | Some stg -> stg
+    | None ->
+      Printf.eprintf "unknown built-in spec %s (try `rtsyn list')\n" name;
+      exit 2)
+
+(* --- argument converters --- *)
+
+let spec_arg =
+  let open Cmdliner in
+  let file =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"SPEC"
+         ~doc:"Specification: a .g file path, or a built-in name (see $(b,rtsyn list)).")
+  in
+  Term.(
+    const (fun s ->
+        match s with
+        | None ->
+          prerr_endline "missing SPEC argument";
+          Stdlib.exit 2
+        | Some s -> if Sys.file_exists s then `File s else `Builtin s)
+    $ file)
+
+let parse_user_assumption s =
+  (* "ri-<li+" : first edge before second edge *)
+  match String.index_opt s '<' with
+  | None -> failwith "user assumption must look like ri-<li+"
+  | Some i ->
+    let parse_edge e =
+      let n = String.length e in
+      if n < 2 then failwith "bad edge";
+      let dir =
+        match e.[n - 1] with
+        | '+' -> Stg.Rise
+        | '-' -> Stg.Fall
+        | _ -> failwith "edge must end in + or -"
+      in
+      (String.sub e 0 (n - 1), dir)
+    in
+    ( parse_edge (String.trim (String.sub s 0 i)),
+      parse_edge (String.trim (String.sub s (i + 1) (String.length s - i - 1))) )
+
+(* --- check --- *)
+
+let run_check spec =
+  let stg = Transform.contract_dummies (load_spec spec) in
+  Format.printf "%a@." Stg.pp stg;
+  let sg = Sg.build stg in
+  Format.printf "reachable states: %d@." (Sg.num_states sg);
+  Format.printf "deadlock-free: %b@." (Props.deadlock_free sg);
+  Format.printf "all transitions live: %b@." (Props.live_transitions sg);
+  Format.printf "output-persistent: %b@." (Props.is_output_persistent sg);
+  let conflicts = Encoding.csc_conflicts sg in
+  if conflicts = [] then Format.printf "CSC: satisfied@."
+  else begin
+    Format.printf "CSC conflicts: %d@." (List.length conflicts);
+    List.iter
+      (fun c -> Format.printf "  %a@." (Encoding.pp_conflict sg) c)
+      conflicts
+  end;
+  0
+
+(* --- synth --- *)
+
+let run_synth spec mode_name user_assumptions input_first no_lazy style verify =
+  let stg = load_spec spec in
+  let user = List.map parse_user_assumption user_assumptions in
+  let mode =
+    match mode_name with
+    | "si" ->
+      if user <> [] then prerr_endline "note: user assumptions ignored in SI mode";
+      Flow.Si
+    | "rt" ->
+      Flow.Rt { user; allow_input_first = input_first; allow_lazy = not no_lazy }
+    | other ->
+      Printf.eprintf "unknown mode %s (use si or rt)\n" other;
+      exit 2
+  in
+  let emit_style =
+    match style with
+    | None -> None
+    | Some "static" -> Some Rtcad_synth.Emit.Static_cmos
+    | Some "domino" -> Some (Rtcad_synth.Emit.Domino_cmos { footed = true })
+    | Some "domino-unfooted" -> Some (Rtcad_synth.Emit.Domino_cmos { footed = false })
+    | Some other ->
+      Printf.eprintf "unknown style %s\n" other;
+      exit 2
+  in
+  match Flow.synthesize ~mode ?emit_style stg with
+  | exception Flow.Synthesis_failure msg ->
+    Printf.eprintf "synthesis failed: %s\n" msg;
+    1
+  | result ->
+    Format.printf "%a@." Flow.pp_report result;
+    Format.printf "@.%a@." Rtcad_netlist.Netlist.pp result.Flow.netlist;
+    if verify then begin
+      let untimed = Check.conformance result in
+      if untimed.Rtcad_verify.Conformance.ok then
+        Format.printf "@.verification: speed-independent (conforms untimed)@."
+      else begin
+        match Check.minimal_constraints result with
+        | minimal ->
+          Format.printf
+            "@.verification: conforms under %d relative-timing constraints:@."
+            (List.length minimal);
+          List.iter
+            (fun a ->
+              Format.printf "  %a@." (Rtcad_rt.Assumption.pp result.Flow.stg) a)
+            minimal
+        | exception Rtcad_verify.Rt_verify.Not_verifiable ->
+          Format.printf "@.verification: FAILS even with all assumptions@."
+      end
+    end;
+    0
+
+(* --- sim --- *)
+
+let run_sim spec steps seed =
+  let stg = Transform.contract_dummies ~strict:false (load_spec spec) in
+  let trace = Rtcad_rt.Timed_sim.run ~seed ~steps stg in
+  List.iter
+    (fun e ->
+      Format.printf "%8.2f  %a@." e.Rtcad_rt.Timed_sim.fired_at (Stg.pp_transition stg)
+        e.Rtcad_rt.Timed_sim.transition)
+    trace;
+  0
+
+(* --- show / list --- *)
+
+let run_show spec dot =
+  let stg = load_spec spec in
+  if dot then Format.printf "%a@." Stg_io.print_dot stg
+  else Format.printf "%a@." Stg_io.print stg;
+  0
+
+let run_list () =
+  List.iter
+    (fun (name, stg) ->
+      Format.printf "%-10s %d signals, %d transitions@." name (Stg.num_signals stg)
+        (Rtcad_stg.Petri.num_transitions (Stg.net stg)))
+    (Library.all_named ());
+  0
+
+(* --- cmdliner wiring --- *)
+
+open Cmdliner
+
+let check_cmd =
+  Cmd.v (Cmd.info "check" ~doc:"Analyze a specification (reachability, CSC)")
+    Term.(const run_check $ spec_arg)
+
+let synth_cmd =
+  let mode =
+    Arg.(value & opt string "rt" & info [ "mode" ] ~docv:"MODE"
+         ~doc:"Synthesis mode: $(b,si) or $(b,rt).")
+  in
+  let user =
+    Arg.(value & opt_all string [] & info [ "assume" ] ~docv:"A<B"
+         ~doc:"User timing assumption, e.g. $(b,ri-<li+).  Repeatable.")
+  in
+  let input_first =
+    Arg.(value & flag & info [ "input-first" ]
+         ~doc:"Allow automatic input-vs-input orderings (homogeneous environment).")
+  in
+  let no_lazy =
+    Arg.(value & flag & info [ "no-lazy" ] ~doc:"Disable lazy cover relaxation.")
+  in
+  let style =
+    Arg.(value & opt (some string) None & info [ "style" ] ~docv:"STYLE"
+         ~doc:"Gate style: $(b,static), $(b,domino) or $(b,domino-unfooted).")
+  in
+  let verify =
+    Arg.(value & flag & info [ "verify" ]
+         ~doc:"Verify the netlist and print the minimal constraint set.")
+  in
+  Cmd.v (Cmd.info "synth" ~doc:"Run the relative-timing synthesis flow")
+    Term.(const run_synth $ spec_arg $ mode $ user $ input_first $ no_lazy $ style $ verify)
+
+let sim_cmd =
+  let steps =
+    Arg.(value & opt int 40 & info [ "steps" ] ~docv:"N" ~doc:"Number of firings.")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"Random seed (choice/jitter).")
+  in
+  Cmd.v
+    (Cmd.info "sim"
+       ~doc:"Eager timed execution trace (gate delay 1, environment 2)")
+    Term.(const run_sim $ spec_arg $ steps $ seed)
+
+let show_cmd =
+  let dot =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz instead of .g syntax.")
+  in
+  Cmd.v (Cmd.info "show" ~doc:"Print a specification (.g syntax, or Graphviz with --dot)")
+    Term.(const run_show $ spec_arg $ dot)
+
+let list_cmd =
+  Cmd.v (Cmd.info "list" ~doc:"List built-in specifications")
+    Term.(const run_list $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "rtsyn" ~version:"1.0"
+       ~doc:"Relative-timing synthesis for asynchronous circuits")
+    [ check_cmd; synth_cmd; sim_cmd; show_cmd; list_cmd ]
+
+let () = exit (Cmd.eval' main)

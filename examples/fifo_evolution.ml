@@ -1,0 +1,60 @@
+(* The Section 4 case study: evolving the FIFO controller from a
+   speed-independent circuit to relative-timing and pulse-mode circuits,
+   measuring each stage (the experiment behind Table 2).
+
+     dune exec examples/fifo_evolution.exe *)
+
+module Flow = Rtcad_core.Flow
+module Fifo_impls = Rtcad_core.Fifo_impls
+module Table2 = Rtcad_core.Table2
+module Check = Rtcad_core.Check
+module Netlist = Rtcad_netlist.Netlist
+module Stg = Rtcad_stg.Stg
+
+let show_variant (v : Fifo_impls.variant) =
+  Format.printf "--- %s ---@." v.Fifo_impls.name;
+  Format.printf "%a@." Netlist.pp v.Fifo_impls.netlist;
+  let row = Table2.measure ~cycles:150 v in
+  Format.printf
+    "cycle: worst %.0f ps, avg %.0f ps; energy %.1f pJ/cycle; stuck-at %.1f%%@.@."
+    row.Table2.worst_delay_ps row.Table2.avg_delay_ps row.Table2.energy_per_cycle_pj
+    row.Table2.testability_pct
+
+let () =
+  Format.printf "=== Step 1: speed-independent (Figure 4's role) ===@.";
+  show_variant (Fifo_impls.speed_independent ());
+
+  Format.printf "=== Step 2: burst-mode / fundamental-mode timing ===@.";
+  show_variant (Fifo_impls.burst_mode ());
+
+  Format.printf
+    "=== Step 3: relative timing with the ring assumption (Figure 6) ===@.";
+  let rt = Fifo_impls.relative_timing () in
+  show_variant rt;
+
+  (* The user assumption buys the unfooted domino: show the constraint
+     set that must be validated in layout. *)
+  let flow =
+    Flow.synthesize
+      ~mode:
+        (Flow.Rt
+           {
+             user = [ (("ri", Stg.Fall), ("li", Stg.Rise)) ];
+             allow_input_first = false;
+             allow_lazy = true;
+           })
+      ~emit_style:(Rtcad_synth.Emit.Domino_cmos { footed = false })
+      (Rtcad_stg.Library.fifo ())
+  in
+  let minimal = Check.minimal_constraints flow in
+  Format.printf "Figure 6 requires %d constraints:@." (List.length minimal);
+  List.iter
+    (fun a -> Format.printf "  %a@." (Rtcad_rt.Assumption.pp flow.Flow.stg) a)
+    minimal;
+  Format.printf "@.";
+
+  Format.printf "=== Step 4: pulse mode (Figure 7) ===@.";
+  show_variant (Fifo_impls.pulse_mode ());
+
+  Format.printf "=== Table 2 ===@.";
+  Format.printf "%a@." Table2.pp_table (Table2.all ~cycles:200 ())

@@ -1,0 +1,66 @@
+(* Quickstart: specify a controller as an STG, run the relative-timing
+   synthesis flow, and verify the result.
+
+     dune exec examples/quickstart.exe
+
+   The controller is the paper's FIFO cell (Figure 3): a four-phase
+   handshake on the left (li/lo) and on the right (ro/ri). *)
+
+module Stg = Rtcad_stg.Stg
+module Stg_io = Rtcad_stg.Stg_io
+module Flow = Rtcad_core.Flow
+module Check = Rtcad_core.Check
+
+(* A specification can be built programmatically (Rtcad_stg.Stg.Build,
+   Rtcad_stg.Library) or parsed from the astg/.g text format: *)
+let fifo_g =
+  {|
+.model fifo
+.inputs li ri
+.outputs lo ro
+.dummy eps
+.graph
+li+ lo+
+lo+ li- ro+
+li- lo-
+lo- li+
+ro+ ri+
+ri+ ro-
+ro- ri-
+ri- eps
+eps lo+
+.marking { <lo-,li+> <eps,lo+> }
+.end
+|}
+
+let () =
+  let stg = Stg_io.parse fifo_g in
+  Format.printf "=== Specification (Figure 3) ===@.%a@.@." Stg_io.print stg;
+
+  (* Speed-independent synthesis: correct under unbounded gate delays. *)
+  Format.printf "=== Speed-independent synthesis ===@.";
+  let si = Flow.synthesize ~mode:Flow.Si stg in
+  Format.printf "%a@.@." Flow.pp_report si;
+
+  (* Relative-timing synthesis: automatic assumptions prune concurrency,
+     the state signal stays off the critical path, and the constraints the
+     implementation needs are back-annotated. *)
+  Format.printf "=== Relative-timing synthesis ===@.";
+  let rt = Flow.synthesize ~mode:Flow.rt_default stg in
+  Format.printf "%a@.@." Flow.pp_report rt;
+
+  (* Close the loop: conformance checking under the unbounded-delay model,
+     then the minimal constraint set sufficient for correctness. *)
+  let untimed = Check.conformance rt in
+  Format.printf "RT netlist conforms untimed: %b@."
+    untimed.Rtcad_verify.Conformance.ok;
+  let minimal = Check.minimal_constraints rt in
+  Format.printf "minimal sufficient constraints: %d@." (List.length minimal);
+  List.iter
+    (fun a -> Format.printf "  %a@." (Rtcad_rt.Assumption.pp rt.Flow.stg) a)
+    minimal;
+
+  (* And the circuits have measurable cost: *)
+  Format.printf "@.SI: %d transistors;  RT: %d transistors@."
+    (Rtcad_netlist.Netlist.transistors si.Flow.netlist)
+    (Rtcad_netlist.Netlist.transistors rt.Flow.netlist)

@@ -1,0 +1,119 @@
+type burst = (string * bool) list
+type arc = { src : int; dst : int; inputs : burst; outputs : burst }
+
+type t = {
+  name : string;
+  input_signals : string list;
+  output_signals : string list;
+  num_states : int;
+  initial : int;
+  arcs : arc list;
+}
+
+exception Invalid of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Invalid s)) fmt
+
+let num_signals t = List.length t.input_signals + List.length t.output_signals
+
+let signal_index t name =
+  let all = t.input_signals @ t.output_signals in
+  let rec go i = function
+    | [] -> raise Not_found
+    | s :: rest -> if s = name then i else go (i + 1) rest
+  in
+  go 0 all
+
+let validate t =
+  let n = num_signals t in
+  let is_input name = List.mem name t.input_signals in
+  let is_output name = List.mem name t.output_signals in
+  (* Structural checks. *)
+  List.iter
+    (fun arc ->
+      if arc.src < 0 || arc.src >= t.num_states || arc.dst < 0 || arc.dst >= t.num_states
+      then fail "arc references an unknown state";
+      if arc.inputs = [] then fail "empty input burst (state %d)" arc.src;
+      List.iter
+        (fun (s, _) ->
+          if not (is_input s) then fail "input burst uses non-input %s" s)
+        arc.inputs;
+      List.iter
+        (fun (s, _) ->
+          if not (is_output s) then fail "output burst uses non-output %s" s)
+        arc.outputs;
+      let names b = List.map fst b in
+      if List.length (List.sort_uniq compare (names arc.inputs)) <> List.length arc.inputs
+      then fail "repeated signal in an input burst";
+      if
+        List.length (List.sort_uniq compare (names arc.outputs))
+        <> List.length arc.outputs
+      then fail "repeated signal in an output burst")
+    t.arcs;
+  (* Maximal set property per source state. *)
+  let arcs_from s = List.filter (fun a -> a.src = s) t.arcs in
+  for s = 0 to t.num_states - 1 do
+    let arcs = arcs_from s in
+    List.iteri
+      (fun i a ->
+        List.iteri
+          (fun j b ->
+            if i <> j then
+              let subset x y = List.for_all (fun e -> List.mem e y) x in
+              if subset a.inputs b.inputs then
+                fail "state %d violates the maximal set property" s)
+          arcs)
+      arcs
+  done;
+  (* Entry values by traversal from the initial state (all signals 0). *)
+  let entry = Array.make t.num_states None in
+  let apply values burst =
+    let values = Array.copy values in
+    List.iter
+      (fun (name, rising) ->
+        let i = signal_index t name in
+        if values.(i) = rising then
+          fail "edge %s%s does not toggle" name (if rising then "+" else "-");
+        values.(i) <- rising)
+      burst;
+    values
+  in
+  let queue = Queue.create () in
+  entry.(t.initial) <- Some (Array.make n false);
+  Queue.add t.initial queue;
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    let values = match entry.(s) with Some v -> v | None -> assert false in
+    List.iter
+      (fun arc ->
+        let after = apply (apply values arc.inputs) arc.outputs in
+        match entry.(arc.dst) with
+        | None ->
+          entry.(arc.dst) <- Some after;
+          Queue.add arc.dst queue
+        | Some existing ->
+          if existing <> after then
+            fail "state %d entered with inconsistent values" arc.dst)
+      (arcs_from s)
+  done;
+  Array.mapi
+    (fun s v ->
+      match v with Some values -> values | None -> fail "state %d unreachable" s)
+    entry
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>burst-mode %s: inputs %s; outputs %s@," t.name
+    (String.concat " " t.input_signals)
+    (String.concat " " t.output_signals);
+  let pp_burst ppf b =
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.fprintf ppf " ")
+      (fun ppf (s, r) -> Format.fprintf ppf "%s%s" s (if r then "+" else "-"))
+      ppf b
+  in
+  List.iter
+    (fun a ->
+      Format.fprintf ppf "  s%d --[%a]/[%a]--> s%d@," a.src pp_burst a.inputs pp_burst
+        a.outputs a.dst)
+    t.arcs;
+  Format.fprintf ppf "@]"

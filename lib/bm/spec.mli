@@ -1,0 +1,50 @@
+(** Burst-mode machine specifications (Yun's XBM machines, reference [14]
+    of the paper — the style synthesized by the 3D tool that the RAPPID
+    project evaluated as its Table-2 "RT-BM" row).
+
+    A machine sits in a state until the environment has fired {e all}
+    edges of one outgoing arc's input burst (in any order); it then fires
+    the arc's output burst and moves on.  Fundamental mode: the
+    environment does not start a new input burst until the machine has
+    settled. *)
+
+type burst = (string * bool) list
+(** Signal edges: [(name, rising)]. *)
+
+type arc = {
+  src : int;
+  dst : int;
+  inputs : burst;  (** non-empty *)
+  outputs : burst;  (** may be empty *)
+}
+
+type t = {
+  name : string;
+  input_signals : string list;
+  output_signals : string list;
+  num_states : int;
+  initial : int;
+  arcs : arc list;
+}
+
+exception Invalid of string
+
+val validate : t -> bool array array
+(** Checks the specification and returns the entry values of every state
+    as [values.(state).(signal)] (signals indexed inputs-then-outputs in
+    declaration order).  Checks performed:
+    - arcs reference declared signals and valid states, input bursts are
+      non-empty and use input signals only, output bursts output signals
+      only;
+    - every state is reachable and entered with consistent signal values,
+      and each burst's edges actually toggle (a [+] edge leaves a 0);
+    - the {e maximal set property}: no arc's input burst is a subset of a
+      sibling arc's (the machine could not tell them apart).
+    Raises {!Invalid} otherwise. *)
+
+val signal_index : t -> string -> int
+(** Index in the inputs-then-outputs order.  Raises [Not_found]. *)
+
+val num_signals : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,196 @@
+module Bdd = Rtcad_logic.Bdd
+module Cover = Rtcad_logic.Cover
+module Netlist = Rtcad_netlist.Netlist
+module Gate = Rtcad_netlist.Gate
+
+type result = {
+  netlist : Netlist.t;
+  state_vars : int;
+  covers : (string * Cover.t) list;
+}
+
+let subsets xs =
+  List.fold_left
+    (fun acc x -> acc @ List.map (fun s -> x :: s) acc)
+    [ [] ] xs
+
+(* State codes: states entered with identical signal values must be told
+   apart by added state variables; each conflict class numbers its
+   members and the class-local index becomes the code. *)
+let state_codes (spec : Spec.t) entry =
+  let classes = Hashtbl.create 8 in
+  for s = 0 to spec.Spec.num_states - 1 do
+    let key = Array.to_list entry.(s) in
+    Hashtbl.replace classes key (s :: Option.value ~default:[] (Hashtbl.find_opt classes key))
+  done;
+  let max_class =
+    Hashtbl.fold (fun _ members acc -> max acc (List.length members)) classes 1
+  in
+  let bits =
+    let rec go k = if 1 lsl k >= max_class then k else go (k + 1) in
+    go 0
+  in
+  let code = Array.make spec.Spec.num_states 0 in
+  Hashtbl.iter
+    (fun _ members ->
+      List.iteri (fun i s -> code.(s) <- i) (List.sort Int.compare members))
+    classes;
+  (bits, code)
+
+exception Conflict
+
+(* Build the flow table for a given state-variable width and code
+   assignment; raises Conflict if two entries demand different values at
+   the same total state. *)
+let build_table (spec : Spec.t) entry bits code =
+  let ni = List.length spec.Spec.input_signals in
+  let no = List.length spec.Spec.output_signals in
+  let n = ni + no + bits in
+  let total s =
+    Array.init n (fun v ->
+        if v < ni + no then entry.(s).(v) else (code.(s) lsr (v - ni - no)) land 1 = 1)
+  in
+  let feedback = List.init (no + bits) (fun i -> ni + i) in
+  let on = Array.make n Bdd.zero and off = Array.make n Bdd.zero in
+  let specified = ref Bdd.zero in
+  let record point f v =
+    let m = Bdd.of_minterm n point in
+    specified := Bdd.bor !specified m;
+    if v then begin
+      if not (Bdd.is_zero (Bdd.band m off.(f))) then raise Conflict;
+      on.(f) <- Bdd.bor on.(f) m
+    end
+    else begin
+      if not (Bdd.is_zero (Bdd.band m on.(f))) then raise Conflict;
+      off.(f) <- Bdd.bor off.(f) m
+    end
+  in
+  List.iter
+    (fun (arc : Spec.arc) ->
+      let v_src = total arc.Spec.src and v_dst = total arc.Spec.dst in
+      let with_inputs base burst =
+        let p = Array.copy base in
+        List.iter
+          (fun (name, rising) -> p.(Spec.signal_index spec name) <- rising)
+          burst;
+        p
+      in
+      let full = arc.Spec.inputs in
+      List.iter
+        (fun subset ->
+          let point = with_inputs v_src subset in
+          if List.length subset = List.length full then
+            (* complete burst: feedback switches to the exit values, which
+               equal the destination's entry (inputs already applied) *)
+            List.iter (fun f -> record point f v_dst.(f)) feedback
+          else List.iter (fun f -> record point f v_src.(f)) feedback)
+        (subsets full))
+    spec.Spec.arcs;
+  (on, off, !specified, total)
+
+(* Search for a conflict-free assignment: start from the entry-class
+   width, and within each width enumerate code assignments (states in the
+   same entry class must stay distinct). *)
+let assign (spec : Spec.t) entry =
+  let min_bits, class_code = state_codes spec entry in
+  let ns = spec.Spec.num_states in
+  let try_codes bits code =
+    match build_table spec entry bits code with
+    | table -> Some (bits, code, table)
+    | exception Conflict -> None
+  in
+  let rec widths bits =
+    if bits > min_bits + 3 then
+      raise (Spec.Invalid "no conflict-free state assignment found")
+    else begin
+      (* First the canonical class-index assignment, then exhaustive. *)
+      let first = try_codes bits class_code in
+      match first with
+      | Some r -> r
+      | None ->
+        let limit = 1 lsl bits in
+        let budget = ref 60_000 in
+        let code = Array.make ns 0 in
+        let exception Found of (int * int array * (Bdd.t array * Bdd.t array * Bdd.t * (int -> bool array))) in
+        let rec enumerate s =
+          if !budget <= 0 then ()
+          else if s = ns then begin
+            decr budget;
+            match try_codes bits (Array.copy code) with
+            | Some r -> raise (Found r)
+            | None -> ()
+          end
+          else
+            for c = 0 to limit - 1 do
+              code.(s) <- c;
+              enumerate (s + 1)
+            done
+        in
+        (match enumerate 0 with
+        | () -> widths (bits + 1)
+        | exception Found r -> r)
+    end
+  in
+  widths (max min_bits (if min_bits = 0 then 0 else min_bits))
+
+let synthesize ?(style = Gate.Static) (spec : Spec.t) =
+  let entry = Spec.validate spec in
+  let ni = List.length spec.Spec.input_signals in
+  let no = List.length spec.Spec.output_signals in
+  let bits, _code, (on, off, specified_set, total) = assign spec entry in
+  ignore off;
+  let n = ni + no + bits in
+  let feedback = List.init (no + bits) (fun i -> ni + i) in
+  let specified = ref specified_set in
+  (* Netlist. *)
+  let nl = Netlist.create () in
+  let nets = Array.make n (-1) in
+  List.iteri (fun i name -> nets.(i) <- Netlist.input nl name) spec.Spec.input_signals;
+  let feedback_names =
+    spec.Spec.output_signals @ List.init bits (fun i -> Printf.sprintf "y%d" i)
+  in
+  List.iteri (fun i name -> nets.(ni + i) <- Netlist.forward nl name) feedback_names;
+  let dc = Bdd.bnot !specified in
+  let covers =
+    List.map
+      (fun f ->
+        let cover = Cover.irredundant_sop ~on_set:on.(f) ~dc_set:dc in
+        (List.nth feedback_names (f - ni), cover))
+      feedback
+  in
+  List.iteri
+    (fun i (_name, cover) ->
+      let out = nets.(ni + i) in
+      let cubes = Cover.cubes cover in
+      (match cubes with
+      | [] ->
+        (* constant-0 feedback variable: tie low through an AND of an
+           input with its own complement *)
+        Netlist.set_driver nl out
+          (Gate.make ~style Gate.And ~fanin:2)
+          [ (nets.(0), false); (nets.(0), true) ]
+      | [ cube ] when List.length (Rtcad_logic.Cube.literals cube) = 1 ->
+        let v, pol = List.nth (Rtcad_logic.Cube.literals cube) 0 in
+        Netlist.set_driver nl out
+          (Gate.make (if pol then Gate.Buf else Gate.Not) ~fanin:1)
+          [ (nets.(v), false) ]
+      | _ ->
+        let shape =
+          List.map (fun c -> List.length (Rtcad_logic.Cube.literals c)) cubes
+        in
+        let ins =
+          List.concat_map
+            (fun c ->
+              List.map (fun (v, pol) -> (nets.(v), not pol)) (Rtcad_logic.Cube.literals c))
+            cubes
+        in
+        Netlist.set_driver nl out
+          (Gate.make ~style (Gate.Sop shape) ~fanin:(List.length ins))
+          ins);
+      if i < no then Netlist.mark_output nl out)
+    covers;
+  (* Initial values: the initial state's totals. *)
+  let v0 = total spec.Spec.initial in
+  Array.iteri (fun v net -> if net >= 0 then Netlist.set_initial nl net v0.(v)) nets;
+  Netlist.settle_initial nl;
+  { netlist = nl; state_vars = bits; covers }

@@ -1,0 +1,30 @@
+(** Burst-mode synthesis under the fundamental-mode assumption (a 3D-style
+    flow-table method).
+
+    Every feedback variable (output or added state variable) is
+    synthesized as one atomic sum-of-products gate over the machine's
+    inputs and feedback variables:
+
+    - state variables are added only when two states are entered with
+      identical signal values (they could not otherwise be told apart);
+      conflicting states get distinct codes;
+    - for every arc, every {e partial} input burst holds the feedback
+      variables at their entry values (inputs may arrive in any order);
+      the {e complete} burst switches them to the arc's exit values;
+    - all unvisited input combinations are don't-cares for minimization —
+      this is the freedom fundamental mode buys, and why burst-mode
+      machines beat speed-independent ones in the paper's Table 2.
+
+    Raises {!Spec.Invalid} when the flow table demands both values at one
+    total state (the specification is not fundamental-mode realizable). *)
+
+type result = {
+  netlist : Rtcad_netlist.Netlist.t;
+  state_vars : int;  (** number of added state variables *)
+  covers : (string * Rtcad_logic.Cover.t) list;  (** per feedback variable *)
+}
+
+val synthesize : ?style:Rtcad_netlist.Gate.style -> Spec.t -> result
+(** Default style is {!Rtcad_netlist.Gate.Static}.  Primary inputs and
+    outputs keep the specification's names; outputs are output-marked;
+    state variables are named [y0], [y1], … *)

@@ -1,0 +1,36 @@
+module R = Rtcad_rappid.Rappid
+
+type t = {
+  tag_forward_ps : float;
+  cell_cycle_ps : float;
+  pulse_period_ps : float;
+  params : R.params;
+}
+
+let run ?(base = R.default) () =
+  let rt = Fifo_impls.relative_timing () in
+  (* Fast but contract-respecting environment for the RT cell. *)
+  let env =
+    { Harness.left_delay_ps = 160.0; right_delay_ps = 160.0; jitter = 0.0; seed = 5 }
+  in
+  let m = Harness.measure_fourphase ~env ~cycles:80 rt.Fifo_impls.netlist in
+  let pulse = Fifo_impls.pulse_mode () in
+  let pulse_period = Harness.pulse_min_period ~cycles:40 pulse.Fifo_impls.netlist in
+  let tag_forward = m.Harness.avg_forward_ps in
+  let cell_cycle = m.Harness.avg_delay_ps in
+  let params =
+    {
+      base with
+      R.tag_common_ps = tag_forward;
+      tag_uncommon_ps = tag_forward *. 2.2;
+      steer_ps = tag_forward +. 100.0;
+      buffer_recover_ps = cell_cycle;
+      latch_ps = pulse_period /. 2.0;
+    }
+  in
+  { tag_forward_ps = tag_forward; cell_cycle_ps = cell_cycle; pulse_period_ps = pulse_period; params }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "tag forward %.0f ps; cell cycle %.0f ps; pulse period %.0f ps" t.tag_forward_ps
+    t.cell_cycle_ps t.pulse_period_ps

@@ -1,0 +1,31 @@
+(** Gate-level calibration of the RAPPID architecture model.
+
+    The paper's architecture numbers come from circuits designed with the
+    very methodology the paper presents.  This module closes that loop in
+    the reproduction: it synthesizes RAPPID-style control cells with the
+    relative-timing flow, measures them with the gate-level harness, and
+    derives the architecture model's cycle parameters from the
+    measurements instead of hand-picked constants.
+
+    - the {e tag} cycle latency comes from the forward latency
+      ([li+ → ro+]) of the RT FIFO cell under the ring assumption — the
+      tag is exactly such a token passing through a cell;
+    - the {e steering} recovery comes from the full four-phase cycle time
+      of the same cell (the byte latch must complete a handshake per
+      issue);
+    - the {e pulse} variant's minimum period bounds how fast the byte
+      latches can restart, calibrating the latch reload time. *)
+
+type t = {
+  tag_forward_ps : float;
+  cell_cycle_ps : float;
+  pulse_period_ps : float;
+  params : Rtcad_rappid.Rappid.params;
+}
+
+val run : ?base:Rtcad_rappid.Rappid.params -> unit -> t
+(** Synthesize, measure and derive parameters ([base] defaults to
+    {!Rtcad_rappid.Rappid.default}; only the timing fields derived above
+    are replaced). *)
+
+val pp : Format.formatter -> t -> unit

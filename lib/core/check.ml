@@ -1,0 +1,10 @@
+let conformance ?(constraints = []) (flow : Flow.t) =
+  Rtcad_verify.Conformance.check ~constraints ~circuit:flow.Flow.netlist
+    ~spec:flow.Flow.stg ()
+
+let minimal_constraints (flow : Flow.t) =
+  let report =
+    Rtcad_verify.Rt_verify.verify ~circuit:flow.Flow.netlist ~spec:flow.Flow.stg
+      ~assumptions:flow.Flow.assumptions ()
+  in
+  report.Rtcad_verify.Rt_verify.required

@@ -1,0 +1,17 @@
+(** Verification entry points for flow results: close the Figure-2 loop
+    by checking the synthesized netlist against its (state-encoded)
+    specification and minimizing the back-annotated constraint set. *)
+
+val conformance :
+  ?constraints:Rtcad_rt.Assumption.t list ->
+  Flow.t ->
+  Rtcad_verify.Conformance.result
+(** Conformance of the flow's netlist against the flow's STG under the
+    unbounded delay model, optionally with timing constraints. *)
+
+val minimal_constraints : Flow.t -> Rtcad_rt.Assumption.t list
+(** An irredundant constraint set sufficient for the netlist to conform —
+    the paper's "five timing constraints sufficient for correct
+    operation" for the Figure-5 circuit.  Empty when the circuit is
+    speed-independent.  Raises {!Rtcad_verify.Rt_verify.Not_verifiable}
+    when even the full assumption set does not make it conform. *)

@@ -1,0 +1,110 @@
+module Stg = Rtcad_stg.Stg
+module Library = Rtcad_stg.Library
+module Netlist = Rtcad_netlist.Netlist
+module Gate = Rtcad_netlist.Gate
+module Emit = Rtcad_synth.Emit
+
+type variant = {
+  name : string;
+  netlist : Netlist.t;
+  constraints : int;
+  pulse : bool;
+}
+
+let of_flow name mode ?emit_style () =
+  let r = Flow.synthesize ~mode ?emit_style (Library.fifo ()) in
+  {
+    name;
+    netlist = r.Flow.netlist;
+    constraints = List.length r.Flow.constraints;
+    pulse = false;
+  }
+
+let speed_independent () = of_flow "SI" Flow.Si ()
+
+(* The burst-mode row uses the actual XBM machine for the cell (the
+   paper's 3D-tool style): a three-state machine whose steady loop
+   alternates between "full" and "empty", synthesized under fundamental
+   mode by the flow-table method of Rtcad_bm.  Its one timing assumption
+   is fundamental mode itself. *)
+let fifo_burst_spec =
+  {
+    Rtcad_bm.Spec.name = "fifo_bm";
+    input_signals = [ "li"; "ri" ];
+    output_signals = [ "lo"; "ro" ];
+    num_states = 3;
+    initial = 0;
+    arcs =
+      [
+        {
+          Rtcad_bm.Spec.src = 0;
+          dst = 1;
+          inputs = [ ("li", true) ];
+          outputs = [ ("lo", true); ("ro", true) ];
+        };
+        {
+          Rtcad_bm.Spec.src = 1;
+          dst = 2;
+          inputs = [ ("li", false); ("ri", true) ];
+          outputs = [ ("lo", false); ("ro", false) ];
+        };
+        {
+          Rtcad_bm.Spec.src = 2;
+          dst = 1;
+          inputs = [ ("ri", false); ("li", true) ];
+          outputs = [ ("lo", true); ("ro", true) ];
+        };
+      ];
+  }
+
+let burst_mode () =
+  let r = Rtcad_bm.Synth.synthesize fifo_burst_spec in
+  {
+    name = "RT-BM";
+    netlist = r.Rtcad_bm.Synth.netlist;
+    constraints = 1 (* fundamental mode *);
+    pulse = false;
+  }
+
+let relative_timing () =
+  of_flow "RT"
+    (Flow.Rt
+       {
+         user = [ (("ri", Stg.Fall), ("li", Stg.Rise)) ];
+         allow_input_first = false;
+         allow_lazy = true;
+       })
+    ~emit_style:(Emit.Domino_cmos { footed = false })
+    ()
+
+(* Figure 7: the pulse-mode cell.  The handshake wires lo and ri are gone;
+   li arrives as a pulse, ro answers with a pulse shaped by its own
+   self-reset loop.  Constraints (the four arcs of Figure 7(b)): the input
+   pulse must be wide enough to be caught, narrow enough to be gone before
+   the self-reset, and the environment must not re-pulse before recovery
+   — three timing constraints plus the causal arc, matching the paper's
+   count of one causal + three relative-timing arcs. *)
+let pulse_mode () =
+  let nl = Netlist.create () in
+  let li = Netlist.input nl "li" in
+  let ro = Netlist.forward nl "ro" in
+  (* Self-reset delay line: two inverters' worth of margin. *)
+  let fb1 = Netlist.add_gate nl (Gate.make Gate.Not ~fanin:1) [ (ro, false) ] "fb1" in
+  let fb2 = Netlist.add_gate nl (Gate.make Gate.Not ~fanin:1) [ (fb1, false) ] "fb2" in
+  (* ro: domino set by the li pulse, reset by its own delayed echo. *)
+  Netlist.set_driver nl ro
+    (Gate.make ~style:(Gate.Domino { footed = false })
+       (Gate.Sop_sr { set_cubes = [ 1 ]; reset_cubes = [ 1 ] })
+       ~fanin:2)
+    [ (li, false); (fb2, false) ];
+  Netlist.mark_output nl ro;
+  (* The paper's footnote: "synchronous testing in COSMOS required an
+     extra test gate for the pulse circuit".  Pulse-width faults in the
+     self-reset loop do not change the delay-insensitive output sequence;
+     a test tap observing the loop node makes them detectable. *)
+  let test = Netlist.add_gate nl (Gate.make Gate.Not ~fanin:1) [ (fb2, false) ] "test" in
+  Netlist.mark_output nl test;
+  Netlist.settle_initial nl;
+  { name = "Pulse"; netlist = nl; constraints = 3; pulse = true }
+
+let all () = [ speed_independent (); burst_mode (); relative_timing (); pulse_mode () ]

@@ -1,0 +1,36 @@
+(** The four FIFO-controller implementations of Table 2.
+
+    All four are produced by (or derived from) the synthesis flow on the
+    Figure 3 specification:
+
+    - {!speed_independent}: the SI flow — atomic static complex gates and
+      generalized-C elements, correct under unbounded delays (Figure 4's
+      role);
+    - {!burst_mode}: the RT-BM row — static complex gates synthesized
+      under the fundamental-mode-style automatic assumptions only (the
+      substitute for the paper's 3D/XBM machine);
+    - {!relative_timing}: the Figure 6 circuit — domino gates synthesized
+      under automatic assumptions plus the user ring assumption
+      "[ri-] before [li+]";
+    - {!pulse_mode}: the Figure 7 circuit — the handshake signals [lo]
+      and [ri] are absorbed into timing assumptions; [li] arrives as a
+      pulse and [ro] answers with a self-resetting pulse.
+
+    Each constructor returns the netlist and, where the flow produced
+    them, the required timing constraints. *)
+
+type variant = {
+  name : string;
+  netlist : Rtcad_netlist.Netlist.t;
+  constraints : int;  (** number of back-annotated timing constraints *)
+  pulse : bool;  (** measured with the pulse harness *)
+}
+
+val fifo_burst_spec : Rtcad_bm.Spec.t
+(** The FIFO cell as a three-state XBM machine (the RT-BM row's input). *)
+
+val speed_independent : unit -> variant
+val burst_mode : unit -> variant
+val relative_timing : unit -> variant
+val pulse_mode : unit -> variant
+val all : unit -> variant list

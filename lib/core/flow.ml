@@ -1,0 +1,193 @@
+module Stg = Rtcad_stg.Stg
+module Transform = Rtcad_stg.Transform
+module Sg = Rtcad_sg.Sg
+module Encoding = Rtcad_sg.Encoding
+module Csc = Rtcad_sg.Csc
+module Props = Rtcad_sg.Props
+module Assumption = Rtcad_rt.Assumption
+module Generate = Rtcad_rt.Generate
+module Prune = Rtcad_rt.Prune
+module Nextstate = Rtcad_synth.Nextstate
+module Implement = Rtcad_synth.Implement
+module Lazy_cover = Rtcad_synth.Lazy_cover
+module Emit = Rtcad_synth.Emit
+
+type user_assumption = (string * Stg.dir) * (string * Stg.dir)
+
+type mode =
+  | Si
+  | Rt of {
+      user : user_assumption list;
+      allow_input_first : bool;
+      allow_lazy : bool;
+    }
+
+let rt_default = Rt { user = []; allow_input_first = false; allow_lazy = true }
+
+type signal_result = {
+  signal_name : string;
+  impl : Implement.impl;
+  literals : int;
+  lazy_constraints : Assumption.t list;
+}
+
+type t = {
+  mode : mode;
+  stg : Stg.t;
+  insertions : Csc.insertion list;
+  sg_full : Sg.t;
+  sg : Sg.t;
+  assumptions : Assumption.t list;
+  constraints : Assumption.t list;
+  signals : signal_result list;
+  netlist : Rtcad_netlist.Netlist.t;
+}
+
+exception Synthesis_failure of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Synthesis_failure s)) fmt
+
+let instantiate_user stg user =
+  List.concat_map
+    (fun (first, second) ->
+      match Assumption.of_edges stg first second with
+      | assumptions -> assumptions
+      | exception Not_found ->
+        fail "user assumption references unknown signal (%s/%s)" (fst first) (fst second))
+    user
+
+(* [fast] is used inside the state-encoding search, where the assumption
+   generator runs once per candidate insertion: fewer randomized runs and
+   shorter executions keep the search tractable.  The final assumption set
+   is always regenerated at full strength. *)
+let gather_assumptions ?(fast = false) ~mode stg sg =
+  match mode with
+  | Si -> []
+  | Rt { user; allow_input_first; _ } ->
+    let automatic =
+      if fast then
+        let nt = Rtcad_stg.Petri.num_transitions (Stg.net stg) in
+        Generate.automatic ~allow_input_first ~runs:2 ~steps:(20 * nt) stg sg
+      else Generate.automatic ~allow_input_first stg sg
+    in
+    instantiate_user stg user @ automatic
+
+(* Implementation selection: candidates in preference order, first one
+   passing the correctness checks with minimal literal cost wins. *)
+let choose_impl ~mode sg spec =
+  let complex = Implement.synthesize spec Implement.Complex_gate in
+  let gc = Implement.synthesize spec Implement.Generalized_c in
+  let base =
+    [ (complex, ([] : Assumption.t list)); (gc, []) ]
+  in
+  let lazy_candidates =
+    match mode with
+    | Si -> []
+    | Rt { allow_lazy = false; _ } -> []
+    | Rt { allow_lazy = true; _ } ->
+      let r = Lazy_cover.relax sg spec gc in
+      if r.Lazy_cover.constraints = [] then [] else [ (r.Lazy_cover.impl, r.Lazy_cover.constraints) ]
+  in
+  let acceptable (impl, _) =
+    match mode with
+    | Si -> Implement.respects_spec spec impl && Implement.monotonic sg spec impl
+    | Rt _ -> (
+      match impl with
+      | Implement.Complex _ -> Implement.respects_spec spec impl
+      | Implement.Gc _ -> true)
+  in
+  let candidates = List.filter acceptable (base @ lazy_candidates) in
+  match
+    List.sort
+      (fun (a, _) (b, _) -> Int.compare (Implement.literal_cost a) (Implement.literal_cost b))
+      candidates
+  with
+  | [] ->
+    fail "no acceptable implementation for signal %s"
+      (Stg.signal_name (Sg.stg sg) spec.Nextstate.signal)
+  | best :: _ -> best
+
+let synthesize ?(mode = rt_default) ?emit_style ?max_states spec_stg =
+  let stg0 = Transform.contract_dummies ~strict:false spec_stg in
+  let csc_mode =
+    match mode with Si -> Csc.Speed_independent | Rt _ -> Csc.Timing_aware
+  in
+  let view sg =
+    match mode with
+    | Si -> sg
+    | Rt _ ->
+      let stg = Sg.stg sg in
+      (Prune.apply sg (gather_assumptions ~fast:true ~mode stg sg)).Prune.pruned
+  in
+  let stg, insertions =
+    match Csc.resolve_all ~mode:csc_mode ~view ?max_states stg0 with
+    | Some (stg, ins) -> (stg, ins)
+    | None -> fail "state encoding failed: CSC conflicts could not be resolved"
+  in
+  let sg_full = Sg.build ?max_states stg in
+  let assumptions = gather_assumptions ~mode stg sg_full in
+  let sg, used =
+    match mode with
+    | Si -> (sg_full, [])
+    | Rt _ ->
+      let r = Prune.apply sg_full assumptions in
+      (r.Prune.pruned, r.Prune.used)
+  in
+  if Encoding.has_csc sg then fail "CSC conflicts remain after encoding";
+  (match mode with
+  | Si ->
+    if not (Props.is_output_persistent sg) then
+      fail "specification is not output-persistent: no SI implementation"
+  | Rt _ -> ());
+  let specs = Nextstate.all sg in
+  let chosen = List.map (fun spec -> (spec, choose_impl ~mode sg spec)) specs in
+  let signals =
+    List.map
+      (fun (spec, (impl, lazy_constraints)) ->
+        {
+          signal_name = Stg.signal_name stg spec.Nextstate.signal;
+          impl;
+          literals = Implement.literal_cost impl;
+          lazy_constraints;
+        })
+      chosen
+  in
+  let emit_style =
+    match emit_style with
+    | Some s -> s
+    | None -> (
+      match mode with
+      | Si -> Emit.Static_cmos
+      | Rt _ -> Emit.Domino_cmos { footed = true })
+  in
+  let netlist =
+    Emit.emit ~style:emit_style stg
+      (List.map (fun (spec, (impl, _)) -> (spec.Nextstate.signal, impl)) chosen)
+  in
+  let constraints =
+    List.sort_uniq Assumption.compare
+      (used @ List.concat_map (fun (_, (_, lc)) -> lc) chosen)
+  in
+  { mode; stg; insertions; sg_full; sg; assumptions; constraints; signals; netlist }
+
+let pp_report ppf t =
+  let stg = t.stg in
+  Format.fprintf ppf "@[<v>mode: %s@,"
+    (match t.mode with Si -> "speed-independent" | Rt _ -> "relative timing");
+  Format.fprintf ppf "states: %d full, %d used for synthesis@," (Sg.num_states t.sg_full)
+    (Sg.num_states t.sg);
+  List.iter
+    (fun ins -> Format.fprintf ppf "inserted: %a@," (Csc.pp_insertion stg) ins)
+    t.insertions;
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "%s = %a   (%d literals)@," s.signal_name
+        (Implement.pp stg) s.impl s.literals)
+    t.signals;
+  if t.constraints <> [] then begin
+    Format.fprintf ppf "required timing constraints:@,";
+    List.iter (fun a -> Format.fprintf ppf "  %a@," (Assumption.pp stg) a) t.constraints
+  end;
+  Format.fprintf ppf "netlist: %d gates, %d transistors@]"
+    (Rtcad_netlist.Netlist.gate_count t.netlist)
+    (Rtcad_netlist.Netlist.transistors t.netlist)

@@ -1,0 +1,70 @@
+(** The relative-timing synthesis flow of the paper's Figure 2.
+
+    From a specification STG the flow performs: dummy contraction →
+    reachability analysis → (timing-aware) state encoding → relative
+    timing assumption generation and lazy state-graph reduction → logic
+    synthesis with per-signal implementation selection → netlist emission
+    → back-annotation of the timing constraints the implementation
+    actually requires.
+
+    Two modes:
+    - {!Si}: the speed-independent flow (no timing assumptions; state
+      encoding must not delay inputs; covers must be monotonic).
+    - {!Rt}: the relative-timing flow with automatically generated
+      assumptions, optional user (architecture/environment) assumptions
+      such as Figure 6's "[ri-] before [li+]", and optional lazy cover
+      relaxation. *)
+
+type user_assumption = (string * Rtcad_stg.Stg.dir) * (string * Rtcad_stg.Stg.dir)
+(** "first edge before second edge", by signal name. *)
+
+type mode =
+  | Si
+  | Rt of {
+      user : user_assumption list;
+      allow_input_first : bool;  (** homogeneous-environment extension *)
+      allow_lazy : bool;  (** lazy cover relaxation *)
+    }
+
+val rt_default : mode
+(** [Rt] with no user assumptions, [allow_input_first = false],
+    [allow_lazy = true]. *)
+
+type signal_result = {
+  signal_name : string;
+  impl : Rtcad_synth.Implement.impl;
+  literals : int;
+  lazy_constraints : Rtcad_rt.Assumption.t list;
+}
+
+type t = {
+  mode : mode;
+  stg : Rtcad_stg.Stg.t;  (** after contraction and state-signal insertion *)
+  insertions : Rtcad_sg.Csc.insertion list;
+  sg_full : Rtcad_sg.Sg.t;
+  sg : Rtcad_sg.Sg.t;  (** the graph used for synthesis (pruned under RT) *)
+  assumptions : Rtcad_rt.Assumption.t list;  (** all proposed (user + automatic) *)
+  constraints : Rtcad_rt.Assumption.t list;
+      (** back-annotated: assumptions the synthesis relied on (pruning)
+          plus laziness constraints of the chosen covers *)
+  signals : signal_result list;
+  netlist : Rtcad_netlist.Netlist.t;
+}
+
+exception Synthesis_failure of string
+
+val synthesize :
+  ?mode:mode ->
+  ?emit_style:Rtcad_synth.Emit.style ->
+  ?max_states:int ->
+  Rtcad_stg.Stg.t ->
+  t
+(** Run the flow (default mode {!rt_default}).  The default emission style
+    is static CMOS for {!Si} and footed domino for {!Rt}.  Raises
+    {!Synthesis_failure} when state encoding cannot be completed or a
+    cover violates its correctness check, and the STG/state-graph
+    exceptions on malformed input. *)
+
+val pp_report : Format.formatter -> t -> unit
+(** Human-readable synthesis report: state counts, per-signal equations,
+    constraints, netlist cost. *)

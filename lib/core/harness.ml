@@ -1,0 +1,153 @@
+module Netlist = Rtcad_netlist.Netlist
+module Sim = Rtcad_netlist.Sim
+module Rng = Rtcad_util.Rng
+
+type measurement = {
+  cycles : int;
+  worst_delay_ps : float;
+  avg_delay_ps : float;
+  avg_forward_ps : float;
+      (* mean latency from an accepted request (li+) to the corresponding
+         outgoing request (ro+); 0 for pulse measurements that report it
+         in avg_delay_ps *)
+  energy_per_cycle_pj : float;
+  glitches : int;
+}
+
+type env = { left_delay_ps : float; right_delay_ps : float; jitter : float; seed : int }
+
+let zero_env = { left_delay_ps = 0.0; right_delay_ps = 0.0; jitter = 0.0; seed = 1 }
+
+(* Install the four-phase environment: the left side issues a new request
+   once acknowledged and released, the right side acknowledges every
+   request.  [on_li_rise] observes accepted requests for cycle timing. *)
+let install_fourphase ?(env = zero_env) ?(on_li_rise = fun _ -> ()) ~cycles sim =
+  let nl = Sim.netlist sim in
+  let li = Netlist.find_net nl "li" in
+  let lo = Netlist.find_net nl "lo" in
+  let ro = Netlist.find_net nl "ro" in
+  let ri = Netlist.find_net nl "ri" in
+  let rng = Rng.create env.seed in
+  let d base = base +. (if env.jitter > 0.0 then Rng.float rng env.jitter else 0.0) in
+  let remaining = ref cycles in
+  Sim.on_change sim lo (fun sim v ->
+      if v then Sim.drive sim li false ~after:(d env.left_delay_ps)
+      else if !remaining > 0 then begin
+        decr remaining;
+        Sim.drive sim li true ~after:(d env.left_delay_ps)
+      end);
+  Sim.on_change sim ro (fun sim v -> Sim.drive sim ri v ~after:(d env.right_delay_ps));
+  Sim.on_change sim li (fun sim v -> if v then on_li_rise (Sim.time sim));
+  decr remaining;
+  Sim.drive sim li true ~after:(d env.left_delay_ps)
+
+let summarize ~warmup starts forwards energy glitches =
+  let starts = Array.of_list (List.rev starts) in
+  let n = Array.length starts in
+  if n < warmup + 3 then failwith "Harness: circuit stalled (too few cycles completed)";
+  let periods =
+    Array.init (n - 1) (fun i -> starts.(i + 1) -. starts.(i))
+  in
+  let steady = Array.sub periods warmup (Array.length periods - warmup) in
+  let worst = Array.fold_left max 0.0 steady in
+  let avg = Array.fold_left ( +. ) 0.0 steady /. float_of_int (Array.length steady) in
+  let avg_forward =
+    match forwards with
+    | [] -> 0.0
+    | fs -> List.fold_left ( +. ) 0.0 fs /. float_of_int (List.length fs)
+  in
+  {
+    cycles = Array.length steady;
+    worst_delay_ps = worst;
+    avg_delay_ps = avg;
+    avg_forward_ps = avg_forward;
+    energy_per_cycle_pj = energy /. float_of_int (Array.length steady);
+    glitches;
+  }
+
+let measure_fourphase ?(env = zero_env) ~cycles nl =
+  let sim = Sim.create nl in
+  Sim.settle sim ();
+  let starts = ref [] in
+  let forwards = ref [] in
+  let last_li = ref nan in
+  install_fourphase ~env
+    ~on_li_rise:(fun t ->
+      starts := t :: !starts;
+      last_li := t)
+    ~cycles sim;
+  (match Netlist.find_net nl "ro" with
+  | ro ->
+    Sim.on_change sim ro (fun sim v ->
+        if v && not (Float.is_nan !last_li) then begin
+          forwards := (Sim.time sim -. !last_li) :: !forwards;
+          last_li := nan
+        end)
+  | exception Not_found -> ());
+  let horizon = float_of_int cycles *. 40_000.0 in
+  Sim.run sim ~until:horizon;
+  summarize ~warmup:5 !starts !forwards (Sim.energy_pj sim) (Sim.glitches sim)
+
+let install_pulse ?(period_ps = 2000.0) ?(width_ps = 200.0) ~cycles sim =
+  let nl = Sim.netlist sim in
+  let li = Netlist.find_net nl "li" in
+  for k = 0 to cycles - 1 do
+    let t = float_of_int k *. period_ps in
+    Sim.drive sim li true ~after:t;
+    Sim.drive sim li false ~after:(t +. width_ps)
+  done
+
+let measure_pulse ?(period_ps = 2000.0) ?(width_ps = 200.0) ~cycles nl =
+  let sim = Sim.create nl in
+  Sim.settle sim ();
+  let li = Netlist.find_net nl "li" in
+  let ro = Netlist.find_net nl "ro" in
+  let last_li = ref 0.0 in
+  let latencies = ref [] in
+  Sim.on_change sim li (fun sim v -> if v then last_li := Sim.time sim);
+  Sim.on_change sim ro (fun sim v ->
+      if v then latencies := (Sim.time sim -. !last_li) :: !latencies);
+  install_pulse ~period_ps ~width_ps ~cycles sim;
+  Sim.run sim ~until:(float_of_int (cycles + 2) *. period_ps);
+  let lats = Array.of_list (List.rev !latencies) in
+  if Array.length lats < cycles - 2 then failwith "Harness: pulse circuit dropped pulses";
+  let worst = Array.fold_left max 0.0 lats in
+  let avg = Array.fold_left ( +. ) 0.0 lats /. float_of_int (Array.length lats) in
+  {
+    cycles = Array.length lats;
+    worst_delay_ps = worst;
+    avg_delay_ps = avg;
+    avg_forward_ps = avg;
+    energy_per_cycle_pj = Sim.energy_pj sim /. float_of_int (Array.length lats);
+    glitches = Sim.glitches sim;
+  }
+
+(* The smallest pulse period (binary search, 10 ps resolution) at which no
+   pulses are dropped — the pulse-mode circuit's cycle time. *)
+let pulse_min_period ?(width_ps = 200.0) ~cycles nl =
+  let ok period_ps =
+    match measure_pulse ~period_ps ~width_ps ~cycles nl with
+    | m -> m.cycles >= cycles - 2
+    | exception (Failure _ | Sim.Oscillation _) -> false
+  in
+  let rec search lo hi =
+    if hi -. lo <= 10.0 then hi
+    else
+      let mid = (lo +. hi) /. 2.0 in
+      if ok mid then search lo mid else search mid hi
+  in
+  if not (ok 4000.0) then failwith "Harness: pulse circuit broken even at 4 ns period";
+  search width_ps 4000.0
+
+let fourphase_stimulus ?env ~cycles sim =
+  Sim.settle sim ();
+  install_fourphase ?env ~cycles sim
+
+let pulse_stimulus ?period_ps ?width_ps ~cycles sim =
+  Sim.settle sim ();
+  install_pulse ?period_ps ?width_ps ~cycles sim
+
+let pp ppf m =
+  Format.fprintf ppf "%d cycles: worst %.0f ps, avg %.0f ps, %.1f pJ/cycle%s" m.cycles
+    m.worst_delay_ps m.avg_delay_ps m.energy_per_cycle_pj
+    (if m.glitches > 0 then Printf.sprintf " (%d glitches)" m.glitches else "")

@@ -1,0 +1,63 @@
+(** Measurement harness for FIFO-controller implementations (Table 2).
+
+    The circuit under test exposes the interface of Figure 3: request in
+    [li], acknowledge out [lo], request out [ro], acknowledge in [ri]
+    (the pulse-mode variant drops [lo]/[ri]).  The harness closes the
+    handshakes with configurable environment response delays and measures:
+
+    - {e cycle time}: interval between successive [li+] requests accepted
+      in steady state (a complete four-phase cycle) — its maximum is the
+      "worst delay" row of Table 2, its mean the "average delay";
+    - {e switching energy} per complete cycle;
+    - {e stuck-at testability} with the same handshake sequence as the
+      test stimulus. *)
+
+type measurement = {
+  cycles : int;
+  worst_delay_ps : float;
+  avg_delay_ps : float;
+  avg_forward_ps : float;
+      (** mean forward latency from an accepted request ([li+]) to the
+          corresponding outgoing request ([ro+]); for pulse measurements
+          it coincides with [avg_delay_ps] *)
+  energy_per_cycle_pj : float;
+  glitches : int;
+}
+
+type env = {
+  left_delay_ps : float;  (** env latency from [lo] edges to [li] answers *)
+  right_delay_ps : float;  (** env latency from [ro] edges to [ri] answers *)
+  jitter : float;  (** uniform random fraction added to env delays *)
+  seed : int;
+}
+
+val zero_env : env
+(** Instantaneous environment: measures pure circuit delay. *)
+
+val measure_fourphase : ?env:env -> cycles:int -> Rtcad_netlist.Netlist.t -> measurement
+(** Drive [cycles] four-phase handshakes.  Raises [Failure] if the
+    circuit stalls (no complete cycle within a generous timeout). *)
+
+val measure_pulse :
+  ?period_ps:float ->
+  ?width_ps:float ->
+  cycles:int ->
+  Rtcad_netlist.Netlist.t ->
+  measurement
+(** Pulse-mode variant: send [li] pulses of the given width at the given
+    period and observe [ro] pulses.  The delay metrics report the
+    [li+ -> ro+] pulse latency. *)
+
+val pulse_min_period : ?width_ps:float -> cycles:int -> Rtcad_netlist.Netlist.t -> float
+(** The smallest pulse period (10 ps resolution) at which the circuit
+    drops no pulses — the pulse-mode cycle time.  Raises [Failure] if the
+    circuit drops pulses even at a 4 ns period. *)
+
+val fourphase_stimulus : ?env:env -> cycles:int -> Rtcad_netlist.Sim.t -> unit
+(** The same environment as {!measure_fourphase}, packaged as a fault-
+    simulation stimulus. *)
+
+val pulse_stimulus :
+  ?period_ps:float -> ?width_ps:float -> cycles:int -> Rtcad_netlist.Sim.t -> unit
+
+val pp : Format.formatter -> measurement -> unit

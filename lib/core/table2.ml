@@ -1,0 +1,79 @@
+module Netlist = Rtcad_netlist.Netlist
+module Faults = Rtcad_netlist.Faults
+
+type row = {
+  name : string;
+  worst_delay_ps : float;
+  avg_delay_ps : float;
+  energy_per_cycle_pj : float;
+  transistors : int;
+  testability_pct : float;
+  constraints : int;
+}
+
+(* Every implementation style imposes its own contract on the
+   environment's response time — that is the methodology's trade: the SI
+   circuit accepts any environment, the fundamental-mode (RT-BM) circuit
+   needs the environment to outlast its settling, the RT circuit only
+   needs the one-gate margins of its back-annotated constraints, and the
+   pulse circuit dictates a minimum pulse period.  Each row is measured
+   with the fastest environment its contract allows. *)
+let env_for (v : Fifo_impls.variant) =
+  match v.Fifo_impls.name with
+  | "SI" ->
+    { Harness.left_delay_ps = 400.0; right_delay_ps = 400.0; jitter = 300.0; seed = 17 }
+  | "RT-BM" ->
+    { Harness.left_delay_ps = 400.0; right_delay_ps = 400.0; jitter = 300.0; seed = 17 }
+  | "RT" ->
+    { Harness.left_delay_ps = 160.0; right_delay_ps = 160.0; jitter = 250.0; seed = 17 }
+  | _ -> Harness.zero_env
+
+let measure ?(cycles = 200) (v : Fifo_impls.variant) =
+  let env = env_for v in
+  if v.Fifo_impls.pulse then begin
+    let period = Harness.pulse_min_period ~cycles:40 v.Fifo_impls.netlist in
+    let m = Harness.measure_pulse ~period_ps:period ~cycles v.Fifo_impls.netlist in
+    let stimulus sim = Harness.pulse_stimulus ~period_ps:(period *. 1.5) ~cycles:12 sim in
+    let report = Faults.coverage ~stimulus ~horizon:80_000.0 v.Fifo_impls.netlist in
+    {
+      name = v.Fifo_impls.name;
+      (* the pulse circuit's "delay" is its cycle time: every pulse takes
+         the same path, so worst = avg (the paper's 350/350) *)
+      worst_delay_ps = period;
+      avg_delay_ps = period;
+      energy_per_cycle_pj = m.Harness.energy_per_cycle_pj;
+      transistors = Netlist.transistors v.Fifo_impls.netlist;
+      testability_pct = report.Faults.coverage;
+      constraints = v.Fifo_impls.constraints;
+    }
+  end
+  else begin
+    let m = Harness.measure_fourphase ~env ~cycles v.Fifo_impls.netlist in
+    let stimulus sim = Harness.fourphase_stimulus ~env ~cycles:12 sim in
+    let report = Faults.coverage ~stimulus ~horizon:120_000.0 v.Fifo_impls.netlist in
+    (* Report the circuit's contribution: subtract the four environment
+       hops (two per handshake side) from the cycle time. *)
+    let env_mean = env.Harness.left_delay_ps +. (env.Harness.jitter /. 2.0) in
+    let env_per_cycle = 2.0 *. env_mean in
+    {
+      name = v.Fifo_impls.name;
+      worst_delay_ps = m.Harness.worst_delay_ps -. env_per_cycle;
+      avg_delay_ps = m.Harness.avg_delay_ps -. env_per_cycle;
+      energy_per_cycle_pj = m.Harness.energy_per_cycle_pj;
+      transistors = Netlist.transistors v.Fifo_impls.netlist;
+      testability_pct = report.Faults.coverage;
+      constraints = v.Fifo_impls.constraints;
+    }
+  end
+
+let all ?cycles () = List.map (fun v -> measure ?cycles v) (Fifo_impls.all ())
+
+let pp_row ppf r =
+  Format.fprintf ppf "%-6s %8.0f %8.0f %8.1f %8d %9.1f%% %6d" r.name r.worst_delay_ps
+    r.avg_delay_ps r.energy_per_cycle_pj r.transistors r.testability_pct r.constraints
+
+let pp_table ppf rows =
+  Format.fprintf ppf "@[<v>%-6s %8s %8s %8s %8s %10s %6s@," "" "worst" "avg" "energy"
+    "trans." "stuck-at" "constr";
+  List.iter (fun r -> Format.fprintf ppf "%a@," pp_row r) rows;
+  Format.fprintf ppf "@]"

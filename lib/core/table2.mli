@@ -1,0 +1,20 @@
+(** Table 2 of the paper: comparison of the four FIFO implementations. *)
+
+type row = {
+  name : string;
+  worst_delay_ps : float;
+  avg_delay_ps : float;
+  energy_per_cycle_pj : float;
+  transistors : int;
+  testability_pct : float;
+  constraints : int;
+}
+
+val measure : ?cycles:int -> Fifo_impls.variant -> row
+(** Four-phase (or pulse) measurement with a moderately jittered
+    environment, plus stuck-at coverage under the same stimulus. *)
+
+val all : ?cycles:int -> unit -> row list
+
+val pp_row : Format.formatter -> row -> unit
+val pp_table : Format.formatter -> row list -> unit

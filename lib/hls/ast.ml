@@ -1,0 +1,51 @@
+type direction = In | Out
+type action = Recv of string | Send of string
+
+type proc =
+  | Action of action
+  | Seq of proc list
+  | Par of proc list
+  | Loop of proc
+
+type program = {
+  name : string;
+  channels : (string * direction) list;
+  body : proc;
+}
+
+let channels_used proc =
+  let tbl = Hashtbl.create 8 in
+  let note name dir =
+    match Hashtbl.find_opt tbl name with
+    | None -> Hashtbl.add tbl name dir
+    | Some d when d = dir -> ()
+    | Some _ -> failwith (Printf.sprintf "channel %s used in both directions" name)
+  in
+  let rec go = function
+    | Action (Recv c) -> note c In
+    | Action (Send c) -> note c Out
+    | Seq ps | Par ps -> List.iter go ps
+    | Loop p -> go p
+  in
+  go proc;
+  List.sort compare (Hashtbl.fold (fun c d acc -> (c, d) :: acc) tbl [])
+
+let rec pp_proc ppf = function
+  | Action (Recv c) -> Format.fprintf ppf "%s?" c
+  | Action (Send c) -> Format.fprintf ppf "%s!" c
+  | Seq ps ->
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+      pp_proc ppf ps
+  | Par ps ->
+    Format.fprintf ppf "par";
+    List.iter (fun p -> Format.fprintf ppf " {@ %a@ }" pp_proc p) ps
+  | Loop p -> Format.fprintf ppf "loop {@ %a@ }" pp_proc p
+
+let pp_program ppf t =
+  Format.fprintf ppf "@[<hv>proc %s (%s) {@ %a@ }@]" t.name
+    (String.concat ", "
+       (List.map
+          (fun (c, d) -> (match d with In -> "in " | Out -> "out ") ^ c)
+          t.channels))
+    pp_proc t.body

@@ -1,0 +1,35 @@
+(** Abstract syntax of the handshake-process language.
+
+    A tiny CSP-flavoured language in the tradition of the handshake
+    circuits the paper builds on (van Berkel's Tangram, reference [2]):
+    processes communicate over four-phase channels; the only control
+    structures are sequence, parallel composition and infinite loop —
+    enough to express pipeline controllers, and the target of the
+    "direct compilation from high-level specifications" direction of
+    Section 6. *)
+
+type direction = In | Out
+
+type action =
+  | Recv of string  (** [A?] — engage in a handshake on input channel A *)
+  | Send of string  (** [B!] — initiate a handshake on output channel B *)
+
+type proc =
+  | Action of action
+  | Seq of proc list  (** [p1; p2; …] *)
+  | Par of proc list  (** [par { p1 } { p2 } …] — fork/join *)
+  | Loop of proc  (** [loop { p }] — repeat forever *)
+
+type program = {
+  name : string;
+  channels : (string * direction) list;  (** declaration order *)
+  body : proc;
+}
+
+val channels_used : proc -> (string * direction) list
+(** Channels appearing in the body with the direction implied by their
+    use ([?] is [In], [!] is [Out]); sorted, deduplicated.  Raises
+    [Failure] if a channel is used in both directions. *)
+
+val pp_proc : Format.formatter -> proc -> unit
+val pp_program : Format.formatter -> program -> unit

@@ -1,0 +1,174 @@
+module Stg = Rtcad_stg.Stg
+
+exception Unsupported of string
+
+let signals_of_channel c dir =
+  match dir with
+  | Ast.In -> [ (c ^ "_req", Stg.Input); (c ^ "_ack", Stg.Output) ]
+  | Ast.Out -> [ (c ^ "_req", Stg.Output); (c ^ "_ack", Stg.Input) ]
+
+(* Transition reference names with the builder's occurrence syntax. *)
+let occ_name base occ = if occ = 1 then base else Printf.sprintf "%s/%d" base occ
+
+type ctx = {
+  b : Stg.Build.t;
+  counters : (string, int) Hashtbl.t; (* channel -> occurrences so far *)
+  occurrences : (string, string list) Hashtbl.t; (* reversed occ-name prefixes *)
+  connected : (string * string, unit) Hashtbl.t;
+  mutable taus : int; (* join dummies created *)
+}
+
+(* Control flow and the four-phase protocol chains can ask for the same
+   arc (e.g. "B!;B!"): create each place once. *)
+let link ctx src dst =
+  if not (Hashtbl.mem ctx.connected (src, dst)) then begin
+    Hashtbl.add ctx.connected (src, dst) ();
+    Stg.Build.connect ctx.b src dst
+  end
+
+(* Connect a set of exit transitions to a set of entry transitions.  With
+   a single transition on either side, direct places suffice (the join or
+   fork happens at that transition).  With several on both sides, the
+   all-pairs encoding is UNSAFE (one branch can lap another across the
+   boundary), so a silent join transition synchronizes them.  [mark]
+   places the initial tokens of the loop closure on the entry side. *)
+let barrier ?(mark = false) ctx exits entries =
+  let arc e en =
+    link ctx e en;
+    if mark then Stg.Build.mark_between ctx.b e en
+  in
+  match (exits, entries) with
+  | [ _ ], _ | _, [ _ ] -> List.iter (fun e -> List.iter (arc e) entries) exits
+  | _ ->
+    let tau = Printf.sprintf "tau%d" ctx.taus in
+    ctx.taus <- ctx.taus + 1;
+    Stg.Build.dummy ctx.b tau;
+    List.iter (fun e -> link ctx e tau) exits;
+    List.iter (fun en -> arc tau en) entries
+
+let next_occ ctx chan =
+  let k = 1 + Option.value ~default:0 (Hashtbl.find_opt ctx.counters chan) in
+  Hashtbl.replace ctx.counters chan k;
+  k
+
+(* Expand one action occurrence: returns (entry transitions, exit
+   transitions) for the control flow and records the occurrence. *)
+let expand_action ctx = function
+  | Ast.Recv chan | Ast.Send chan as action ->
+    let k = next_occ ctx chan in
+    let req s = occ_name (chan ^ "_req" ^ s) k and ack s = occ_name (chan ^ "_ack" ^ s) k in
+    (* The four-phase chain is identical for both directions; what differs
+       is which side drives req (declared at the signal level) and which
+       transition the control token gates. *)
+    link ctx (req "+") (ack "+");
+    link ctx (ack "+") (req "-");
+    link ctx (req "-") (ack "-");
+    Hashtbl.replace ctx.occurrences chan
+      (occ_name (chan ^ "_req+") k
+      :: Option.value ~default:[] (Hashtbl.find_opt ctx.occurrences chan));
+    let entry =
+      match action with
+      | Ast.Recv _ -> ack "+" (* circuit acknowledges when control is ready *)
+      | Ast.Send _ -> req "+" (* circuit requests when control is ready *)
+    in
+    ([ entry ], [ ack "-" ])
+
+(* Channels engaged inside two branches of the same par are rejected. *)
+let rec channels_of = function
+  | Ast.Action (Ast.Recv c) | Ast.Action (Ast.Send c) -> [ c ]
+  | Ast.Seq ps | Ast.Par ps -> List.concat_map channels_of ps
+  | Ast.Loop p -> channels_of p
+
+let check_par_usage proc =
+  let rec go = function
+    | Ast.Action _ -> ()
+    | Ast.Seq ps -> List.iter go ps
+    | Ast.Loop p -> go p
+    | Ast.Par ps ->
+      List.iter go ps;
+      let sets = List.map (fun p -> List.sort_uniq compare (channels_of p)) ps in
+      let rec pairwise = function
+        | [] -> ()
+        | s :: rest ->
+          List.iter
+            (fun s' ->
+              List.iter
+                (fun c ->
+                  if List.mem c s' then
+                    raise
+                      (Unsupported
+                         (Printf.sprintf "channel %s engaged in parallel branches" c)))
+                s)
+            rest;
+          pairwise rest
+      in
+      pairwise sets
+  in
+  go proc
+
+let rec expand ctx = function
+  | Ast.Action a -> expand_action ctx a
+  | Ast.Seq ps ->
+    let parts = List.map (expand ctx) ps in
+    let rec chain = function
+      | (_, exits) :: ((entries, _) :: _ as rest) ->
+        barrier ctx exits entries;
+        chain rest
+      | [ _ ] | [] -> ()
+    in
+    chain parts;
+    (match (parts, List.rev parts) with
+    | (first_entries, _) :: _, (_, last_exits) :: _ -> (first_entries, last_exits)
+    | _ -> failwith "Compile: empty sequence")
+  | Ast.Par ps ->
+    let parts = List.map (expand ctx) ps in
+    (List.concat_map fst parts, List.concat_map snd parts)
+  | Ast.Loop _ -> raise (Unsupported "nested loop (the outermost loop is implicit)")
+
+let compile (prog : Ast.program) =
+  check_par_usage prog.Ast.body;
+  (* Strip a redundant outermost loop; reject inner ones in [expand]. *)
+  let body = match prog.Ast.body with Ast.Loop p -> p | p -> p in
+  let b = Stg.Build.create () in
+  List.iter
+    (fun (c, dir) ->
+      List.iter (fun (name, kind) -> Stg.Build.signal b kind name) (signals_of_channel c dir))
+    prog.Ast.channels;
+  let ctx =
+    {
+      b;
+      counters = Hashtbl.create 8;
+      occurrences = Hashtbl.create 8;
+      connected = Hashtbl.create 32;
+      taus = 0;
+    }
+  in
+  let entries, exits = expand ctx body in
+  (* Close the control loop with initially marked places. *)
+  barrier ~mark:true ctx exits entries;
+  (* Four-phase protocol order between successive occurrences of the same
+     channel: ack- of one enables req+ of the next, wrapping around with
+     an initial token. *)
+  Hashtbl.iter
+    (fun chan occs_rev ->
+      let occs = List.rev occs_rev in
+      let ack_minus_of req_plus =
+        (* "C_req+/k" -> "C_ack-/k" *)
+        let prefix = chan ^ "_req+" in
+        let suffix = String.sub req_plus (String.length prefix)
+            (String.length req_plus - String.length prefix) in
+        chan ^ "_ack-" ^ suffix
+      in
+      let rec chain = function
+        | a :: (b' :: _ as rest) ->
+          link ctx (ack_minus_of a) b';
+          chain rest
+        | [ last ] ->
+          let first = List.nth occs 0 in
+          link ctx (ack_minus_of last) first;
+          Stg.Build.mark_between b (ack_minus_of last) first
+        | [] -> ()
+      in
+      chain occs)
+    ctx.occurrences;
+  Stg.Build.finish b

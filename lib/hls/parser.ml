@@ -1,0 +1,167 @@
+exception Parse_error of int * string
+
+type token = Ident of string | Kw of string | Sym of char
+
+type lexer = { text : string; mutable pos : int; mutable peeked : (int * token) option }
+
+let fail pos fmt = Printf.ksprintf (fun s -> raise (Parse_error (pos, s))) fmt
+
+let keywords = [ "proc"; "in"; "out"; "loop"; "par" ]
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+
+let rec skip_ws lx =
+  if lx.pos < String.length lx.text then
+    match lx.text.[lx.pos] with
+    | ' ' | '\t' | '\n' | '\r' ->
+      lx.pos <- lx.pos + 1;
+      skip_ws lx
+    | '#' ->
+      while lx.pos < String.length lx.text && lx.text.[lx.pos] <> '\n' do
+        lx.pos <- lx.pos + 1
+      done;
+      skip_ws lx
+    | _ -> ()
+
+let next_token lx =
+  match lx.peeked with
+  | Some (pos, tok) ->
+    lx.peeked <- None;
+    Some (pos, tok)
+  | None ->
+    skip_ws lx;
+    if lx.pos >= String.length lx.text then None
+    else begin
+      let start = lx.pos in
+      let c = lx.text.[lx.pos] in
+      if is_ident_char c then begin
+        let e = ref lx.pos in
+        while !e < String.length lx.text && is_ident_char lx.text.[!e] do
+          incr e
+        done;
+        let word = String.sub lx.text lx.pos (!e - lx.pos) in
+        lx.pos <- !e;
+        Some (start, if List.mem word keywords then Kw word else Ident word)
+      end
+      else begin
+        lx.pos <- lx.pos + 1;
+        match c with
+        | '(' | ')' | '{' | '}' | ',' | ';' | '?' | '!' -> Some (start, Sym c)
+        | other -> fail start "unexpected character %C" other
+      end
+    end
+
+let peek lx =
+  match lx.peeked with
+  | Some (pos, tok) -> Some (pos, tok)
+  | None -> (
+    match next_token lx with
+    | None -> None
+    | Some entry ->
+      lx.peeked <- Some entry;
+      Some entry)
+
+let expect lx describe p =
+  match next_token lx with
+  | Some (pos, tok) -> (
+    match p tok with Some v -> v | None -> fail pos "expected %s" describe)
+  | None -> fail (String.length lx.text) "expected %s, found end of input" describe
+
+let expect_sym lx c =
+  expect lx (Printf.sprintf "'%c'" c) (function Sym s when s = c -> Some () | _ -> None)
+
+let expect_ident lx =
+  expect lx "an identifier" (function Ident s -> Some s | _ -> None)
+
+let expect_kw lx kw =
+  expect lx (Printf.sprintf "'%s'" kw) (function Kw k when k = kw -> Some () | _ -> None)
+
+(* body ::= stmt (';' stmt)* *)
+let rec parse_body lx =
+  let first = parse_stmt lx in
+  let rec more acc =
+    match peek lx with
+    | Some (_, Sym ';') ->
+      ignore (next_token lx);
+      more (parse_stmt lx :: acc)
+    | _ -> List.rev acc
+  in
+  match more [ first ] with [ single ] -> single | stmts -> Ast.Seq stmts
+
+and parse_stmt lx =
+  match peek lx with
+  | Some (_, Kw "loop") ->
+    ignore (next_token lx);
+    Ast.Loop (parse_block lx)
+  | Some (_, Kw "par") ->
+    ignore (next_token lx);
+    let first = parse_block lx in
+    let rec blocks acc =
+      match peek lx with
+      | Some (_, Sym '{') -> blocks (parse_block lx :: acc)
+      | _ -> List.rev acc
+    in
+    (match blocks [ first ] with
+    | [ _ ] -> fail lx.pos "par needs at least two blocks"
+    | branches -> Ast.Par branches)
+  | Some (_, Sym '{') -> parse_block lx
+  | Some (pos, Ident chan) -> (
+    ignore (next_token lx);
+    match next_token lx with
+    | Some (_, Sym '?') -> Ast.Action (Ast.Recv chan)
+    | Some (_, Sym '!') -> Ast.Action (Ast.Send chan)
+    | _ -> fail pos "channel %s must be followed by ? or !" chan)
+  | Some (pos, _) -> fail pos "expected a statement"
+  | None -> fail lx.pos "expected a statement, found end of input"
+
+and parse_block lx =
+  expect_sym lx '{';
+  let body = parse_body lx in
+  expect_sym lx '}';
+  body
+
+let parse_decls lx =
+  match peek lx with
+  | Some (_, Sym ')') -> []
+  | _ ->
+    let decl () =
+      let dir =
+        expect lx "'in' or 'out'" (function
+          | Kw "in" -> Some Ast.In
+          | Kw "out" -> Some Ast.Out
+          | _ -> None)
+      in
+      let name = expect_ident lx in
+      (name, dir)
+    in
+    let rec more acc =
+      match peek lx with
+      | Some (_, Sym ',') ->
+        ignore (next_token lx);
+        more (decl () :: acc)
+      | _ -> List.rev acc
+    in
+    more [ decl () ]
+
+let parse text =
+  let lx = { text; pos = 0; peeked = None } in
+  expect_kw lx "proc";
+  let name = expect_ident lx in
+  expect_sym lx '(';
+  let channels = parse_decls lx in
+  expect_sym lx ')';
+  let body = parse_block lx in
+  (match next_token lx with
+  | None -> ()
+  | Some (pos, _) -> fail pos "trailing input after process body");
+  (* Direction check against declarations. *)
+  let used = Ast.channels_used body in
+  List.iter
+    (fun (c, d) ->
+      match List.assoc_opt c channels with
+      | None -> fail 0 "channel %s used but not declared" c
+      | Some d' when d <> d' -> fail 0 "channel %s used against its declared direction" c
+      | Some _ -> ())
+    used;
+  { Ast.name; channels; body }

@@ -1,0 +1,22 @@
+(** Parser for the handshake-process language.
+
+    Grammar (whitespace-insensitive; [#] starts a line comment):
+
+    {v
+    program  ::= "proc" IDENT "(" decls ")" "{" body "}"
+    decls    ::= decl ("," decl)* | ε
+    decl     ::= ("in" | "out") IDENT
+    body     ::= stmt (";" stmt)*
+    stmt     ::= IDENT "?" | IDENT "!"
+               | "loop" "{" body "}"
+               | "par" block block+
+               | block
+    block    ::= "{" body "}"
+    v} *)
+
+exception Parse_error of int * string
+(** Position (character offset) and message. *)
+
+val parse : string -> Ast.program
+(** Raises {!Parse_error}; also checks that every used channel is
+    declared with the right direction. *)

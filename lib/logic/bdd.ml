@@ -1,0 +1,222 @@
+(* Hash-consed ROBDD with a global unique table and binary-op caches.
+   Complement edges are not used; negation is a cached recursive op. *)
+
+type t = Zero | One | Node of node
+and node = { var : int; lo : t; hi : t; nid : int }
+
+let id = function Zero -> 0 | One -> 1 | Node n -> n.nid
+let equal a b = a == b
+let hash t = id t
+
+module Unique_key = struct
+  type nonrec t = int * int * int (* var, lo id, hi id *)
+
+  let equal (a1, a2, a3) (b1, b2, b3) = a1 = b1 && a2 = b2 && a3 = b3
+  let hash = Hashtbl.hash
+end
+
+module Unique = Hashtbl.Make (Unique_key)
+
+let unique : t Unique.t = Unique.create 4096
+let next_id = ref 2
+
+let mk var lo hi =
+  if equal lo hi then lo
+  else
+    let key = (var, id lo, id hi) in
+    match Unique.find_opt unique key with
+    | Some n -> n
+    | None ->
+      let n = Node { var; lo; hi; nid = !next_id } in
+      incr next_id;
+      Unique.add unique key n;
+      n
+
+let zero = Zero
+let one = One
+
+let var i =
+  if i < 0 then invalid_arg "Bdd.var";
+  mk i Zero One
+
+let nvar i =
+  if i < 0 then invalid_arg "Bdd.nvar";
+  mk i One Zero
+
+let is_zero t = equal t Zero
+let is_one t = equal t One
+
+let top_var = function
+  | Zero | One -> invalid_arg "Bdd.top_var: constant"
+  | Node n -> n.var
+
+(* Operation caches. *)
+module Cache1 = Hashtbl.Make (struct
+  type nonrec t = int
+
+  let equal = Int.equal
+  let hash = Hashtbl.hash
+end)
+
+module Cache2 = Hashtbl.Make (struct
+  type nonrec t = int * int
+
+  let equal (a1, a2) (b1, b2) = a1 = b1 && a2 = b2
+  let hash = Hashtbl.hash
+end)
+
+let not_cache : t Cache1.t = Cache1.create 1024
+let and_cache : t Cache2.t = Cache2.create 4096
+let xor_cache : t Cache2.t = Cache2.create 1024
+
+let clear_caches () =
+  Cache1.clear not_cache;
+  Cache2.clear and_cache;
+  Cache2.clear xor_cache
+
+let rec bnot t =
+  match t with
+  | Zero -> One
+  | One -> Zero
+  | Node n -> (
+    match Cache1.find_opt not_cache n.nid with
+    | Some r -> r
+    | None ->
+      let r = mk n.var (bnot n.lo) (bnot n.hi) in
+      Cache1.add not_cache n.nid r;
+      r)
+
+let split v t =
+  match t with
+  | Zero | One -> (t, t)
+  | Node n -> if n.var = v then (n.lo, n.hi) else (t, t)
+
+let rec band a b =
+  match (a, b) with
+  | Zero, _ | _, Zero -> Zero
+  | One, x | x, One -> x
+  | Node na, Node nb ->
+    if na.nid = nb.nid then a
+    else
+      let key = if na.nid < nb.nid then (na.nid, nb.nid) else (nb.nid, na.nid) in
+      (match Cache2.find_opt and_cache key with
+      | Some r -> r
+      | None ->
+        let v = min na.var nb.var in
+        let a0, a1 = split v a and b0, b1 = split v b in
+        let r = mk v (band a0 b0) (band a1 b1) in
+        Cache2.add and_cache key r;
+        r)
+
+let bor a b = bnot (band (bnot a) (bnot b))
+let bimp a b = bor (bnot a) b
+
+let rec bxor a b =
+  match (a, b) with
+  | Zero, x | x, Zero -> x
+  | One, x | x, One -> bnot x
+  | Node na, Node nb ->
+    if na.nid = nb.nid then Zero
+    else
+      let key = if na.nid < nb.nid then (na.nid, nb.nid) else (nb.nid, na.nid) in
+      (match Cache2.find_opt xor_cache key with
+      | Some r -> r
+      | None ->
+        let v = min na.var nb.var in
+        let a0, a1 = split v a and b0, b1 = split v b in
+        let r = mk v (bxor a0 b0) (bxor a1 b1) in
+        Cache2.add xor_cache key r;
+        r)
+
+let ite f g h = bor (band f g) (band (bnot f) h)
+
+let rec cofactor t v b =
+  match t with
+  | Zero | One -> t
+  | Node n ->
+    if n.var > v then t
+    else if n.var = v then if b then n.hi else n.lo
+    else mk n.var (cofactor n.lo v b) (cofactor n.hi v b)
+
+let exists_one v t = bor (cofactor t v false) (cofactor t v true)
+let forall_one v t = band (cofactor t v false) (cofactor t v true)
+let exists vars t = List.fold_left (fun acc v -> exists_one v acc) t vars
+let forall vars t = List.fold_left (fun acc v -> forall_one v acc) t vars
+
+let support t =
+  let seen = Hashtbl.create 64 in
+  let vars = Hashtbl.create 16 in
+  let rec go = function
+    | Zero | One -> ()
+    | Node n ->
+      if not (Hashtbl.mem seen n.nid) then begin
+        Hashtbl.add seen n.nid ();
+        Hashtbl.replace vars n.var ();
+        go n.lo;
+        go n.hi
+      end
+  in
+  go t;
+  List.sort Int.compare (Hashtbl.fold (fun v () acc -> v :: acc) vars [])
+
+let rec eval t env =
+  match t with
+  | Zero -> false
+  | One -> true
+  | Node n -> if env n.var then eval n.hi env else eval n.lo env
+
+let sat_count t n =
+  let cache = Hashtbl.create 64 in
+  (* count over variables [from .. n-1] *)
+  let rec go t from =
+    match t with
+    | Zero -> 0
+    | One -> 1 lsl (n - from)
+    | Node node -> (
+      let key = (node.nid, from) in
+      match Hashtbl.find_opt cache key with
+      | Some c -> c
+      | None ->
+        let skip = node.var - from in
+        let c = (1 lsl skip) * (go node.lo (node.var + 1) + go node.hi (node.var + 1)) in
+        Hashtbl.add cache key c;
+        c)
+  in
+  go t 0
+
+let any_sat t =
+  let rec go t acc =
+    match t with
+    | Zero -> None
+    | One -> Some (List.rev acc)
+    | Node n ->
+      if is_zero n.hi then go n.lo ((n.var, false) :: acc)
+      else go n.hi ((n.var, true) :: acc)
+  in
+  go t []
+
+let subset f g = is_zero (band f (bnot g))
+
+let of_minterm n values =
+  if Array.length values < n then invalid_arg "Bdd.of_minterm";
+  let rec go i = if i >= n then One else mk i (if values.(i) then Zero else go (i + 1)) (if values.(i) then go (i + 1) else Zero) in
+  go 0
+
+let node_count t =
+  let seen = Hashtbl.create 64 in
+  let rec go = function
+    | Zero | One -> ()
+    | Node n ->
+      if not (Hashtbl.mem seen n.nid) then begin
+        Hashtbl.add seen n.nid ();
+        go n.lo;
+        go n.hi
+      end
+  in
+  go t;
+  Hashtbl.length seen
+
+let rec pp ppf = function
+  | Zero -> Format.fprintf ppf "0"
+  | One -> Format.fprintf ppf "1"
+  | Node n -> Format.fprintf ppf "(x%d ? %a : %a)" n.var pp n.hi pp n.lo

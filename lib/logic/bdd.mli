@@ -1,0 +1,76 @@
+(** Reduced ordered binary decision diagrams (ROBDDs).
+
+    Nodes are hash-consed into a global table, so structural equality of
+    functions coincides with physical equality of their representations.
+    Variables are non-negative integers ordered by their numeric value
+    (variable 0 closest to the root).
+
+    The global tables grow on demand; {!clear_caches} drops the operation
+    caches (the unique table is kept so existing nodes stay valid). *)
+
+type t
+
+val zero : t
+val one : t
+val var : int -> t
+(** [var i] is the function of the single variable [i].  [i >= 0]. *)
+
+val nvar : int -> t
+(** [nvar i] is the complement of [var i]. *)
+
+val is_zero : t -> bool
+val is_one : t -> bool
+
+val equal : t -> t -> bool
+val hash : t -> int
+val id : t -> int
+(** Unique node identifier (stable within a process). *)
+
+val bnot : t -> t
+val band : t -> t -> t
+val bor : t -> t -> t
+val bxor : t -> t -> t
+val bimp : t -> t -> t
+(** [bimp a b] is [not a or b]. *)
+
+val ite : t -> t -> t -> t
+(** [ite f g h] is [(f and g) or (not f and h)]. *)
+
+val cofactor : t -> int -> bool -> t
+(** [cofactor f v b] substitutes constant [b] for variable [v]. *)
+
+val exists : int list -> t -> t
+(** Existential quantification over the given variables. *)
+
+val forall : int list -> t -> t
+
+val top_var : t -> int
+(** Root variable.  Raises [Invalid_argument] on constants. *)
+
+val support : t -> int list
+(** Variables the function depends on, ascending. *)
+
+val eval : t -> (int -> bool) -> bool
+(** [eval f env] evaluates under the assignment [env]. *)
+
+val sat_count : t -> int -> int
+(** [sat_count f n] is the number of satisfying assignments over variables
+    [0 .. n-1] (all of which must contain the support of [f]). *)
+
+val any_sat : t -> (int * bool) list option
+(** A satisfying partial assignment (variables not listed are free), or
+    [None] if the function is [zero]. *)
+
+val subset : t -> t -> bool
+(** [subset f g] iff [f] implies [g]. *)
+
+val of_minterm : int -> bool array -> t
+(** [of_minterm n values] is the minterm over variables [0 .. n-1] with the
+    given polarities. *)
+
+val node_count : t -> int
+(** Number of distinct internal nodes (size of the DAG). *)
+
+val clear_caches : unit -> unit
+val pp : Format.formatter -> t -> unit
+(** Debug printer (shows the DAG shape, not a formula). *)

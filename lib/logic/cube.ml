@@ -1,0 +1,46 @@
+(* A cube is an association list from variable to polarity, sorted by
+   variable.  Cubes are small (tens of literals), so lists are fine. *)
+
+type t = (int * bool) list
+
+let top = []
+
+let of_literals lits =
+  let sorted = List.sort (fun (a, _) (b, _) -> Int.compare a b) lits in
+  let rec check = function
+    | (v1, b1) :: ((v2, b2) :: _ as rest) ->
+      if v1 = v2 then
+        if b1 = b2 then check rest else invalid_arg "Cube.of_literals: contradiction"
+      else check rest
+    | [ _ ] | [] -> ()
+  in
+  check sorted;
+  List.sort_uniq (fun (a, ab) (b, bb) -> compare (a, ab) (b, bb)) sorted
+
+let literals c = c
+let size = List.length
+let mem c v = List.assoc_opt v c
+
+let add c v b =
+  match mem c v with
+  | Some b' -> if b = b' then Some c else None
+  | None -> Some (List.merge (fun (a, _) (b, _) -> Int.compare a b) c [ (v, b) ])
+
+let eval c env = List.for_all (fun (v, b) -> env v = b) c
+
+let to_bdd c =
+  List.fold_left
+    (fun acc (v, b) -> Bdd.band acc (if b then Bdd.var v else Bdd.nvar v))
+    Bdd.one c
+
+let covers c d = List.for_all (fun (v, b) -> List.assoc_opt v d = Some b) c
+let equal (a : t) b = a = b
+let compare (a : t) b = compare a b
+
+let pp pp_var ppf c =
+  if c = [] then Format.fprintf ppf "1"
+  else
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.fprintf ppf " ")
+      (fun ppf (v, b) -> Format.fprintf ppf "%a%s" pp_var v (if b then "" else "'"))
+      ppf c

@@ -1,0 +1,39 @@
+(** Product terms (cubes) over integer variables.
+
+    A cube is a conjunction of literals, at most one per variable.  The empty
+    cube is the constant [true]. *)
+
+type t
+
+val top : t
+(** The empty cube (constant true). *)
+
+val of_literals : (int * bool) list -> t
+(** [of_literals lits] builds a cube; [(v, true)] is the positive literal.
+    Raises [Invalid_argument] if a variable appears with both polarities. *)
+
+val literals : t -> (int * bool) list
+(** Ascending by variable. *)
+
+val size : t -> int
+(** Number of literals. *)
+
+val mem : t -> int -> bool option
+(** Polarity of variable [v] in the cube, or [None] if absent. *)
+
+val add : t -> int -> bool -> t option
+(** [add c v b] conjoins literal; [None] if it contradicts an existing
+    literal of opposite polarity. *)
+
+val eval : t -> (int -> bool) -> bool
+val to_bdd : t -> Bdd.t
+
+val covers : t -> t -> bool
+(** [covers c d]: every minterm of [d] satisfies [c] (i.e. the literal set of
+    [c] is a subset of [d]'s). *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val pp : (Format.formatter -> int -> unit) -> Format.formatter -> t -> unit
+(** [pp pp_var] prints e.g. [a b' c] using [pp_var] for variable names. *)

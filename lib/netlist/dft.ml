@@ -1,0 +1,132 @@
+(* Tarjan's strongly-connected components over the gate dependency graph
+   (edge: input net -> driven net). *)
+let feedback_loops nl =
+  let n = Netlist.num_nets nl in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let sccs = ref [] in
+  let successors v = Netlist.fanout nl v in
+  let self_loop v = List.mem v (successors v) in
+  let rec strongconnect v =
+    index.(v) <- !counter;
+    lowlink.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if index.(w) = -1 then begin
+          strongconnect w;
+          lowlink.(v) <- min lowlink.(v) lowlink.(w)
+        end
+        else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
+      (successors v);
+    if lowlink.(v) = index.(v) then begin
+      let rec pop acc =
+        match !stack with
+        | w :: rest ->
+          stack := rest;
+          on_stack.(w) <- false;
+          if w = v then w :: acc else pop (w :: acc)
+        | [] -> acc
+      in
+      let scc = pop [] in
+      match scc with
+      | [ single ] -> if self_loop single then sccs := scc :: !sccs
+      | _ :: _ :: _ -> sccs := scc :: !sccs
+      | [] -> ()
+    end
+  in
+  for v = 0 to n - 1 do
+    if index.(v) = -1 then strongconnect v
+  done;
+  List.rev !sccs
+
+let redundant_faults ~stimulus ~horizon nl =
+  (Faults.coverage ~stimulus ~horizon nl).Faults.undetected
+
+type plan = {
+  netlist : Netlist.t;
+  taps : string list;
+  coverage_before : float;
+  coverage_after : float;
+}
+
+(* Greedy observation-point insertion: tap the net with the most
+   undetected faults among itself and its transitive fan-in. *)
+let insert_test_points ?(target = 100.0) ?(max_taps = 4) ~stimulus ~horizon nl =
+  let coverage_of nl = Faults.coverage ~stimulus ~horizon nl in
+  let initial = coverage_of nl in
+  let rec fanin_cone nl net acc =
+    if List.mem net acc then acc
+    else
+      match Netlist.driver nl net with
+      | None -> net :: acc
+      | Some (_, ins) ->
+        List.fold_left (fun acc (i, _) -> fanin_cone nl i acc) (net :: acc) ins
+  in
+  let pick_tap nl undetected =
+    (* Score each not-yet-tapped, non-output driven net: a net carrying an
+       undetected fault itself dominates; cone reach breaks ties. *)
+    let outputs = Netlist.outputs nl in
+    let already_tapped n =
+      match Netlist.find_net nl (Printf.sprintf "tap_%s" (Netlist.net_name nl n)) with
+      | _ -> true
+      | exception Not_found -> false
+    in
+    let candidates =
+      List.filter
+        (fun n ->
+          Netlist.driver nl n <> None && (not (List.mem n outputs))
+          && not (already_tapped n))
+        (List.init (Netlist.num_nets nl) Fun.id)
+    in
+    let score n =
+      let own =
+        List.length (List.filter (fun f -> f.Faults.net = n) undetected)
+      in
+      let cone = fanin_cone nl n [] in
+      let reach =
+        List.length (List.filter (fun f -> List.mem f.Faults.net cone) undetected)
+      in
+      (10 * own) + reach
+    in
+    match
+      List.sort
+        (fun a b -> compare (score b) (score a))
+        (List.filter (fun n -> score n > 0) candidates)
+    with
+    | [] -> None
+    | best :: _ -> Some best
+  in
+  let rec go nl taps k report =
+    if report.Faults.coverage >= target || k >= max_taps then
+      {
+        netlist = nl;
+        taps = List.rev taps;
+        coverage_before = initial.Faults.coverage;
+        coverage_after = report.Faults.coverage;
+      }
+    else
+      match pick_tap nl report.Faults.undetected with
+      | None ->
+        {
+          netlist = nl;
+          taps = List.rev taps;
+          coverage_before = initial.Faults.coverage;
+          coverage_after = report.Faults.coverage;
+        }
+      | Some net ->
+        let nl' = Netlist.copy nl in
+        let tap_name = Printf.sprintf "tap_%s" (Netlist.net_name nl' net) in
+        let tap =
+          Netlist.add_gate nl' (Gate.make Gate.Not ~fanin:1) [ (net, false) ] tap_name
+        in
+        Netlist.mark_output nl' tap;
+        Netlist.set_initial nl' tap (not (Netlist.initial_value nl' net));
+        go nl' (Netlist.net_name nl net :: taps) (k + 1) (coverage_of nl')
+  in
+  go nl [] 0 initial

@@ -1,0 +1,42 @@
+(** Design-for-test support — the paper's Section 6 "Testing and DFT"
+    directions.
+
+    - {!feedback_loops}: "a tool that will flag the loops that should be
+      broken in order to freeze the circuit before the state changes" —
+      the strongly connected components of the gate graph.
+    - {!redundant_faults}: "have the synthesis/testing tool flag the
+      transistors which were added to prevent hazards, which may have
+      undetectable faults" — the stuck-at faults a given functional test
+      cannot observe.
+    - {!insert_test_points}: "automatic support for selecting latches that
+      should be scanned for achieving the required level of testability" —
+      greedy insertion of observation taps until a coverage target is
+      met. *)
+
+val feedback_loops : Netlist.t -> Netlist.net list list
+(** Nets involved in cyclic gate dependencies, grouped by strongly
+    connected component (self-loops included).  These are the state loops
+    a freeze/scan mechanism must break. *)
+
+val redundant_faults :
+  stimulus:(Sim.t -> unit) -> horizon:float -> Netlist.t -> Faults.fault list
+(** The faults the stimulus leaves undetected. *)
+
+type plan = {
+  netlist : Netlist.t;  (** with observation taps added *)
+  taps : string list;  (** names of the nets made observable *)
+  coverage_before : float;
+  coverage_after : float;
+}
+
+val insert_test_points :
+  ?target:float ->
+  ?max_taps:int ->
+  stimulus:(Sim.t -> unit) ->
+  horizon:float ->
+  Netlist.t ->
+  plan
+(** Add buffer taps (each marked as an observable output) on the nets
+    carrying the most undetected faults until the stuck-at coverage
+    reaches [target] percent (default 100.0) or [max_taps] (default 4)
+    taps have been added.  The input netlist is not modified. *)

@@ -1,0 +1,56 @@
+type fault = { net : Netlist.net; stuck_at : bool }
+
+let all_faults nl =
+  List.concat_map
+    (fun net -> [ { net; stuck_at = false }; { net; stuck_at = true } ])
+    (List.init (Netlist.num_nets nl) Fun.id)
+
+let observable_trace ?fault ~stimulus ~horizon nl =
+  let forced = match fault with None -> [] | Some f -> [ (f.net, f.stuck_at) ] in
+  let sim = Sim.create ~forced nl in
+  match
+    stimulus sim;
+    Sim.run sim ~until:horizon
+  with
+  | () -> Some (List.map (fun (_, net, v) -> (net, v)) (Sim.trace sim))
+  | exception Sim.Oscillation _ -> None
+
+type report = {
+  total : int;
+  detected : int;
+  coverage : float;
+  undetected : fault list;
+}
+
+let coverage ~stimulus ~horizon nl =
+  let golden =
+    match observable_trace ~stimulus ~horizon nl with
+    | Some tr -> tr
+    | None -> invalid_arg "Faults.coverage: golden run oscillates"
+  in
+  let faults = all_faults nl in
+  let detected, undetected =
+    List.partition
+      (fun f ->
+        match observable_trace ~fault:f ~stimulus ~horizon nl with
+        | None -> true (* oscillation is observably wrong *)
+        | Some tr -> tr <> golden)
+      faults
+  in
+  let total = List.length faults in
+  {
+    total;
+    detected = List.length detected;
+    coverage = 100.0 *. float_of_int (List.length detected) /. float_of_int (max 1 total);
+    undetected;
+  }
+
+let pp_fault nl ppf f =
+  Format.fprintf ppf "%s/%d" (Netlist.net_name nl f.net) (if f.stuck_at then 1 else 0)
+
+let pp_report nl ppf r =
+  Format.fprintf ppf "%d/%d detected (%.1f%%)" r.detected r.total r.coverage;
+  if r.undetected <> [] then begin
+    Format.fprintf ppf "; undetected:";
+    List.iter (fun f -> Format.fprintf ppf " %a" (pp_fault nl) f) r.undetected
+  end

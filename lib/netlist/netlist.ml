@@ -1,0 +1,170 @@
+type net = int
+
+type slot = {
+  name : string;
+  mutable driver : (Gate.t * (net * bool) list) option;
+  mutable declared_input : bool;
+  mutable is_output : bool;
+  mutable initial : bool;
+  mutable fanout : net list; (* reversed *)
+}
+
+type t = {
+  mutable slots : slot array;
+  mutable count : int;
+  by_name : (string, net) Hashtbl.t;
+}
+
+let create () = { slots = [||]; count = 0; by_name = Hashtbl.create 32 }
+
+let fresh nl name =
+  if Hashtbl.mem nl.by_name name then
+    invalid_arg (Printf.sprintf "Netlist: duplicate net %s" name);
+  if nl.count >= Array.length nl.slots then begin
+    let cap = max 16 (2 * Array.length nl.slots) in
+    let slots =
+      Array.init cap (fun i ->
+          if i < nl.count then nl.slots.(i)
+          else
+            {
+              name = "";
+              driver = None;
+              declared_input = false;
+              is_output = false;
+              initial = false;
+              fanout = [];
+            })
+    in
+    nl.slots <- slots
+  end;
+  let id = nl.count in
+  nl.count <- id + 1;
+  nl.slots.(id) <-
+    {
+      name;
+      driver = None;
+      declared_input = false;
+      is_output = false;
+      initial = false;
+      fanout = [];
+    };
+  Hashtbl.add nl.by_name name id;
+  id
+
+let input nl name =
+  let id = fresh nl name in
+  nl.slots.(id).declared_input <- true;
+  id
+
+let forward nl name = fresh nl name
+
+let attach nl out gate ins =
+  if List.length ins <> gate.Gate.fanin then invalid_arg "Netlist: gate arity";
+  List.iter
+    (fun (n, _) -> if n < 0 || n >= nl.count then invalid_arg "Netlist: bad input net")
+    ins;
+  nl.slots.(out).driver <- Some (gate, ins);
+  List.iter (fun (n, _) -> nl.slots.(n).fanout <- out :: nl.slots.(n).fanout) ins
+
+let add_gate nl gate ins name =
+  let out = fresh nl name in
+  attach nl out gate ins;
+  out
+
+let set_driver nl out gate ins =
+  if nl.slots.(out).declared_input then invalid_arg "Netlist.set_driver: net is an input";
+  if nl.slots.(out).driver <> None then
+    invalid_arg "Netlist.set_driver: net already driven";
+  attach nl out gate ins
+
+let mark_output nl n = nl.slots.(n).is_output <- true
+let num_nets nl = nl.count
+let net_name nl n = nl.slots.(n).name
+let find_net nl name = Hashtbl.find nl.by_name name
+let is_input nl n = nl.slots.(n).declared_input
+
+let inputs nl = List.filter (fun n -> is_input nl n) (List.init nl.count Fun.id)
+let outputs nl = List.filter (fun n -> nl.slots.(n).is_output) (List.init nl.count Fun.id)
+let driver nl n = nl.slots.(n).driver
+let fanout nl n = List.rev nl.slots.(n).fanout
+
+let gates nl =
+  List.filter_map
+    (fun n ->
+      match nl.slots.(n).driver with
+      | Some (g, ins) -> Some (n, g, ins)
+      | None -> None)
+    (List.init nl.count Fun.id)
+
+let transistors nl =
+  List.fold_left (fun acc (_, g, _) -> acc + Gate.transistors g) 0 (gates nl)
+
+let gate_count nl = List.length (gates nl)
+let initial_value nl n = nl.slots.(n).initial
+let set_initial nl n v = nl.slots.(n).initial <- v
+
+let settle_initial nl =
+  let instances = gates nl in
+  let pass () =
+    List.fold_left
+      (fun changed (out, g, ins) ->
+        let values = List.map (fun (n, neg) -> nl.slots.(n).initial <> neg) ins in
+        let v = Gate.eval g ~current:nl.slots.(out).initial values in
+        if v <> nl.slots.(out).initial then begin
+          nl.slots.(out).initial <- v;
+          true
+        end
+        else changed)
+      false instances
+  in
+  let rec go k = if k > 0 && pass () then go (k - 1) in
+  go (2 * List.length instances)
+
+let pp ppf nl =
+  Format.fprintf ppf "@[<v>netlist: %d nets, %d gates, %d transistors@," nl.count
+    (gate_count nl) (transistors nl);
+  List.iter
+    (fun (out, g, ins) ->
+      Format.fprintf ppf "  %s = %a(%s)%s@," (net_name nl out) Gate.pp g
+        (String.concat ", "
+           (List.map (fun (n, neg) -> net_name nl n ^ if neg then "'" else "") ins))
+        (if nl.slots.(out).is_output then " [out]" else ""))
+    (gates nl);
+  Format.fprintf ppf "  inputs: %s@]"
+    (String.concat " " (List.map (net_name nl) (inputs nl)))
+
+let copy nl =
+  let fresh = create () in
+  (* Recreate every net in index order so identifiers are preserved. *)
+  for n = 0 to num_nets nl - 1 do
+    let id =
+      if is_input nl n then input fresh (net_name nl n) else forward fresh (net_name nl n)
+    in
+    assert (id = n)
+  done;
+  List.iter (fun (out, g, ins) -> set_driver fresh out g ins) (gates nl);
+  List.iter (fun o -> mark_output fresh o) (outputs nl);
+  for n = 0 to num_nets nl - 1 do
+    set_initial fresh n (initial_value nl n)
+  done;
+  fresh
+
+let instantiate dst ~prefix ~bind cell =
+  let map = Array.make (num_nets cell) (-1) in
+  for n = 0 to num_nets cell - 1 do
+    let name = net_name cell n in
+    match bind name with
+    | Some target -> map.(n) <- target
+    | None ->
+      let fresh_name = prefix ^ name in
+      let id =
+        if is_input cell n then input dst fresh_name else forward dst fresh_name
+      in
+      set_initial dst id (initial_value cell n);
+      map.(n) <- id
+  done;
+  List.iter
+    (fun (out, g, ins) ->
+      set_driver dst map.(out) g (List.map (fun (i, neg) -> (map.(i), neg)) ins))
+    (gates cell);
+  fun name -> map.(find_net cell name)

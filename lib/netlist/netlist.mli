@@ -1,0 +1,90 @@
+(** Gate-level netlists.
+
+    A netlist is a set of named nets driven either by a primary input or by
+    exactly one gate instance.  Gate inputs carry an optional polarity
+    bubble ([(net, true)] reads the complement) — in the CMOS styles
+    modelled here the polarity of a literal inside a series stack is free,
+    so bubbles cost no transistors.  Feedback loops are built by declaring
+    a {!forward} net first and attaching its driver later.
+
+    Construction is imperative through a builder handle; the finished
+    netlist is queried functionally. *)
+
+type t
+type net = int
+
+val create : unit -> t
+
+val input : t -> string -> net
+(** Declare a primary input net. *)
+
+val forward : t -> string -> net
+(** Declare a net whose driver will be attached later with {!set_driver}
+    (for feedback).  A forward net without a driver behaves like an
+    input. *)
+
+val add_gate : t -> Gate.t -> (net * bool) list -> string -> net
+(** [add_gate nl gate inputs name] adds a gate instance driving a fresh
+    net called [name]; each input is [(net, negated)].  Raises
+    [Invalid_argument] on arity mismatch or duplicate net name. *)
+
+val set_driver : t -> net -> Gate.t -> (net * bool) list -> unit
+(** Attach the driver of a {!forward} net.  Raises [Invalid_argument] if
+    the net already has a driver or is a declared input. *)
+
+val mark_output : t -> net -> unit
+(** Flag a net as a primary output (observable). *)
+
+val num_nets : t -> int
+val net_name : t -> net -> string
+val find_net : t -> string -> net
+(** Raises [Not_found]. *)
+
+val is_input : t -> net -> bool
+(** True for declared inputs (not for driven forward nets). *)
+
+val inputs : t -> net list
+val outputs : t -> net list
+
+val driver : t -> net -> (Gate.t * (net * bool) list) option
+(** The gate driving a net and its (possibly negated) input nets; [None]
+    for primary inputs and undriven forward nets. *)
+
+val fanout : t -> net -> net list
+(** Nets driven by gates that read the given net. *)
+
+val gates : t -> (net * Gate.t * (net * bool) list) list
+(** All gate instances as [(output, gate, inputs)]. *)
+
+val transistors : t -> int
+(** Total transistor count. *)
+
+val gate_count : t -> int
+
+val initial_value : t -> net -> bool
+val set_initial : t -> net -> bool -> unit
+(** Initial value of a net at power-up (default [false]). *)
+
+val settle_initial : t -> unit
+(** Propagate initial values through the gates (bounded fixpoint) so that
+    a simulation starts from a consistent quiescent state.  State-holding
+    gates keep their assigned initial value when their inputs are
+    neutral. *)
+
+val pp : Format.formatter -> t -> unit
+
+val copy : t -> t
+(** An independent deep copy (same nets, gates, outputs, initial values):
+    the copy can be extended — e.g. with test points — without touching
+    the original. *)
+
+val instantiate :
+  t -> prefix:string -> bind:(string -> net option) -> t -> (string -> net)
+(** [instantiate dst ~prefix ~bind cell] copies every gate of [cell] into
+    [dst].  For each of [cell]'s nets, [bind name] may map it onto an
+    existing net of [dst] (an interface connection — for a net driven
+    inside [cell] the target must be an undriven {!forward} net); unbound
+    nets are created fresh as [prefix ^ name].  Initial values of fresh
+    nets are copied.  Returns a lookup from [cell] net names to the
+    corresponding [dst] nets.  Output marks are {e not} propagated (mark
+    the composite's observables explicitly). *)

@@ -1,0 +1,197 @@
+module Heap = Rtcad_util.Heap
+
+exception Oscillation of string
+
+type pending = { target : bool; gen : int; cause : int option }
+
+type event = {
+  id : int;
+  net : Netlist.net;
+  value : bool;
+  at : float;
+  cause : int option; (* id of the event whose commit scheduled this one *)
+}
+
+type t = {
+  nl : Netlist.t;
+  delay : Netlist.net -> Gate.t -> float;
+  values : bool array;
+  forced : bool array; (* net is stuck *)
+  is_output : bool array;
+  pending : pending option array;
+  gen_counter : int ref;
+  queue : (int * bool * int * int option) Heap.t;
+  (* key: time_fs; value: net, target, gen, direct-event cause *)
+  mutable now_fs : int;
+  transitions : int array;
+  mutable glitch_count : int;
+  mutable energy : float; (* pJ *)
+  callbacks : (t -> bool -> unit) list array;
+  mutable trace_rev : (float * Netlist.net * bool) list;
+  mutable events_rev : event list;
+  mutable next_event_id : int;
+}
+
+let fs_of_ps ps = int_of_float (ps *. 1000.0 +. 0.5)
+let ps_of_fs fs = float_of_int fs /. 1000.0
+
+let netlist t = t.nl
+let time t = ps_of_fs t.now_fs
+let value t net = t.values.(net)
+
+let schedule ?cause t net target ~at_fs =
+  if not t.forced.(net) then begin
+    match t.pending.(net) with
+    | Some p when p.target = target -> ()
+    | Some _ | None ->
+      if target <> t.values.(net) then begin
+        incr t.gen_counter;
+        let gen = !(t.gen_counter) in
+        (match t.pending.(net) with
+        | Some _ -> t.glitch_count <- t.glitch_count + 1
+        | None -> ());
+        t.pending.(net) <- Some { target; gen; cause };
+        Heap.push t.queue at_fs (net, target, gen, None)
+      end
+      else begin
+        (* Re-evaluation back to the committed value cancels the pending
+           contrary event: an inertial glitch. *)
+        match t.pending.(net) with
+        | Some _ ->
+          t.pending.(net) <- None;
+          t.glitch_count <- t.glitch_count + 1
+        | None -> ()
+      end
+  end
+
+let eval_gate t out =
+  match Netlist.driver t.nl out with
+  | None -> t.values.(out)
+  | Some (g, ins) ->
+    Gate.eval g ~current:t.values.(out) (List.map (fun (i, neg) -> t.values.(i) <> neg) ins)
+
+let create ?(delay = fun _ g -> Gate.delay_ps g) ?(forced = []) nl =
+  let n = Netlist.num_nets nl in
+  let is_output = Array.make n false in
+  List.iter (fun o -> is_output.(o) <- true) (Netlist.outputs nl);
+  let t =
+    {
+      nl;
+      delay;
+      values = Array.init n (Netlist.initial_value nl);
+      forced = Array.make n false;
+      is_output;
+      pending = Array.make n None;
+      gen_counter = ref 0;
+      queue = Heap.create ();
+      now_fs = 0;
+      transitions = Array.make n 0;
+      glitch_count = 0;
+      energy = 0.0;
+      callbacks = Array.make n [];
+      trace_rev = [];
+      events_rev = [];
+      next_event_id = 0;
+    }
+  in
+  List.iter
+    (fun (net, v) ->
+      t.forced.(net) <- true;
+      t.values.(net) <- v)
+    forced;
+  (* Kick: schedule any gate whose evaluation disagrees with its initial
+     value so that [settle] resolves inconsistent power-up states. *)
+  List.iter
+    (fun (out, g, _) ->
+      let target = eval_gate t out in
+      if target <> t.values.(out) then
+        schedule t out target ~at_fs:(fs_of_ps (delay out g)))
+    (Netlist.gates nl);
+  t
+
+
+let react t net ~cause =
+  (* Re-evaluate every gate reading [net]. *)
+  List.iter
+    (fun out ->
+      match Netlist.driver t.nl out with
+      | None -> ()
+      | Some (g, _) ->
+        let target = eval_gate t out in
+        schedule ?cause t out target ~at_fs:(t.now_fs + fs_of_ps (t.delay out g)))
+    (Netlist.fanout t.nl net)
+
+let commit t net v ~cause =
+  t.values.(net) <- v;
+  t.transitions.(net) <- t.transitions.(net) + 1;
+  (match Netlist.driver t.nl net with
+  | Some (g, _) -> t.energy <- t.energy +. (Gate.energy_fj g /. 1000.0)
+  | None -> ());
+  if t.is_output.(net) then t.trace_rev <- (time t, net, v) :: t.trace_rev;
+  let id = t.next_event_id in
+  t.next_event_id <- id + 1;
+  t.events_rev <- { id; net; value = v; at = time t; cause } :: t.events_rev;
+  react t net ~cause:(Some id);
+  List.iter (fun f -> f t v) t.callbacks.(net)
+
+(* Input drives bypass the inertial pending slot: a queued pulse train
+   (several future edges on the same net) must not cancel itself.  The
+   sentinel generation -1 marks such direct events. *)
+let drive ?cause t net v ~after =
+  if not (Netlist.is_input t.nl net) then invalid_arg "Sim.drive: not a primary input";
+  if not t.forced.(net) then
+    Heap.push t.queue (t.now_fs + fs_of_ps after) (net, v, -1, cause)
+
+let last_event t = match t.events_rev with [] -> None | e :: _ -> Some e
+
+let on_change t net f = t.callbacks.(net) <- t.callbacks.(net) @ [ f ]
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some (at_fs, (net, target, gen, direct_cause)) ->
+    t.now_fs <- max t.now_fs at_fs;
+    (if gen = -1 then begin
+       if t.values.(net) <> target then commit t net target ~cause:direct_cause
+     end
+     else
+       match t.pending.(net) with
+       | Some p when p.gen = gen ->
+         t.pending.(net) <- None;
+         if t.values.(net) <> target then commit t net target ~cause:p.cause
+       | Some _ | None -> () (* cancelled or superseded *));
+    true
+
+let run ?(max_events = 2_000_000) t ~until =
+  let until_fs = fs_of_ps until in
+  let budget = ref max_events in
+  let rec go () =
+    match Heap.peek_key t.queue with
+    | Some k when k <= until_fs ->
+      if !budget <= 0 then raise (Oscillation "event budget exhausted");
+      decr budget;
+      ignore (step t);
+      go ()
+    | Some _ | None -> t.now_fs <- max t.now_fs until_fs
+  in
+  go ()
+
+let settle ?(max_events = 2_000_000) t () =
+  let budget = ref max_events in
+  let rec go () =
+    if not (Heap.is_empty t.queue) then begin
+      if !budget <= 0 then raise (Oscillation "event budget exhausted");
+      decr budget;
+      ignore (step t);
+      go ()
+    end
+  in
+  go ()
+
+let transition_count t net = t.transitions.(net)
+let total_transitions t = Array.fold_left ( + ) 0 t.transitions
+let glitches t = t.glitch_count
+let energy_pj t = t.energy
+let trace t = List.rev t.trace_rev
+
+let events t = List.rev t.events_rev

@@ -1,0 +1,85 @@
+type params = {
+  freq_mhz : float;
+  issue_width : int;
+  pipeline_depth : int;
+  line_fetch_cycles : int;
+  e_clock_pj : float;
+  e_logic_pj : float;
+}
+
+let default =
+  {
+    freq_mhz = 400.0;
+    issue_width = 3;
+    pipeline_depth = 2;
+    line_fetch_cycles = 0;
+    e_clock_pj = 110.0;
+    e_logic_pj = 150.0;
+  }
+
+let run ?(params = default) (stream : Workload.stream) =
+  let p = params in
+  let period_ps = 1.0e6 /. p.freq_mhz in
+  let n = Array.length stream.Workload.lengths in
+  if n = 0 then invalid_arg "Clocked.run: empty stream";
+  let starts = Workload.starts stream in
+  let num_lines = (stream.Workload.total_bytes + 15) / 16 in
+  (* Cycle-by-cycle: each cycle the decoder consumes up to [issue_width]
+     instructions, but only within the currently-latched line; advancing
+     to the next line costs [line_fetch_cycles].  The serial length ripple
+     is inside the cycle: that is what fixes the clock period. *)
+  let cycle = ref 0 in
+  let k = ref 0 in
+  let current_line = ref 0 in
+  let latencies = ref [] in
+  let line_latched_cycle = Array.make num_lines 0 in
+  while !k < n do
+    (* Which line do we need for instruction !k ? *)
+    let l = Workload.line_of_byte starts.(!k) in
+    if l > !current_line then begin
+      cycle := !cycle + p.line_fetch_cycles;
+      for l' = !current_line + 1 to l do
+        line_latched_cycle.(l') <- !cycle
+      done;
+      current_line := l
+    end;
+    (* Decode up to issue_width instructions that START in this line. *)
+    let issued = ref 0 in
+    while
+      !k < n && !issued < p.issue_width
+      && Workload.line_of_byte starts.(!k) = !current_line
+    do
+      let lat_cycles = !cycle + p.pipeline_depth - line_latched_cycle.(!current_line) in
+      latencies := (float_of_int lat_cycles *. period_ps) :: !latencies;
+      incr issued;
+      incr k
+    done;
+    incr cycle
+  done;
+  let busy_cycles = !cycle + p.pipeline_depth in
+  let total_ps = float_of_int busy_cycles *. period_ps in
+  let energy = float_of_int busy_cycles *. (p.e_clock_pj +. p.e_logic_pj) in
+  let avg xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs) in
+  {
+    Rappid.instructions = n;
+    lines = num_lines;
+    total_ps;
+    gips = float_of_int n /. (total_ps /. 1000.0);
+    lines_per_sec = float_of_int num_lines /. (total_ps *. 1e-12);
+    avg_latency_ps = avg !latencies;
+    worst_latency_ps = List.fold_left max 0.0 !latencies;
+    tag_rate_ghz = p.freq_mhz /. 1000.0;
+    decode_rate_ghz = p.freq_mhz /. 1000.0;
+    steer_rate_ghz = p.freq_mhz /. 1000.0;
+    energy_pj = energy;
+    energy_per_instr_pj = energy /. float_of_int n;
+  }
+
+(* Decode/align logic sized for the worst case, pipeline registers for a
+   16-byte window at every stage, and the clock tree. *)
+let area_transistors p =
+  let decode_logic = 36000 in
+  let stage_registers = 16 * 8 * 12 (* 16 bytes x 8 bits x 12T/ff *) in
+  let clock_tree = 6200 in
+  let steer = 12200 in
+  decode_logic + (p.pipeline_depth * stage_registers) + clock_tree + steer

@@ -1,0 +1,26 @@
+(** The comparable clocked design: a 400 MHz synchronous length-decode
+    and steering pipeline over the same cache-line interface.
+
+    The model captures why the paper's clocked baseline loses: every cycle
+    pays the worst-case critical path (the serial length-ripple across the
+    line bounds the issue width), latency is a whole number of pipeline
+    stages, and the clock burns energy in every cycle whether or not
+    useful work happened. *)
+
+type params = {
+  freq_mhz : float;  (** 400 MHz *)
+  issue_width : int;  (** instructions decoded+steered per cycle *)
+  pipeline_depth : int;  (** stages from line latch to buffer write *)
+  line_fetch_cycles : int;  (** cycles to bring in the next line *)
+  e_clock_pj : float;  (** clock + latch energy per cycle, always paid *)
+  e_logic_pj : float;  (** decode/steer logic energy per busy cycle *)
+}
+
+val default : params
+
+val run : ?params:params -> Workload.stream -> Rappid.result
+(** Same result record as the asynchronous model, for direct comparison;
+    the cycle-rate fields report the clock frequency. *)
+
+val area_transistors : params -> int
+(** Decode/align logic, pipeline registers and clock distribution. *)

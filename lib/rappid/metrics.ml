@@ -1,0 +1,40 @@
+type comparison = {
+  throughput_ratio : float;
+  latency_ratio : float;
+  power_ratio : float;
+  area_penalty_pct : float;
+  rappid : Rappid.result;
+  clocked : Rappid.result;
+}
+
+let compare ?rappid_params ?clocked_params stream =
+  let r = Rappid.run ?params:rappid_params stream in
+  let c = Clocked.run ?params:clocked_params stream in
+  let power result = result.Rappid.energy_pj /. result.Rappid.total_ps in
+  let ra =
+    Rappid.area_transistors
+      (match rappid_params with Some p -> p | None -> Rappid.default)
+  in
+  let ca =
+    Clocked.area_transistors
+      (match clocked_params with Some p -> p | None -> Clocked.default)
+  in
+  {
+    throughput_ratio = r.Rappid.gips /. c.Rappid.gips;
+    latency_ratio = c.Rappid.avg_latency_ps /. r.Rappid.avg_latency_ps;
+    power_ratio = power c /. power r;
+    area_penalty_pct = 100.0 *. (float_of_int ra -. float_of_int ca) /. float_of_int ca;
+    rappid = r;
+    clocked = c;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>Throughput  %.1fx   (%.2f vs %.2f instr/ns)@,\
+     Latency     %.1fx   (%.0f vs %.0f ps)@,\
+     Power       %.1fx   (%.1f vs %.1f pJ/instr at speed)@,\
+     Area        %+.0f%%@]"
+    t.throughput_ratio t.rappid.Rappid.gips t.clocked.Rappid.gips t.latency_ratio
+    t.clocked.Rappid.avg_latency_ps t.rappid.Rappid.avg_latency_ps t.power_ratio
+    t.clocked.Rappid.energy_per_instr_pj t.rappid.Rappid.energy_per_instr_pj
+    t.area_penalty_pct

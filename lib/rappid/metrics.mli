@@ -1,0 +1,20 @@
+(** Table-1 style comparison between the asynchronous RAPPID model and
+    the clocked baseline. *)
+
+type comparison = {
+  throughput_ratio : float;  (** rappid gips / clocked gips *)
+  latency_ratio : float;  (** clocked avg latency / rappid avg latency *)
+  power_ratio : float;  (** clocked power / rappid power (same workload) *)
+  area_penalty_pct : float;  (** (rappid - clocked) / clocked * 100 *)
+  rappid : Rappid.result;
+  clocked : Rappid.result;
+}
+
+val compare :
+  ?rappid_params:Rappid.params ->
+  ?clocked_params:Clocked.params ->
+  Workload.stream ->
+  comparison
+
+val pp : Format.formatter -> comparison -> unit
+(** Prints the Table-1 rows: throughput, latency, power, area. *)

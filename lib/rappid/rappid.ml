@@ -1,0 +1,159 @@
+type params = {
+  columns : int;
+  rows : int;
+  line_buffer_depth : int;
+  line_fetch_ps : float;
+  latch_ps : float;
+  decode_common_ps : float;
+  decode_uncommon_ps : float;
+  common_length : int;
+  tag_common_ps : float;
+  tag_uncommon_ps : float;
+  steer_ps : float;
+  buffer_recover_ps : float;
+  e_latch_pj : float;
+  e_decode_pj : float;
+  e_tag_pj : float;
+  e_steer_pj : float;
+  e_buffer_pj : float;
+}
+
+let default =
+  {
+    columns = 16;
+    rows = 4;
+    line_buffer_depth = 2;
+    line_fetch_ps = 1200.0;
+    latch_ps = 150.0;
+    decode_common_ps = 850.0;
+    decode_uncommon_ps = 1500.0;
+    common_length = 3;
+    tag_common_ps = 210.0;
+    tag_uncommon_ps = 480.0;
+    steer_ps = 320.0;
+    buffer_recover_ps = 1100.0;
+    e_latch_pj = 0.9;
+    e_decode_pj = 2.6;
+    e_tag_pj = 1.1;
+    e_steer_pj = 2.8;
+    e_buffer_pj = 2.2;
+  }
+
+type result = {
+  instructions : int;
+  lines : int;
+  total_ps : float;
+  gips : float;
+  lines_per_sec : float;
+  avg_latency_ps : float;
+  worst_latency_ps : float;
+  tag_rate_ghz : float;
+  decode_rate_ghz : float;
+  steer_rate_ghz : float;
+  energy_pj : float;
+  energy_per_instr_pj : float;
+}
+
+let run ?(params = default) (stream : Workload.stream) =
+  let p = params in
+  let n = Array.length stream.Workload.lengths in
+  if n = 0 then invalid_arg "Rappid.run: empty stream";
+  let starts = Workload.starts stream in
+  let num_lines = (stream.Workload.total_bytes + p.columns - 1) / p.columns in
+  (* Line availability: supplied by the input FIFO, but a line can only be
+     latched once the line [depth] earlier has been fully consumed. *)
+  let line_avail = Array.make num_lines 0.0 in
+  let line_consumed = Array.make num_lines 0.0 in
+  let row_free = Array.make p.rows 0.0 in
+  let decode_time len =
+    if len <= p.common_length then p.decode_common_ps else p.decode_uncommon_ps
+  in
+  let tag_time len =
+    if len <= p.common_length then p.tag_common_ps else p.tag_uncommon_ps
+  in
+  let latencies = ref [] in
+  let tag_intervals = ref [] in
+  let energy = ref 0.0 in
+  let tag = ref 0.0 (* tag arrival at the next instruction *) in
+  let issue_count = ref 0 in
+  let last_line_loaded = ref (-1) in
+  let load_line l =
+    (* supply + reuse constraint *)
+    let supply = float_of_int l *. p.line_fetch_ps in
+    let reuse =
+      if l < p.line_buffer_depth then 0.0
+      else line_consumed.(l - p.line_buffer_depth) +. p.latch_ps
+    in
+    line_avail.(l) <- max supply reuse;
+    energy := !energy +. (float_of_int p.columns *. (p.e_latch_pj +. p.e_decode_pj));
+    last_line_loaded := l
+  in
+  load_line 0;
+  for k = 0 to n - 1 do
+    let len = stream.Workload.lengths.(k) in
+    let first = starts.(k) and last = starts.(k) + len - 1 in
+    let l_first = Workload.line_of_byte first and l_last = Workload.line_of_byte last in
+    for l = !last_line_loaded + 1 to min l_last (num_lines - 1) do
+      load_line l
+    done;
+    let bytes_ready = line_avail.(min l_last (num_lines - 1)) in
+    let decode_ready = line_avail.(l_first) +. decode_time len in
+    let ready = max bytes_ready decode_ready in
+    (* The tag waits for the instruction to be ready, then releases both
+       the issue (steering) and the hop to the next instruction. *)
+    let tagged = max !tag ready in
+    let row = k mod p.rows in
+    let issue = max (tagged +. p.steer_ps) row_free.(row) in
+    row_free.(row) <- issue +. p.buffer_recover_ps;
+    let next_tag = tagged +. tag_time len in
+    tag_intervals := (next_tag -. !tag) :: !tag_intervals;
+    tag := next_tag;
+    incr issue_count;
+    latencies := (issue -. line_avail.(l_first)) :: !latencies;
+    energy := !energy +. p.e_tag_pj +. p.e_steer_pj +. p.e_buffer_pj;
+    (* Mark the spanned lines consumed (conservatively at issue time). *)
+    for l = l_first to min l_last (num_lines - 1) do
+      line_consumed.(l) <- max line_consumed.(l) issue
+    done
+  done;
+  (* Completion instant of the last issue. *)
+  let total_ps = max 1.0 (Array.fold_left max 0.0 row_free -. p.buffer_recover_ps) in
+  let avg xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs) in
+  let gips = float_of_int n /. (total_ps /. 1000.0) in
+  let avg_tag = avg !tag_intervals in
+  let decode_avg =
+    avg (Array.to_list (Array.map decode_time stream.Workload.lengths))
+  in
+  {
+    instructions = n;
+    lines = num_lines;
+    total_ps;
+    gips;
+    lines_per_sec = float_of_int num_lines /. (total_ps *. 1e-12);
+    avg_latency_ps = avg !latencies;
+    worst_latency_ps = List.fold_left max 0.0 !latencies;
+    tag_rate_ghz = 1000.0 /. avg_tag;
+    decode_rate_ghz = 1000.0 /. decode_avg;
+    steer_rate_ghz = 1000.0 /. (p.steer_ps +. p.buffer_recover_ps);
+    energy_pj = !energy;
+    energy_per_instr_pj = !energy /. float_of_int n;
+  }
+
+(* Structural area: per column a length decoder (dominant), byte latch and
+   tag unit; a crossbar switch point per column x row; per row an output
+   buffer; plus global control. *)
+let area_transistors p =
+  let decoder = 2600 and latch = 220 and tag_unit = 420 in
+  let switch_point = 95 and buffer = 2100 and control = 5200 in
+  (p.columns * (decoder + latch + tag_unit))
+  + (p.columns * p.rows * switch_point)
+  + (p.rows * buffer) + control
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "@[<v>instructions: %d (%d lines)@,throughput: %.2f instr/ns (%.0fM lines/s)@,\
+     latency: avg %.0f ps, worst %.0f ps@,cycles: tag %.2f GHz, decode %.2f GHz, \
+     steer %.2f GHz@,energy: %.1f pJ/instr@]"
+    r.instructions r.lines r.gips (r.lines_per_sec /. 1e6) r.avg_latency_ps
+    r.worst_latency_ps r.tag_rate_ghz r.decode_rate_ghz r.steer_rate_ghz
+    r.energy_per_instr_pj

@@ -1,0 +1,67 @@
+(** Performance/energy/area model of the RAPPID asynchronous instruction
+    length decode and steering unit (Figure 1 of the paper).
+
+    The model is an instruction-level dataflow recurrence over the three
+    interacting self-timed cycles the paper describes:
+
+    - the {e length-decoding cycle}: sixteen per-byte-column decoders
+      speculatively compute lengths as soon as their line is latched,
+      faster for common instructions;
+    - the {e tag cycle}: a tag hops from each instruction's first byte to
+      the next, waiting for the instruction to be ready; its latency
+      depends on the (common vs uncommon) length;
+    - the {e steering cycle}: a tagged instruction is steered over the
+      crossbar into one of four output-buffer rows, each row recovering at
+      its own rate.
+
+    Performance is therefore {e average-case}: short common instructions
+    stream at the tag cycle's best rate, long ones wait on decode or line
+    fetch — reproducing the paper's 2.5–4.5 instructions/ns spread and
+    the ≈3.6 GHz / 900 MHz / 700 MHz cycle frequencies. *)
+
+type params = {
+  columns : int;  (** bytes per cache line (16) *)
+  rows : int;  (** output buffer rows / issue width (4) *)
+  line_buffer_depth : int;  (** lines in flight in the byte latches (2) *)
+  line_fetch_ps : float;  (** input FIFO inter-line supply interval *)
+  latch_ps : float;  (** byte-latch reload after a line is consumed *)
+  decode_common_ps : float;  (** length decode, common instruction *)
+  decode_uncommon_ps : float;
+  common_length : int;  (** lengths [<=] this are "common" *)
+  tag_common_ps : float;  (** tag hop for common lengths *)
+  tag_uncommon_ps : float;
+  steer_ps : float;  (** crossbar steering latency *)
+  buffer_recover_ps : float;  (** output-buffer row recovery *)
+  (* energy (pJ per operation) *)
+  e_latch_pj : float;  (** per byte latched *)
+  e_decode_pj : float;  (** per speculative length decode (16 per line!) *)
+  e_tag_pj : float;
+  e_steer_pj : float;
+  e_buffer_pj : float;
+}
+
+val default : params
+(** Calibrated to the paper's reported cycle rates. *)
+
+type result = {
+  instructions : int;
+  lines : int;
+  total_ps : float;
+  gips : float;  (** instructions per ns *)
+  lines_per_sec : float;
+  avg_latency_ps : float;  (** line arrival of first byte -> issue *)
+  worst_latency_ps : float;
+  tag_rate_ghz : float;  (** average tag-cycle frequency *)
+  decode_rate_ghz : float;
+  steer_rate_ghz : float;  (** per-row steering-cycle frequency *)
+  energy_pj : float;
+  energy_per_instr_pj : float;
+}
+
+val run : ?params:params -> Workload.stream -> result
+
+val area_transistors : params -> int
+(** Structural area estimate: decoders, tag units, byte latches, crossbar
+    switch points, output buffers and control overhead. *)
+
+val pp_result : Format.formatter -> result -> unit

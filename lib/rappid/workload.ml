@@ -1,0 +1,51 @@
+module Rng = Rtcad_util.Rng
+
+type profile = { name : string; weights : (int * int) list }
+
+let typical =
+  {
+    name = "typical";
+    weights =
+      [ (18, 1); (22, 2); (24, 3); (14, 4); (9, 5); (6, 6); (4, 7); (2, 8); (1, 11) ];
+  }
+
+let uniform =
+  { name = "uniform"; weights = List.init 11 (fun i -> (1, i + 1)) }
+
+let short = { name = "short"; weights = [ (60, 1); (30, 2); (10, 3) ] }
+
+let long =
+  { name = "long"; weights = [ (10, 6); (30, 7); (30, 8); (20, 9); (10, 11) ] }
+
+let all_profiles = [ typical; uniform; short; long ]
+
+type stream = { lengths : int array; total_bytes : int }
+
+let generate ~seed profile ~instructions =
+  let rng = Rng.create seed in
+  let lengths =
+    Array.init instructions (fun _ -> Rng.weighted rng profile.weights)
+  in
+  { lengths; total_bytes = Array.fold_left ( + ) 0 lengths }
+
+let line_of_byte addr = addr / 16
+
+let starts stream =
+  let n = Array.length stream.lengths in
+  let result = Array.make n 0 in
+  let addr = ref 0 in
+  for i = 0 to n - 1 do
+    result.(i) <- !addr;
+    addr := !addr + stream.lengths.(i)
+  done;
+  result
+
+let mean_length stream =
+  if Array.length stream.lengths = 0 then 0.0
+  else float_of_int stream.total_bytes /. float_of_int (Array.length stream.lengths)
+
+let instructions_per_line stream =
+  if stream.total_bytes = 0 then 0.0
+  else
+    float_of_int (Array.length stream.lengths)
+    /. float_of_int ((stream.total_bytes + 15) / 16)

@@ -1,0 +1,42 @@
+(** Synthetic iA32-like instruction streams.
+
+    The paper's proprietary traces are replaced by a length-distribution
+    model: what RAPPID's performance depends on is how instruction lengths
+    are distributed (common instructions are short) and how many
+    instructions land in each 16-byte cache line.  Profiles range from the
+    "typical" skewed mix the paper optimizes for to pathological all-long
+    mixes used in the sensitivity sweeps. *)
+
+type profile = { name : string; weights : (int * int) list }
+(** [(weight, length)] pairs; lengths in bytes, 1..15. *)
+
+val typical : profile
+(** Skewed to short lengths (mean ≈ 3 bytes, ≈ 5 instructions/line) —
+    the paper's "common instructions". *)
+
+val uniform : profile
+(** Uniform over 1..11 bytes. *)
+
+val short : profile
+(** Mostly 1–2 bytes: many instructions per line (stresses tag cycle). *)
+
+val long : profile
+(** Mostly 7–11 bytes: few instructions per line (stresses decode). *)
+
+val all_profiles : profile list
+
+type stream = {
+  lengths : int array;  (** instruction lengths, in program order *)
+  total_bytes : int;
+}
+
+val generate : seed:int -> profile -> instructions:int -> stream
+
+val line_of_byte : int -> int
+(** Cache line index (16-byte lines) of a byte address. *)
+
+val starts : stream -> int array
+(** Byte address of each instruction's first byte. *)
+
+val mean_length : stream -> float
+val instructions_per_line : stream -> float

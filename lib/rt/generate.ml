@@ -1,0 +1,40 @@
+module Stg = Rtcad_stg.Stg
+module Petri = Rtcad_stg.Petri
+
+let is_input_trans stg t =
+  match Stg.label stg t with
+  | Stg.Edge { signal; _ } -> Stg.is_input stg signal
+  | Stg.Dummy -> false
+
+let automatic ?(env_delay = 2.0) ?(gate_delay = 1.0) ?(margin = 0.5) ?(runs = 5) ?steps
+    ?(allow_input_first = false) stg sg =
+  let nt = Petri.num_transitions (Stg.net stg) in
+  let steps = match steps with Some s -> s | None -> 40 * nt in
+  let pairs = Timed_sim.concurrent_pairs sg in
+  (* With [allow_input_first] orderings between two
+     environment responses are proposed when the homogeneous delay model
+     consistently separates them (one response chain strictly contains
+     more logic than the other); with it disabled only circuit-first
+     orderings survive, the letter of the paper's gate-count rule. *)
+  let candidates =
+    if allow_input_first then pairs
+    else List.filter (fun (t1, _) -> not (is_input_trans stg t1)) pairs
+  in
+  let traces =
+    List.init runs (fun i ->
+        Timed_sim.run ~env_delay ~gate_delay ~jitter:0.05 ~seed:(i + 1) ~steps stg)
+  in
+  let holds (t1, t2) =
+    List.for_all
+      (fun trace ->
+        match Timed_sim.min_gap trace ~first:t1 ~second:t2 with
+        | Some gap -> gap >= margin
+        | None -> false)
+      traces
+  in
+  List.filter_map
+    (fun pair ->
+      if holds pair then
+        Some (Assumption.before ~origin:Assumption.Automatic (fst pair) (snd pair))
+      else None)
+    candidates

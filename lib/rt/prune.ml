@@ -1,0 +1,65 @@
+module Sg = Rtcad_sg.Sg
+module Bdd = Rtcad_logic.Bdd
+module Bitset = Rtcad_util.Bitset
+
+type result = { pruned : Sg.t; used : Assumption.t list; removed_edges : int }
+
+let blocked_by assumptions sg s t =
+  List.filter
+    (fun a ->
+      a.Assumption.second = t && a.Assumption.first <> t
+      && List.mem a.Assumption.first (Sg.enabled sg s))
+    assumptions
+
+let apply sg assumptions =
+  let allowed s t = blocked_by assumptions sg s t = [] in
+  (* Survivors: reachable states under the allowed edges. *)
+  let n = Sg.num_states sg in
+  let surviving = Array.make n false in
+  let queue = Queue.create () in
+  surviving.(Sg.initial sg) <- true;
+  Queue.add (Sg.initial sg) queue;
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    List.iter
+      (fun (t, s') ->
+        if allowed s t && not surviving.(s') then begin
+          surviving.(s') <- true;
+          Queue.add s' queue
+        end)
+      (Sg.succs sg s)
+  done;
+  let used = Hashtbl.create 16 in
+  let removed = ref 0 in
+  for s = 0 to n - 1 do
+    if surviving.(s) then
+      List.iter
+        (fun (t, _) ->
+          match blocked_by assumptions sg s t with
+          | [] -> ()
+          | blockers ->
+            incr removed;
+            List.iter (fun a -> Hashtbl.replace used (a.Assumption.first, a.Assumption.second) a) blockers)
+        (Sg.succs sg s)
+  done;
+  let pruned = Sg.restrict sg ~allowed in
+  if Rtcad_sg.Props.deadlock_free sg && not (Rtcad_sg.Props.deadlock_free pruned) then
+    failwith "Prune.apply: assumptions introduce a deadlock";
+  {
+    pruned;
+    used = List.sort Assumption.compare (Hashtbl.fold (fun _ a acc -> a :: acc) used []);
+    removed_edges = !removed;
+  }
+
+let codes_bdd sg =
+  let stg = Sg.stg sg in
+  let n = Rtcad_stg.Stg.num_signals stg in
+  let acc = ref Bdd.zero in
+  Sg.iter_states
+    (fun s ->
+      let values = Array.init n (fun i -> Sg.value sg s i) in
+      acc := Bdd.bor !acc (Bdd.of_minterm n values))
+    sg;
+  !acc
+
+let pruned_codes ~full ~pruned = Bdd.band (codes_bdd full) (Bdd.bnot (codes_bdd pruned))

@@ -1,0 +1,23 @@
+(** Concurrency reduction of a state graph under relative-timing
+    assumptions — the "lazy state graph" of the paper's Figure 2.
+
+    An assumption [a before b] removes every edge firing [b] from a state
+    in which [a] is also enabled.  The reachable subgraph is then
+    recomputed.  The assumptions that actually removed an edge from a
+    surviving state are the {e used} ones; these are the candidates for
+    back-annotation as required timing constraints. *)
+
+type result = {
+  pruned : Rtcad_sg.Sg.t;  (** the reduced state graph *)
+  used : Assumption.t list;  (** assumptions that removed a reachable edge *)
+  removed_edges : int;  (** number of edges dropped from surviving states *)
+}
+
+val apply : Rtcad_sg.Sg.t -> Assumption.t list -> result
+(** Raises [Failure] if pruning introduces a deadlock (contradictory
+    assumptions). *)
+
+val pruned_codes : full:Rtcad_sg.Sg.t -> pruned:Rtcad_sg.Sg.t -> Rtcad_logic.Bdd.t
+(** Characteristic function (over signal variables) of the codes reachable
+    in [full] but not in [pruned] — the extra global don't-care set that
+    relative timing buys for logic minimization. *)

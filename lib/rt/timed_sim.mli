@@ -1,0 +1,42 @@
+(** Eager timed execution of an STG under a simple delay model.
+
+    Every transition fires a fixed delay after it becomes enabled: one gate
+    delay for non-input transitions, [env_delay] for inputs, zero for
+    dummies.  Free choice is resolved randomly (seeded); ties in firing
+    time are broken randomly as well.  The trace records, for every firing,
+    its enabling and firing instants — the raw material for automatic
+    relative-timing assumption generation and for the ring experiment of
+    Section 4.2. *)
+
+type event = {
+  transition : int;
+  enabled_at : float;
+  fired_at : float;
+}
+
+type trace = event list
+(** In firing order. *)
+
+val run :
+  ?env_delay:float ->
+  ?gate_delay:float ->
+  ?jitter:float ->
+  ?seed:int ->
+  steps:int ->
+  Rtcad_stg.Stg.t ->
+  trace
+(** Simulate [steps] firings from the initial marking.  [jitter] adds a
+    uniform random fraction of the delay ([0.0] by default, making the run
+    deterministic up to choice).  Default [env_delay] 2.0, [gate_delay]
+    1.0.  Raises [Invalid_argument] on deadlock before [steps] firings
+    (the controllers simulated here are all live). *)
+
+val concurrent_pairs : Rtcad_sg.Sg.t -> (int * int) list
+(** Ordered pairs of distinct transitions that are simultaneously enabled
+    in some reachable state of the (untimed) state graph. *)
+
+val min_gap : trace -> first:int -> second:int -> float option
+(** Over all episodes in which [second] fired while [first] was pending or
+    had just fired after being concurrently pending, the minimum of
+    [fired_at second - fired_at first].  [None] if the two were never
+    concurrently pending. *)

@@ -1,0 +1,70 @@
+(** Complete State Coding resolution by state-signal insertion.
+
+    A new internal signal [x] is inserted into the STG: [x+] is triggered
+    by a set of existing transitions (AND-join), [x-] by another, and
+    optional {e waiter} transitions are delayed until the new edge has
+    fired.  Ordering places [x+ -> x-] and [x- -> x+] keep the new signal
+    consistent.
+
+    Two modes reflect the paper's distinction:
+    - {e speed-independent} insertion must not delay input transitions and
+      must preserve output persistency; waiters are used to sequence the
+      new signal before the state-aliasing paths.
+    - {e timing-aware} insertion (the Figure 5 flavour) keeps [x]
+      concurrent (no waiters), leaving the disambiguation to relative
+      timing assumptions; the CSC check is then performed on a caller-
+      supplied view of the state graph (typically the RT-pruned one). *)
+
+type mode = Speed_independent | Timing_aware
+
+type waiter_marking =
+  | Auto
+      (** a waiter that occurs before the new edge in the canonical
+          serialization starts with a token (it consumes the virtual
+          previous edge of the new signal) *)
+  | Unmarked
+      (** no waiter place starts marked: every waiter is sequenced after
+          the new edge already in the first cycle *)
+
+type insertion = {
+  signal_name : string;
+  rise_triggers : int list;  (** transition indices of the host STG *)
+  rise_waiters : int list;
+  fall_triggers : int list;
+  fall_waiters : int list;
+  waiter_marking : waiter_marking;
+}
+
+val apply : Rtcad_stg.Stg.t -> insertion -> Rtcad_stg.Stg.t
+(** Build the STG extended with the new signal.  The result's transitions
+    are the host's (same indices) followed by [x+] then [x-]. *)
+
+val resolve :
+  ?mode:mode ->
+  ?name:string ->
+  ?view:(Sg.t -> Sg.t) ->
+  ?max_states:int ->
+  ?trigger_space:[ `Non_input | `All ] ->
+  ?max_candidates:int ->
+  Rtcad_stg.Stg.t ->
+  (Rtcad_stg.Stg.t * insertion) option
+(** Search for an insertion that makes the (viewed) state graph satisfy
+    CSC while remaining safe, consistent, live and deadlock-free.  Returns
+    the extended STG.  [view] post-processes the state graph before the
+    CSC check (identity by default).  Returns [None] if the graph already
+    satisfies CSC in the viewed graph or no candidate works. *)
+
+val resolve_all :
+  ?mode:mode ->
+  ?view:(Sg.t -> Sg.t) ->
+  ?max_states:int ->
+  ?max_signals:int ->
+  ?max_candidates:int ->
+  Rtcad_stg.Stg.t ->
+  (Rtcad_stg.Stg.t * insertion list) option
+(** Iterate {!resolve} (signals [x0], [x1], …) until the viewed state graph
+    satisfies CSC, inserting at most [max_signals] (default 3) signals.
+    Returns [Some (stg, [])] when no insertion was needed, [None] when the
+    conflicts could not be resolved. *)
+
+val pp_insertion : Rtcad_stg.Stg.t -> Format.formatter -> insertion -> unit

@@ -1,0 +1,188 @@
+module Bitset = Rtcad_util.Bitset
+module Stg = Rtcad_stg.Stg
+module Petri = Rtcad_stg.Petri
+
+type t = {
+  stg : Stg.t;
+  markings : Bitset.t array;
+  codes : Bitset.t array;
+  succs : (int * int) list array;
+  preds : (int * int) list array;
+  initial : int;
+  by_marking : (Bitset.t, int) Hashtbl.t;
+}
+
+exception Inconsistent of string
+exception Too_large of int
+
+let initial_code stg =
+  let n = Stg.num_signals stg in
+  let rec go i code =
+    if i >= n then code
+    else go (i + 1) (if Stg.initial_value stg i then Bitset.add code i else code)
+  in
+  go 0 (Bitset.create n)
+
+let apply_label stg code t =
+  match Stg.label stg t with
+  | Stg.Dummy -> code
+  | Stg.Edge { signal; dir } ->
+    let v = Bitset.mem code signal in
+    (match dir with
+    | Stg.Rise ->
+      if v then
+        raise
+          (Inconsistent
+             (Format.asprintf "%a fires with %s already high" (Stg.pp_transition stg) t
+                (Stg.signal_name stg signal)))
+      else Bitset.add code signal
+    | Stg.Fall ->
+      if not v then
+        raise
+          (Inconsistent
+             (Format.asprintf "%a fires with %s already low" (Stg.pp_transition stg) t
+                (Stg.signal_name stg signal)))
+      else Bitset.remove code signal)
+
+let build ?(max_states = 200_000) stg =
+  let net = Stg.net stg in
+  let by_marking = Hashtbl.create 256 in
+  let markings = ref [] and codes = ref [] in
+  let n = ref 0 in
+  let add marking code =
+    Hashtbl.add by_marking marking !n;
+    markings := marking :: !markings;
+    codes := code :: !codes;
+    incr n;
+    !n - 1
+  in
+  let m0 = Petri.initial_marking net in
+  let c0 = initial_code stg in
+  let s0 = add m0 c0 in
+  let edges = ref [] in
+  let queue = Queue.create () in
+  Queue.add s0 queue;
+  let marking_of = Hashtbl.create 256 in
+  Hashtbl.add marking_of s0 (m0, c0);
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    let m, c = Hashtbl.find marking_of s in
+    let fire t =
+      let m' = Petri.fire net m t in
+      let c' = apply_label stg c t in
+      let s' =
+        match Hashtbl.find_opt by_marking m' with
+        | Some s' ->
+          let _, existing = Hashtbl.find marking_of s' in
+          if not (Bitset.equal existing c') then
+            raise (Inconsistent "same marking reached with two different codes");
+          s'
+        | None ->
+          if !n >= max_states then raise (Too_large max_states);
+          let s' = add m' c' in
+          Hashtbl.add marking_of s' (m', c');
+          Queue.add s' queue;
+          s'
+      in
+      edges := (s, t, s') :: !edges
+    in
+    List.iter fire (Petri.enabled_transitions net m)
+  done;
+  let markings = Array.of_list (List.rev !markings) in
+  let codes = Array.of_list (List.rev !codes) in
+  let succs = Array.make !n [] and preds = Array.make !n [] in
+  List.iter
+    (fun (s, t, s') ->
+      succs.(s) <- (t, s') :: succs.(s);
+      preds.(s') <- (t, s) :: preds.(s'))
+    !edges;
+  { stg; markings; codes; succs; preds; initial = s0; by_marking }
+
+let stg sg = sg.stg
+let num_states sg = Array.length sg.markings
+let initial sg = sg.initial
+let marking sg s = sg.markings.(s)
+let code sg s = sg.codes.(s)
+let value sg s signal = Bitset.mem sg.codes.(s) signal
+let succs sg s = sg.succs.(s)
+let preds sg s = sg.preds.(s)
+let enabled sg s = List.map fst sg.succs.(s)
+
+let excited sg s signal =
+  List.exists
+    (fun (t, _) ->
+      match Stg.label sg.stg t with
+      | Stg.Edge { signal = u; _ } -> u = signal
+      | Stg.Dummy -> false)
+    sg.succs.(s)
+
+let next_value sg s signal = value sg s signal <> excited sg s signal
+let find_state sg m = Hashtbl.find_opt sg.by_marking m
+let deadlocks sg =
+  List.filter (fun s -> sg.succs.(s) = []) (List.init (num_states sg) Fun.id)
+
+let iter_states f sg =
+  for s = 0 to num_states sg - 1 do
+    f s
+  done
+
+let restrict sg ~allowed =
+  let n = num_states sg in
+  let renum = Array.make n (-1) in
+  let order = ref [] in
+  let count = ref 0 in
+  let queue = Queue.create () in
+  renum.(sg.initial) <- 0;
+  order := [ sg.initial ];
+  count := 1;
+  Queue.add sg.initial queue;
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    List.iter
+      (fun (t, s') ->
+        if allowed s t && renum.(s') = -1 then begin
+          renum.(s') <- !count;
+          incr count;
+          order := s' :: !order;
+          Queue.add s' queue
+        end)
+      sg.succs.(s)
+  done;
+  let old_of_new = Array.make !count 0 in
+  List.iter (fun old -> old_of_new.(renum.(old)) <- old) !order;
+  let markings = Array.map (fun old -> sg.markings.(old)) old_of_new in
+  let codes = Array.map (fun old -> sg.codes.(old)) old_of_new in
+  let succs = Array.make !count [] and preds = Array.make !count [] in
+  Array.iteri
+    (fun snew old ->
+      List.iter
+        (fun (t, s') ->
+          if allowed old t && renum.(s') >= 0 then
+            succs.(snew) <- (t, renum.(s')) :: succs.(snew))
+        sg.succs.(old))
+    old_of_new;
+  Array.iteri
+    (fun snew _ ->
+      List.iter (fun (t, s') -> preds.(s') <- (t, snew) :: preds.(s')) succs.(snew))
+    old_of_new;
+  let by_marking = Hashtbl.create 256 in
+  Array.iteri (fun i m -> Hashtbl.add by_marking m i) markings;
+  { stg = sg.stg; markings; codes; succs; preds; initial = 0; by_marking }
+
+let pp_state sg ppf s =
+  for i = 0 to Stg.num_signals sg.stg - 1 do
+    Format.fprintf ppf "%d" (if value sg s i then 1 else 0)
+  done
+
+let pp ppf sg =
+  Format.fprintf ppf "@[<v>state graph: %d states@," (num_states sg);
+  iter_states
+    (fun s ->
+      Format.fprintf ppf "  s%d [%a]:" s (pp_state sg) s;
+      List.iter
+        (fun (t, s') ->
+          Format.fprintf ppf " %a->s%d" (Stg.pp_transition sg.stg) t s')
+        (succs sg s);
+      Format.fprintf ppf "@,")
+    sg;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,65 @@
+(** State graphs: the reachability graph of an STG.
+
+    Each state pairs a safe-net marking with the binary code of all signals
+    in that state.  The graph is built by breadth-first exploration from the
+    initial marking; safety and consistency (strict alternation of rising
+    and falling edges of every signal) are enforced during construction. *)
+
+type t
+
+exception Inconsistent of string
+(** A signal would rise when already high (or fall when low), or the same
+    marking is reached with two different codes. *)
+
+exception Too_large of int
+(** Raised when exploration exceeds the state bound. *)
+
+val build : ?max_states:int -> Rtcad_stg.Stg.t -> t
+(** Explore the reachable state space.  Default bound is 200000 states.
+    Raises {!Inconsistent}, {!Too_large}, or {!Rtcad_stg.Petri.Unsafe}. *)
+
+val stg : t -> Rtcad_stg.Stg.t
+val num_states : t -> int
+val initial : t -> int
+
+val marking : t -> int -> Rtcad_util.Bitset.t
+val code : t -> int -> Rtcad_util.Bitset.t
+(** Signal values in a state, as a bit set over signal indices. *)
+
+val value : t -> int -> int -> bool
+(** [value sg state signal]. *)
+
+val succs : t -> int -> (int * int) list
+(** Outgoing edges as [(transition, target)] pairs. *)
+
+val preds : t -> int -> (int * int) list
+(** Incoming edges as [(transition, source)] pairs. *)
+
+val enabled : t -> int -> int list
+(** Transitions enabled in a state. *)
+
+val excited : t -> int -> int -> bool
+(** [excited sg state signal]: some enabled transition toggles [signal]. *)
+
+val next_value : t -> int -> int -> bool
+(** Implied next value of a signal: current value xor excitation.  This is
+    the value of the next-state function used for synthesis. *)
+
+val find_state : t -> Rtcad_util.Bitset.t -> int option
+(** Look up a state by marking. *)
+
+val deadlocks : t -> int list
+(** States with no enabled transition. *)
+
+val iter_states : (int -> unit) -> t -> unit
+
+val restrict : t -> allowed:(int -> int -> bool) -> t
+(** [restrict sg ~allowed] rebuilds the graph keeping only edges
+    [(state, transition)] for which [allowed state transition] holds, and
+    only states still reachable from the initial state.  State indices are
+    renumbered; the result shares the STG. *)
+
+val pp_state : t -> Format.formatter -> int -> unit
+(** Prints the code as a bit string in signal order, e.g. [10110]. *)
+
+val pp : Format.formatter -> t -> unit

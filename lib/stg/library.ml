@@ -1,0 +1,201 @@
+let build f =
+  let b = Stg.Build.create () in
+  f b;
+  Stg.Build.finish b
+
+(* Figure 3: FIFO controller.  Left handshake li/lo, right handshake ro/ri.
+   lo+ requires the previous right handshake to have completed (via the
+   silent transition eps), which is what creates the CSC conflict between
+   the initial state and the state reached after a fast left handshake. *)
+let fifo () =
+  build (fun b ->
+      Stg.Build.signal b Stg.Input "li";
+      Stg.Build.signal b Stg.Input "ri";
+      Stg.Build.signal b Stg.Output "lo";
+      Stg.Build.signal b Stg.Output "ro";
+      Stg.Build.dummy b "eps";
+      Stg.Build.connect b "li+" "lo+";
+      Stg.Build.connect b "lo+" "li-";
+      Stg.Build.connect b "li-" "lo-";
+      Stg.Build.connect b "lo-" "li+";
+      Stg.Build.connect b "lo+" "ro+";
+      Stg.Build.connect b "ro+" "ri+";
+      Stg.Build.connect b "ri+" "ro-";
+      Stg.Build.connect b "ro-" "ri-";
+      Stg.Build.connect b "ri-" "eps";
+      Stg.Build.connect b "eps" "lo+";
+      Stg.Build.mark_between b "lo-" "li+";
+      Stg.Build.mark_between b "eps" "lo+")
+
+(* Figure 5(b): the same controller with the inserted state signal x.
+   x+ is caused by lo+ and is concurrent with the rest of the cycle (the
+   orderings "x+ before li-" / "x+ before ri+" are *timing* constraints,
+   not causality); x- joins x+, lo- and ro- (AND-join in the net; the RT
+   step treats x- as lazy, recovering the paper's OR-causality
+   implementation x = lo or ro).  A new lo+ needs x back at 0. *)
+let fifo_with_state () =
+  build (fun b ->
+      Stg.Build.signal b Stg.Input "li";
+      Stg.Build.signal b Stg.Input "ri";
+      Stg.Build.signal b Stg.Output "lo";
+      Stg.Build.signal b Stg.Output "ro";
+      Stg.Build.signal b Stg.Internal "x";
+      Stg.Build.connect b "li+" "lo+";
+      Stg.Build.connect b "lo+" "li-";
+      Stg.Build.connect b "li-" "lo-";
+      Stg.Build.connect b "lo-" "li+";
+      Stg.Build.connect b "lo+" "ro+";
+      Stg.Build.connect b "ro+" "ri+";
+      Stg.Build.connect b "ri+" "ro-";
+      Stg.Build.connect b "ro-" "ri-";
+      Stg.Build.connect b "lo+" "x+";
+      Stg.Build.connect b "x+" "x-";
+      Stg.Build.connect b "lo-" "x-";
+      Stg.Build.connect b "ro-" "x-";
+      Stg.Build.connect b "x-" "lo+";
+      Stg.Build.connect b "ri-" "lo+";
+      Stg.Build.mark_between b "lo-" "li+";
+      Stg.Build.mark_between b "x-" "lo+";
+      Stg.Build.mark_between b "ri-" "lo+")
+
+let c_element () =
+  build (fun b ->
+      Stg.Build.signal b Stg.Input "a";
+      Stg.Build.signal b Stg.Input "b";
+      Stg.Build.signal b Stg.Output "c";
+      Stg.Build.connect b "a+" "c+";
+      Stg.Build.connect b "b+" "c+";
+      Stg.Build.connect b "c+" "a-";
+      Stg.Build.connect b "c+" "b-";
+      Stg.Build.connect b "a-" "c-";
+      Stg.Build.connect b "b-" "c-";
+      Stg.Build.connect b "c-" "a+";
+      Stg.Build.connect b "c-" "b+";
+      Stg.Build.mark_between b "c-" "a+";
+      Stg.Build.mark_between b "c-" "b+")
+
+let pipeline_stage () =
+  build (fun b ->
+      Stg.Build.signal b Stg.Input "rin";
+      Stg.Build.signal b Stg.Input "aout";
+      Stg.Build.signal b Stg.Output "rout";
+      Stg.Build.signal b Stg.Output "ain";
+      Stg.Build.connect b "rin+" "rout+";
+      Stg.Build.connect b "rout+" "ain+";
+      Stg.Build.connect b "rout+" "aout+";
+      Stg.Build.connect b "ain+" "rin-";
+      Stg.Build.connect b "rin-" "rout-";
+      Stg.Build.connect b "aout+" "rout-";
+      Stg.Build.connect b "rout-" "ain-";
+      Stg.Build.connect b "rout-" "aout-";
+      Stg.Build.connect b "ain-" "rin+";
+      Stg.Build.connect b "aout-" "rout+";
+      Stg.Build.mark_between b "ain-" "rin+";
+      Stg.Build.mark_between b "aout-" "rout+")
+
+let selector () =
+  build (fun b ->
+      Stg.Build.signal b Stg.Input "a";
+      Stg.Build.signal b Stg.Input "b";
+      Stg.Build.signal b Stg.Output "z";
+      Stg.Build.place b "choice";
+      Stg.Build.arc_pt b "choice" "a+";
+      Stg.Build.arc_pt b "choice" "b+";
+      Stg.Build.connect b "a+" "z+";
+      Stg.Build.connect b "z+" "a-";
+      Stg.Build.connect b "a-" "z-";
+      Stg.Build.connect b "b+" "z+/2";
+      Stg.Build.connect b "z+/2" "b-";
+      Stg.Build.connect b "b-" "z-/2";
+      Stg.Build.arc_tp b "z-" "choice";
+      Stg.Build.arc_tp b "z-/2" "choice";
+      Stg.Build.mark b "choice")
+
+(* Closed ring of n FIFO cells (Section 4.2).  Cell i receives on channel
+   i-1 (request r_{i-1}, acknowledge a_{i-1}) and sends on channel i.  Per
+   cell: ack after request and previous send completed; send after ack;
+   request release after remote ack; ack release after request release. *)
+let ring n =
+  if n < 2 then invalid_arg "Library.ring: need at least 2 cells";
+  build (fun b ->
+      for i = 0 to n - 1 do
+        Stg.Build.signal b Stg.Output (Printf.sprintf "r%d" i);
+        Stg.Build.signal b Stg.Output (Printf.sprintf "a%d" i)
+      done;
+      let r i = Printf.sprintf "r%d" ((i + n) mod n) in
+      let a i = Printf.sprintf "a%d" ((i + n) mod n) in
+      for i = 0 to n - 1 do
+        (* P1: request in -> ack *)
+        Stg.Build.connect b (r (i - 1) ^ "+") (a (i - 1) ^ "+");
+        (* P2: own send handshake done -> ready to ack next *)
+        Stg.Build.connect b (a i ^ "-") (a (i - 1) ^ "+");
+        (* P3: acked (data latched) -> send right *)
+        Stg.Build.connect b (a (i - 1) ^ "+") (r i ^ "+");
+        (* P4: remote ack -> release request *)
+        Stg.Build.connect b (a i ^ "+") (r i ^ "-");
+        (* P5: request released -> release ack *)
+        Stg.Build.connect b (r (i - 1) ^ "-") (a (i - 1) ^ "-")
+      done;
+      (* One data token at cell 0: it is about to send; every other cell is
+         idle with its send handshake (trivially) complete. *)
+      Stg.Build.mark_between b (a (-1) ^ "+") (r 0 ^ "+");
+      for i = 1 to n - 1 do
+        Stg.Build.mark_between b (a i ^ "-") (a (i - 1) ^ "+")
+      done)
+
+(* Classic toggle: successive input handshakes steer alternating outputs.
+   The eight states are distinctly coded, so it synthesizes without a
+   state signal despite the two-cycle period. *)
+let toggle () =
+  build (fun b ->
+      Stg.Build.signal b Stg.Input "i";
+      Stg.Build.signal b Stg.Output "o1";
+      Stg.Build.signal b Stg.Output "o2";
+      Stg.Build.connect b "i+" "o1+";
+      Stg.Build.connect b "o1+" "i-";
+      Stg.Build.connect b "i-" "o2+";
+      Stg.Build.connect b "o2+" "i+/2";
+      Stg.Build.connect b "i+/2" "o1-";
+      Stg.Build.connect b "o1-" "i-/2";
+      Stg.Build.connect b "i-/2" "o2-";
+      Stg.Build.connect b "o2-" "i+";
+      Stg.Build.mark_between b "o2-" "i+")
+
+(* Call element: two mutually exclusive clients share one server through
+   a free choice; the acknowledges remember which client called. *)
+let call_element () =
+  build (fun b ->
+      Stg.Build.signal b Stg.Input "r1";
+      Stg.Build.signal b Stg.Input "r2";
+      Stg.Build.signal b Stg.Input "as";
+      Stg.Build.signal b Stg.Output "a1";
+      Stg.Build.signal b Stg.Output "a2";
+      Stg.Build.signal b Stg.Output "rs";
+      Stg.Build.place b "sel";
+      Stg.Build.mark b "sel";
+      let branch idx r a =
+        let t base = if idx = 1 then base else base ^ "/2" in
+        Stg.Build.arc_pt b "sel" (r ^ "+");
+        Stg.Build.connect b (r ^ "+") (t "rs+");
+        Stg.Build.connect b (t "rs+") (t "as+");
+        Stg.Build.connect b (t "as+") (a ^ "+");
+        Stg.Build.connect b (a ^ "+") (r ^ "-");
+        Stg.Build.connect b (r ^ "-") (t "rs-");
+        Stg.Build.connect b (t "rs-") (t "as-");
+        Stg.Build.connect b (t "as-") (a ^ "-");
+        Stg.Build.arc_tp b (a ^ "-") "sel"
+      in
+      branch 1 "r1" "a1";
+      branch 2 "r2" "a2")
+
+let all_named () =
+  [
+    ("fifo", fifo ());
+    ("fifo_x", fifo_with_state ());
+    ("celement", c_element ());
+    ("pipeline", pipeline_stage ());
+    ("selector", selector ());
+    ("toggle", toggle ());
+    ("call", call_element ());
+    ("ring3", ring 3);
+  ]

@@ -1,0 +1,44 @@
+(** Built-in STG specifications.
+
+    These are the specifications used throughout the paper's case studies
+    plus a few classic asynchronous controllers used by the test suite. *)
+
+val fifo : unit -> Stg.t
+(** The FIFO controller of Figure 3: left handshake [li]/[lo], right
+    handshake [ro]/[ri], an [eps] silent transition closing the internal
+    cycle.  Has a CSC conflict (the state after the left handshake
+    completes aliases the initial state), which Figure 5 resolves with an
+    internal signal [x]. *)
+
+val fifo_with_state : unit -> Stg.t
+(** The Figure 5(b) STG: [fifo] with internal state signal [x]; [x+] follows
+    [lo+], [x-] joins [lo-] and [ro-] (the relative-timing step later
+    relaxes this join to the OR-causality implementation of the paper). *)
+
+val c_element : unit -> Stg.t
+(** Muller C-element: inputs [a], [b]; output [c]. *)
+
+val pipeline_stage : unit -> Stg.t
+(** Muller-pipeline latch controller: inputs [rin], [aout]; outputs [ain],
+    [rout] with C-element behaviour [rout = C(rin, not aout)]. *)
+
+val selector : unit -> Stg.t
+(** Free-choice input selection: inputs [a], [b] (mutually exclusive),
+    output [z] = [a or b].  Exercises non-marked-graph reachability. *)
+
+val toggle : unit -> Stg.t
+(** Classic toggle: two input handshakes steer outputs [o1], [o2]
+    alternately.  Distinctly coded despite its two-cycle period. *)
+
+val call_element : unit -> Stg.t
+(** CALL: two mutually exclusive clients [r1]/[a1], [r2]/[a2] share a
+    server [rs]/[as] through a free choice. *)
+
+val ring : int -> Stg.t
+(** [ring n] composes [n >= 2] FIFO cells into a closed token ring: signals
+    [r0..r(n-1)] (requests) and [a0..a(n-1)] (acknowledges), all outputs,
+    one data token initially at cell 0.  Used to validate the user
+    assumption "[ri-] before [li+]" of Section 4.2. *)
+
+val all_named : unit -> (string * Stg.t) list
+(** All specifications above (ring instantiated at 3) with their names. *)

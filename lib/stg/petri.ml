@@ -1,0 +1,83 @@
+module Bitset = Rtcad_util.Bitset
+
+type t = {
+  place_names : string array;
+  transition_names : string array;
+  pre : int array array;
+  post : int array array;
+  producers : int array array;
+  consumers : int array array;
+  initial : Bitset.t;
+}
+
+exception Unsafe of int
+
+let make ~place_names ~transition_names ~pre ~post ~initial =
+  let np = Array.length place_names and nt = Array.length transition_names in
+  if Array.length pre <> nt || Array.length post <> nt then
+    invalid_arg "Petri.make: pre/post size mismatch";
+  let check_places ps =
+    List.iter (fun p -> if p < 0 || p >= np then invalid_arg "Petri.make: bad place") ps
+  in
+  Array.iter check_places pre;
+  Array.iter check_places post;
+  check_places initial;
+  let producers = Array.make np [] and consumers = Array.make np [] in
+  for tr = nt - 1 downto 0 do
+    List.iter (fun p -> producers.(p) <- tr :: producers.(p)) post.(tr);
+    List.iter (fun p -> consumers.(p) <- tr :: consumers.(p)) pre.(tr)
+  done;
+  {
+    place_names;
+    transition_names;
+    pre = Array.map Array.of_list pre;
+    post = Array.map Array.of_list post;
+    producers = Array.map Array.of_list producers;
+    consumers = Array.map Array.of_list consumers;
+    initial = Bitset.of_list np initial;
+  }
+
+let num_places net = Array.length net.place_names
+let num_transitions net = Array.length net.transition_names
+let place_name net p = net.place_names.(p)
+let transition_name net t = net.transition_names.(t)
+let pre net t = Array.to_list net.pre.(t)
+let post net t = Array.to_list net.post.(t)
+let producers net p = Array.to_list net.producers.(p)
+let consumers net p = Array.to_list net.consumers.(p)
+let initial_marking net = net.initial
+
+let enabled net m t = Array.for_all (fun p -> Bitset.mem m p) net.pre.(t)
+
+let enabled_transitions net m =
+  let rec go t acc =
+    if t < 0 then acc else go (t - 1) (if enabled net m t then t :: acc else acc)
+  in
+  go (num_transitions net - 1) []
+
+let fire net m t =
+  if not (enabled net m t) then invalid_arg "Petri.fire: transition not enabled";
+  let m' = Array.fold_left Bitset.remove m net.pre.(t) in
+  Array.fold_left
+    (fun acc p -> if Bitset.mem acc p then raise (Unsafe p) else Bitset.add acc p)
+    m' net.post.(t)
+
+let structural_conflicts net t =
+  let seen = Hashtbl.create 8 in
+  Array.iter
+    (fun p ->
+      Array.iter (fun t' -> if t' <> t then Hashtbl.replace seen t' ()) net.consumers.(p))
+    net.pre.(t);
+  List.sort Int.compare (Hashtbl.fold (fun k () acc -> k :: acc) seen [])
+
+let pp ppf net =
+  Format.fprintf ppf "@[<v>petri: %d places, %d transitions@," (num_places net)
+    (num_transitions net);
+  for t = 0 to num_transitions net - 1 do
+    Format.fprintf ppf "  %s: {%s} -> {%s}@," net.transition_names.(t)
+      (String.concat " " (List.map (place_name net) (pre net t)))
+      (String.concat " " (List.map (place_name net) (post net t)))
+  done;
+  Format.fprintf ppf "  initial: %a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space Format.pp_print_string)
+    (List.map (place_name net) (Bitset.elements net.initial))

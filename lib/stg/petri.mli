@@ -1,0 +1,58 @@
+(** Safe (1-bounded) Petri nets.
+
+    Places and transitions are dense integer indices.  Markings are
+    {!Rtcad_util.Bitset.t} values over places.  The nets used for STGs are
+    required to stay safe during reachability analysis; {!fire} checks this
+    and raises {!Unsafe} when a token would be duplicated. *)
+
+type t
+
+exception Unsafe of int
+(** Raised by {!fire} with the offending place when firing would put a second
+    token into a place. *)
+
+val make :
+  place_names:string array ->
+  transition_names:string array ->
+  pre:int list array ->
+  post:int list array ->
+  initial:int list ->
+  t
+(** [make ~place_names ~transition_names ~pre ~post ~initial]: [pre.(t)] are
+    the input places of transition [t], [post.(t)] its output places,
+    [initial] the initially marked places.  Raises [Invalid_argument] on
+    inconsistent sizes or out-of-range place indices. *)
+
+val num_places : t -> int
+val num_transitions : t -> int
+val place_name : t -> int -> string
+val transition_name : t -> int -> string
+
+val pre : t -> int -> int list
+(** Input places of a transition. *)
+
+val post : t -> int -> int list
+(** Output places of a transition. *)
+
+val producers : t -> int -> int list
+(** Transitions with an arc into the given place. *)
+
+val consumers : t -> int -> int list
+(** Transitions with an arc out of the given place. *)
+
+val initial_marking : t -> Rtcad_util.Bitset.t
+
+val enabled : t -> Rtcad_util.Bitset.t -> int -> bool
+(** [enabled net m t]: all input places of [t] are marked in [m]. *)
+
+val enabled_transitions : t -> Rtcad_util.Bitset.t -> int list
+
+val fire : t -> Rtcad_util.Bitset.t -> int -> Rtcad_util.Bitset.t
+(** [fire net m t] fires an enabled transition.  Raises [Invalid_argument]
+    if [t] is not enabled and {!Unsafe} if safety would be violated. *)
+
+val structural_conflicts : t -> int -> int list
+(** Transitions sharing an input place with the given transition (excluding
+    itself). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,249 @@
+exception Parse_error of int * string
+
+let fail line fmt = Printf.ksprintf (fun s -> raise (Parse_error (line, s))) fmt
+
+type decls = {
+  mutable inputs : string list;
+  mutable outputs : string list;
+  mutable internals : string list;
+  mutable dummies : string list;
+  mutable graph : (int * string list) list; (* line no, tokens *)
+  mutable marking : string list;
+  mutable high : string list; (* initially-1 signals *)
+}
+
+let tokens line = String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+
+(* The ".marking { <a,b> p1 }" payload: split on spaces but keep <..,..>
+   groups intact (they contain no spaces in our output; tolerate spaces
+   after commas by rejoining). *)
+let marking_tokens s =
+  let s = String.trim s in
+  let s =
+    if String.length s >= 2 && s.[0] = '{' && s.[String.length s - 1] = '}' then
+      String.sub s 1 (String.length s - 2)
+    else s
+  in
+  tokens s
+
+let strip_comment line =
+  match String.index_opt line '#' with Some i -> String.sub line 0 i | None -> line
+
+let is_transition_token decls tok =
+  if List.mem tok decls.dummies then true
+  else
+    let base =
+      match String.index_opt tok '/' with Some i -> String.sub tok 0 i | None -> tok
+    in
+    let n = String.length base in
+    n >= 2
+    && (base.[n - 1] = '+' || base.[n - 1] = '-')
+    &&
+    let s = String.sub base 0 (n - 1) in
+    List.mem s decls.inputs || List.mem s decls.outputs || List.mem s decls.internals
+
+let parse content =
+  let decls =
+    {
+      inputs = [];
+      outputs = [];
+      internals = [];
+      dummies = [];
+      graph = [];
+      marking = [];
+      high = [];
+    }
+  in
+  let lines = String.split_on_char '\n' content in
+  let in_graph = ref false in
+  List.iteri
+    (fun lineno raw ->
+      let lineno = lineno + 1 in
+      let line = String.trim (strip_comment raw) in
+      if line <> "" then
+        match tokens line with
+        | [] -> ()
+        | keyword :: rest when String.length keyword > 0 && keyword.[0] = '.' -> (
+          in_graph := false;
+          match keyword with
+          | ".model" | ".name" | ".end" -> ()
+          | ".inputs" -> decls.inputs <- decls.inputs @ rest
+          | ".outputs" -> decls.outputs <- decls.outputs @ rest
+          | ".internal" -> decls.internals <- decls.internals @ rest
+          | ".dummy" -> decls.dummies <- decls.dummies @ rest
+          | ".graph" -> in_graph := true
+          | ".marking" ->
+            decls.marking <-
+              decls.marking @ marking_tokens (String.concat " " rest)
+          | ".initial_state" -> decls.high <- decls.high @ rest
+          | ".capacity" | ".slowenv" -> () (* tolerated extensions *)
+          | other -> fail lineno "unknown directive %s" other)
+        | toks ->
+          if !in_graph then decls.graph <- (lineno, toks) :: decls.graph
+          else fail lineno "unexpected line outside .graph")
+    lines;
+  decls.graph <- List.rev decls.graph;
+  let b = Stg.Build.create () in
+  let initial_of name = List.mem name decls.high in
+  List.iter (fun s -> Stg.Build.signal b Stg.Input ~initial:(initial_of s) s) decls.inputs;
+  List.iter (fun s -> Stg.Build.signal b Stg.Output ~initial:(initial_of s) s) decls.outputs;
+  List.iter
+    (fun s -> Stg.Build.signal b Stg.Internal ~initial:(initial_of s) s)
+    decls.internals;
+  List.iter (fun d -> Stg.Build.dummy b d) decls.dummies;
+  (* First pass: declare all explicit places (any non-transition token). *)
+  let declared_places = Hashtbl.create 8 in
+  List.iter
+    (fun (_, toks) ->
+      List.iter
+        (fun tok ->
+          if (not (is_transition_token decls tok)) && not (Hashtbl.mem declared_places tok)
+          then begin
+            Hashtbl.add declared_places tok ();
+            Stg.Build.place b tok
+          end)
+        toks)
+    decls.graph;
+  (* Second pass: arcs. *)
+  List.iter
+    (fun (lineno, toks) ->
+      match toks with
+      | [] -> ()
+      | src :: dsts ->
+        let src_is_t = is_transition_token decls src in
+        List.iter
+          (fun dst ->
+            let dst_is_t = is_transition_token decls dst in
+            match (src_is_t, dst_is_t) with
+            | true, true -> Stg.Build.connect b src dst
+            | true, false -> Stg.Build.arc_tp b src dst
+            | false, true -> Stg.Build.arc_pt b src dst
+            | false, false -> fail lineno "arc between two places (%s -> %s)" src dst)
+          dsts)
+    decls.graph;
+  (* Marking. *)
+  List.iter
+    (fun tok ->
+      if String.length tok >= 2 && tok.[0] = '<' then begin
+        match
+          String.split_on_char ','
+            (String.sub tok 1 (String.length tok - 2))
+        with
+        | [ t1; t2 ] -> Stg.Build.mark_between b (String.trim t1) (String.trim t2)
+        | _ -> fail 0 "bad implicit marking token %s" tok
+      end
+      else Stg.Build.mark b tok)
+    decls.marking;
+  try Stg.Build.finish b with Failure msg -> raise (Parse_error (0, msg))
+
+let parse_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let content = really_input_string ic n in
+  close_in ic;
+  parse content
+
+let print ppf stg =
+  let net = Stg.net stg in
+  let by_kind k =
+    List.filter (fun s -> Stg.kind stg s = k) (Stg.signals stg)
+    |> List.map (Stg.signal_name stg)
+  in
+  let pr_sigs dir names =
+    if names <> [] then Format.fprintf ppf ".%s %s@," dir (String.concat " " names)
+  in
+  Format.fprintf ppf "@[<v>.model stg@,";
+  pr_sigs "inputs" (by_kind Stg.Input);
+  pr_sigs "outputs" (by_kind Stg.Output);
+  pr_sigs "internal" (by_kind Stg.Internal);
+  let dummies =
+    List.filter_map
+      (fun t ->
+        match Stg.label stg t with
+        | Stg.Dummy -> Some (Petri.transition_name net t)
+        | Stg.Edge _ -> None)
+      (List.init (Petri.num_transitions net) Fun.id)
+  in
+  pr_sigs "dummy" dummies;
+  let high =
+    List.filter (fun s -> Stg.initial_value stg s) (Stg.signals stg)
+    |> List.map (Stg.signal_name stg)
+  in
+  pr_sigs "initial_state" high;
+  Format.fprintf ppf ".graph@,";
+  (* A place is implicit iff it has exactly one producer and one consumer
+     and its name is of the <t1,t2> form the builder uses. *)
+  let implicit p =
+    String.length (Petri.place_name net p) > 0 && (Petri.place_name net p).[0] = '<'
+  in
+  let tname = Petri.transition_name net in
+  for t = 0 to Petri.num_transitions net - 1 do
+    let targets =
+      List.concat_map
+        (fun p ->
+          if implicit p then List.map tname (Petri.consumers net p)
+          else [ Petri.place_name net p ])
+        (Petri.post net t)
+    in
+    if targets <> [] then Format.fprintf ppf "%s %s@," (tname t) (String.concat " " targets)
+  done;
+  for p = 0 to Petri.num_places net - 1 do
+    if not (implicit p) then begin
+      let outs = Petri.consumers net p in
+      if outs <> [] then
+        Format.fprintf ppf "%s %s@," (Petri.place_name net p)
+          (String.concat " " (List.map tname outs))
+    end
+  done;
+  let marked = Rtcad_util.Bitset.elements (Petri.initial_marking net) in
+  let marking_token p =
+    if implicit p then
+      let producer = List.nth (Petri.producers net p) 0 in
+      let consumer = List.nth (Petri.consumers net p) 0 in
+      Printf.sprintf "<%s,%s>" (tname producer) (tname consumer)
+    else Petri.place_name net p
+  in
+  Format.fprintf ppf ".marking { %s }@," (String.concat " " (List.map marking_token marked));
+  Format.fprintf ppf ".end@]"
+
+let to_string stg = Format.asprintf "%a" print stg
+
+let print_dot ppf stg =
+  let net = Stg.net stg in
+  let implicit p =
+    String.length (Petri.place_name net p) > 0
+    && (Petri.place_name net p).[0] = '<'
+    && List.length (Petri.producers net p) = 1
+    && List.length (Petri.consumers net p) = 1
+  in
+  let marked p = Rtcad_util.Bitset.mem (Petri.initial_marking net) p in
+  Format.fprintf ppf "@[<v>digraph stg {@,  rankdir=TB;@,";
+  for t = 0 to Petri.num_transitions net - 1 do
+    let shape =
+      match Stg.label stg t with
+      | Stg.Dummy -> "style=dotted"
+      | Stg.Edge { signal; _ } ->
+        if Stg.is_input stg signal then "style=dashed" else "style=solid"
+    in
+    Format.fprintf ppf "  t%d [shape=box,%s,label=\"%a\"];@," t shape
+      (Stg.pp_transition stg) t
+  done;
+  for p = 0 to Petri.num_places net - 1 do
+    if not (implicit p) then
+      Format.fprintf ppf "  p%d [shape=circle,label=\"%s\"%s];@," p
+        (Petri.place_name net p)
+        (if marked p then ",style=filled,fillcolor=black,fontcolor=white" else "")
+  done;
+  for p = 0 to Petri.num_places net - 1 do
+    if implicit p then begin
+      let src = List.nth (Petri.producers net p) 0 in
+      let dst = List.nth (Petri.consumers net p) 0 in
+      Format.fprintf ppf "  t%d -> t%d%s;@," src dst
+        (if marked p then " [label=\"\\u25CF\"]" else "")
+    end
+    else begin
+      List.iter (fun t -> Format.fprintf ppf "  t%d -> p%d;@," t p) (Petri.producers net p);
+      List.iter (fun t -> Format.fprintf ppf "  p%d -> t%d;@," p t) (Petri.consumers net p)
+    end
+  done;
+  Format.fprintf ppf "}@]"

@@ -1,0 +1,29 @@
+(** Reading and writing STGs in the [.g] (astg / SIS) text format.
+
+    Supported sections: [.model], [.inputs], [.outputs], [.internal],
+    [.dummy], [.graph], [.marking { … }], [.end].  Lines in [.graph] list a
+    source node followed by its successors; nodes ending in [+]/[-]
+    (optionally with an occurrence suffix [/2]) are signal transitions,
+    declared dummies are silent transitions, anything else is an explicit
+    place.  One extension: an optional [.initial_state] line lists signals
+    that start high (bare name) or low ([!name]); unlisted signals start
+    low. *)
+
+exception Parse_error of int * string
+(** Line number and message. *)
+
+val parse : string -> Stg.t
+(** Parse from a string containing a whole [.g] file. *)
+
+val parse_file : string -> Stg.t
+
+val print : Format.formatter -> Stg.t -> unit
+(** Write in [.g] syntax; [parse] of the output reconstructs an isomorphic
+    STG. *)
+
+val to_string : Stg.t -> string
+
+val print_dot : Format.formatter -> Stg.t -> unit
+(** Graphviz rendering of the STG: transitions as boxes (inputs dashed),
+    places as circles (implicit places elided into edges), initial
+    marking as filled dots. *)

@@ -1,0 +1,184 @@
+module Bitset = Rtcad_util.Bitset
+
+let is_marked_graph net =
+  let ok = ref true in
+  for p = 0 to Petri.num_places net - 1 do
+    if List.length (Petri.producers net p) <> 1 || List.length (Petri.consumers net p) <> 1
+    then ok := false
+  done;
+  !ok
+
+let is_free_choice net =
+  let ok = ref true in
+  for p = 0 to Petri.num_places net - 1 do
+    match Petri.consumers net p with
+    | [] | [ _ ] -> ()
+    | consumers -> List.iter (fun t -> if Petri.pre net t <> [ p ] then ok := false) consumers
+  done;
+  !ok
+
+(* Exact rational arithmetic on (num, den) with den > 0. *)
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+let norm (n, d) =
+  if n = 0 then (0, 1)
+  else begin
+    let s = if d < 0 then -1 else 1 in
+    let g = gcd (abs n) (abs d) in
+    (s * n / g, s * d / g)
+  end
+
+let q_add (a, b) (c, d) = norm ((a * d) + (c * b), b * d)
+let q_mul (a, b) (c, d) = norm (a * c, b * d)
+let q_neg (a, b) = (-a, b)
+let q_div (a, b) (c, d) = if c = 0 then invalid_arg "div0" else norm (a * d, b * c)
+let q_zero = (0, 1)
+let q_is_zero (n, _) = n = 0
+
+(* Left kernel of the incidence matrix C (|P| x |T|): solve x^T C = 0,
+   i.e. the kernel of C^T (|T| x |P|) acting on place-indexed vectors.
+   Plain Gaussian elimination over Q; free variables yield basis
+   vectors. *)
+let place_invariants net =
+  let np = Petri.num_places net and nt = Petri.num_transitions net in
+  (* rows: transitions; columns: places; entry = post(t,p) - pre(t,p) *)
+  let a = Array.make_matrix nt np q_zero in
+  for t = 0 to nt - 1 do
+    List.iter (fun p -> a.(t).(p) <- q_add a.(t).(p) (1, 1)) (Petri.post net t);
+    List.iter (fun p -> a.(t).(p) <- q_add a.(t).(p) (-1, 1)) (Petri.pre net t)
+  done;
+  (* Row-reduce; record pivot column per row. *)
+  let pivot_of_row = Array.make nt (-1) in
+  let row = ref 0 in
+  for col = 0 to np - 1 do
+    if !row < nt then begin
+      (* find pivot *)
+      let p = ref (-1) in
+      for r = !row to nt - 1 do
+        if !p = -1 && not (q_is_zero a.(r).(col)) then p := r
+      done;
+      if !p >= 0 then begin
+        let tmp = a.(!row) in
+        a.(!row) <- a.(!p);
+        a.(!p) <- tmp;
+        let inv = q_div (1, 1) a.(!row).(col) in
+        for c = 0 to np - 1 do
+          a.(!row).(c) <- q_mul a.(!row).(c) inv
+        done;
+        for r = 0 to nt - 1 do
+          if r <> !row && not (q_is_zero a.(r).(col)) then begin
+            let f = a.(r).(col) in
+            for c = 0 to np - 1 do
+              a.(r).(c) <- q_add a.(r).(c) (q_neg (q_mul f a.(!row).(c)))
+            done
+          end
+        done;
+        pivot_of_row.(!row) <- col;
+        incr row
+      end
+    end
+  done;
+  let pivot_cols = Array.to_list (Array.sub pivot_of_row 0 !row) in
+  let is_pivot c = List.mem c pivot_cols in
+  let basis = ref [] in
+  for free = 0 to np - 1 do
+    if not (is_pivot free) then begin
+      (* x(free) = 1; pivots determined by their rows. *)
+      let x = Array.make np q_zero in
+      x.(free) <- (1, 1);
+      for r = 0 to !row - 1 do
+        let pc = pivot_of_row.(r) in
+        if pc >= 0 then x.(pc) <- q_neg a.(r).(free)
+      done;
+      (* scale to integers *)
+      let lcm = Array.fold_left (fun acc (_, d) -> acc * d / gcd acc d) 1 x in
+      let ints = Array.map (fun (n, d) -> n * (lcm / d)) x in
+      let g = Array.fold_left (fun acc v -> gcd acc v) 0 ints in
+      let ints = if g > 1 then Array.map (fun v -> v / g) ints else ints in
+      (* prefer mostly-positive orientation *)
+      let pos = Array.fold_left (fun acc v -> if v > 0 then acc + 1 else acc) 0 ints in
+      let neg = Array.fold_left (fun acc v -> if v < 0 then acc + 1 else acc) 0 ints in
+      let ints = if neg > pos then Array.map (fun v -> -v) ints else ints in
+      basis := ints :: !basis
+    end
+  done;
+  List.rev !basis
+
+(* Farkas' algorithm: minimal-support semi-positive invariants.  Work on
+   rows [C-part | identity-part]; cancel each transition column by
+   combining rows of opposite sign; keep the identity parts of the rows
+   whose C-part vanished. *)
+let semi_positive_invariants net =
+  let np = Petri.num_places net and nt = Petri.num_transitions net in
+  let row_of_place p =
+    let c = Array.make nt 0 in
+    List.iter (fun t -> if List.mem p (Petri.post net t) then c.(t) <- c.(t) + 1)
+      (List.init nt Fun.id);
+    List.iter (fun t -> if List.mem p (Petri.pre net t) then c.(t) <- c.(t) - 1)
+      (List.init nt Fun.id);
+    let id = Array.make np 0 in
+    id.(p) <- 1;
+    (c, id)
+  in
+  let support id =
+    Array.to_list id |> List.mapi (fun i v -> (i, v)) |> List.filter (fun (_, v) -> v > 0)
+    |> List.map fst
+  in
+  let subset a b = List.for_all (fun x -> List.mem x b) a in
+  let normalize (c, id) =
+    let g =
+      Array.fold_left (fun acc v -> gcd acc v) (Array.fold_left gcd 0 c) id
+    in
+    if g > 1 then (Array.map (fun v -> v / g) c, Array.map (fun v -> v / g) id)
+    else (c, id)
+  in
+  let minimal rows =
+    List.filter
+      (fun (_, id) ->
+        not
+          (List.exists
+             (fun (_, id') ->
+               id != id' && support id' <> support id && subset (support id') (support id))
+             rows))
+      rows
+  in
+  let rows = ref (List.init np row_of_place) in
+  for j = 0 to nt - 1 do
+    let zero, nonzero = List.partition (fun (c, _) -> c.(j) = 0) !rows in
+    let pos = List.filter (fun (c, _) -> c.(j) > 0) nonzero in
+    let neg = List.filter (fun (c, _) -> c.(j) < 0) nonzero in
+    let combined =
+      List.concat_map
+        (fun (c1, id1) ->
+          List.map
+            (fun (c2, id2) ->
+              let a = -c2.(j) and b = c1.(j) in
+              normalize
+                ( Array.init nt (fun k -> (a * c1.(k)) + (b * c2.(k))),
+                  Array.init np (fun k -> (a * id1.(k)) + (b * id2.(k))) ))
+            neg)
+        pos
+    in
+    rows := minimal (zero @ combined);
+    (* Cap blow-up on pathological nets. *)
+    if List.length !rows > 4096 then rows := zero
+  done;
+  List.filter_map
+    (fun (c, id) ->
+      if Array.for_all (fun v -> v = 0) c && Array.exists (fun v -> v > 0) id then Some id
+      else None)
+    !rows
+
+let invariant_token_count net x =
+  let m0 = Petri.initial_marking net in
+  let acc = ref 0 in
+  Array.iteri (fun p w -> if Bitset.mem m0 p then acc := !acc + w) x;
+  !acc
+
+let covered_by_unit_invariants net =
+  let unit_invs =
+    List.filter (fun x -> invariant_token_count net x = 1) (semi_positive_invariants net)
+  in
+  let covered = Array.make (Petri.num_places net) false in
+  List.iter (fun x -> Array.iteri (fun p w -> if w > 0 then covered.(p) <- true) x) unit_invs;
+  Array.for_all Fun.id covered

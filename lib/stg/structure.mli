@@ -1,0 +1,34 @@
+(** Structural analysis of Petri nets.
+
+    Structure theory gives certificates that do not require state-space
+    exploration: a {e place invariant} (a nonnegative weighting of places
+    whose weighted token count is constant under every firing) with token
+    count 1 certifies that all its places are mutually exclusive and safe;
+    the net classes (marked graph, free choice) bound which synthesis
+    techniques apply. *)
+
+val is_marked_graph : Petri.t -> bool
+(** Every place has exactly one producer and one consumer: no choice, no
+    merge — the class the FIFO controllers live in. *)
+
+val is_free_choice : Petri.t -> bool
+(** Whenever two transitions share an input place, that place is their
+    only input: choice is never influenced by other tokens. *)
+
+val place_invariants : Petri.t -> int array list
+(** A basis of the left kernel of the incidence matrix, scaled to
+    smallest nonnegative-where-possible integers: each vector [x]
+    satisfies [x · C = 0], i.e. [sum_p x.(p) * m(p)] is invariant.
+    Vectors with mixed signs are possible (the kernel basis is not
+    guaranteed nonnegative); {!semi_positive_invariants} filters. *)
+
+val semi_positive_invariants : Petri.t -> int array list
+(** The basis vectors that are componentwise nonnegative (and not zero). *)
+
+val invariant_token_count : Petri.t -> int array -> int
+(** Weighted token count of the initial marking under the invariant. *)
+
+val covered_by_unit_invariants : Petri.t -> bool
+(** Every place belongs to some semi-positive invariant whose initial
+    token count is 1 — a structural certificate of safety (1-boundedness)
+    for the places covered. *)

@@ -1,0 +1,143 @@
+module Stg = Rtcad_stg.Stg
+module Cube = Rtcad_logic.Cube
+module Cover = Rtcad_logic.Cover
+module Netlist = Rtcad_netlist.Netlist
+module Gate = Rtcad_netlist.Gate
+
+type style = Static_cmos | Domino_cmos of { footed : bool }
+
+let gate_style = function
+  | Static_cmos -> Gate.Static
+  | Domino_cmos { footed } -> Gate.Domino { footed }
+
+(* Literals of a cube as (net, negated) gate inputs. *)
+let cube_inputs net_of cube =
+  match Cube.literals cube with
+  | [] -> invalid_arg "Emit: constant-true cube in cover"
+  | lits -> List.map (fun (v, pol) -> (net_of v, not pol)) lits
+
+let cover_shape cover =
+  List.map (fun c -> List.length (Cube.literals c)) (Cover.cubes cover)
+
+let cover_flat_inputs net_of cover =
+  List.concat_map (cube_inputs net_of) (Cover.cubes cover)
+
+(* ---- Atomic emission: one gate per implementation. ---- *)
+
+let drive_atomic nl style net_of out impl =
+  match impl with
+  | Implement.Complex cover -> (
+    match Cover.cubes cover with
+    | [] -> invalid_arg "Emit: empty cover"
+    | [ cube ] when List.length (Cube.literals cube) = 1 ->
+      let src, neg = List.nth (cube_inputs net_of cube) 0 in
+      Netlist.set_driver nl out
+        (Gate.make (if neg then Gate.Not else Gate.Buf) ~fanin:1)
+        [ (src, false) ]
+    | _ ->
+      let shape = cover_shape cover in
+      let ins = cover_flat_inputs net_of cover in
+      Netlist.set_driver nl out
+        (Gate.make ~style:(gate_style style) (Gate.Sop shape) ~fanin:(List.length ins))
+        ins)
+  | Implement.Gc { set; reset } ->
+    let set_cubes = cover_shape set and reset_cubes = cover_shape reset in
+    let ins = cover_flat_inputs net_of set @ cover_flat_inputs net_of reset in
+    Netlist.set_driver nl out
+      (Gate.make ~style:(gate_style style)
+         (Gate.Sop_sr { set_cubes; reset_cubes })
+         ~fanin:(List.length ins))
+      ins
+
+(* ---- Decomposed emission: discrete AND/OR gates (not SI-safe). ---- *)
+
+(* The root of a cover as a (net, negated) pair, creating AND/OR gates as
+   needed.  Fresh nets are prefixed with [name]. *)
+let cover_root nl style net_of name cover =
+  let counter = ref 0 in
+  let fresh suffix =
+    incr counter;
+    Printf.sprintf "%s_%s%d" name suffix !counter
+  in
+  let cube_net cube =
+    match cube_inputs net_of cube with
+    | [ lit ] -> lit
+    | ins ->
+      let g = Gate.make ~style:(gate_style style) Gate.And ~fanin:(List.length ins) in
+      (Netlist.add_gate nl g ins (fresh "and"), false)
+  in
+  match Cover.cubes cover with
+  | [] -> invalid_arg "Emit: empty cover"
+  | [ cube ] -> cube_net cube
+  | cubes ->
+    let ins = List.map cube_net cubes in
+    let g = Gate.make ~style:(gate_style style) Gate.Or ~fanin:(List.length ins) in
+    (Netlist.add_gate nl g ins (fresh "or"), false)
+
+let drive_decomposed nl style net_of name out impl =
+  match impl with
+  | Implement.Complex cover -> (
+    match Cover.cubes cover with
+    | [] -> invalid_arg "Emit: empty cover"
+    | [ cube ] -> (
+      match cube_inputs net_of cube with
+      | [ (src, neg) ] ->
+        Netlist.set_driver nl out
+          (Gate.make (if neg then Gate.Not else Gate.Buf) ~fanin:1)
+          [ (src, false) ]
+      | ins ->
+        Netlist.set_driver nl out
+          (Gate.make ~style:(gate_style style) Gate.And ~fanin:(List.length ins))
+          ins)
+    | cubes ->
+      let counter = ref 0 in
+      let cube_net cube =
+        match cube_inputs net_of cube with
+        | [ lit ] -> lit
+        | ins ->
+          incr counter;
+          let g = Gate.make ~style:(gate_style style) Gate.And ~fanin:(List.length ins) in
+          (Netlist.add_gate nl g ins (Printf.sprintf "%s_and%d" name !counter), false)
+      in
+      let ins = List.map cube_net cubes in
+      Netlist.set_driver nl out
+        (Gate.make ~style:(gate_style style) Gate.Or ~fanin:(List.length ins))
+        ins)
+  | Implement.Gc { set; reset } ->
+    let s_net = cover_root nl style net_of (name ^ "_set") set in
+    let r_net = cover_root nl style net_of (name ^ "_rst") reset in
+    Netlist.set_driver nl out (Gate.make Gate.Set_reset ~fanin:2) [ s_net; r_net ]
+
+let emit ?(style = Static_cmos) ?(decompose = false) stg impls =
+  let nl = Netlist.create () in
+  let n = Stg.num_signals stg in
+  let nets = Array.make n (-1) in
+  List.iter
+    (fun s ->
+      if Stg.is_input stg s then nets.(s) <- Netlist.input nl (Stg.signal_name stg s))
+    (Stg.signals stg);
+  List.iter
+    (fun (s, _) ->
+      if Stg.is_input stg s then invalid_arg "Emit: implementation for an input signal";
+      nets.(s) <- Netlist.forward nl (Stg.signal_name stg s))
+    impls;
+  List.iter
+    (fun s ->
+      if nets.(s) < 0 then
+        invalid_arg
+          (Printf.sprintf "Emit: missing implementation for %s" (Stg.signal_name stg s)))
+    (Stg.signals stg);
+  let net_of s = nets.(s) in
+  List.iter
+    (fun (s, impl) ->
+      let name = Stg.signal_name stg s in
+      let out = nets.(s) in
+      if decompose then drive_decomposed nl style net_of name out impl
+      else drive_atomic nl style net_of out impl;
+      if Stg.kind stg s = Stg.Output then Netlist.mark_output nl out)
+    impls;
+  List.iter
+    (fun s -> Netlist.set_initial nl nets.(s) (Stg.initial_value stg s))
+    (Stg.signals stg);
+  Netlist.settle_initial nl;
+  nl

@@ -1,0 +1,30 @@
+(** Netlist generation from synthesized implementations.
+
+    By default every implementation becomes one {e atomic} gate — a
+    complex SOP gate or a generalized-C element — which is what makes
+    complex-gate synthesis speed-independent.  With [~decompose:true] the
+    covers are instead expanded into discrete AND/OR gates plus a
+    set-dominant latch; the resulting circuit is {e not} hazard-free under
+    unbounded delays (each internal node gets its own delay) and needs
+    relative-timing constraints to be verified — the "timing-aware logic
+    decomposition" direction of the paper's Section 6.
+
+    [Domino_cmos] renders gates in (un)footed domino — the style of the
+    paper's FIFO circuits; [Static_cmos] uses complementary static gates.
+    Input polarities ride on the nets (free bubbles), matching the cost
+    model of {!Rtcad_netlist.Gate}. *)
+
+type style = Static_cmos | Domino_cmos of { footed : bool }
+
+val emit :
+  ?style:style ->
+  ?decompose:bool ->
+  Rtcad_stg.Stg.t ->
+  (int * Implement.impl) list ->
+  Rtcad_netlist.Netlist.t
+(** [emit stg impls] builds the netlist.  Every STG input becomes a
+    primary input; every STG output is output-marked; initial net values
+    come from the STG's initial signal values
+    ({!Rtcad_netlist.Netlist.settle_initial} is applied).  Raises
+    [Invalid_argument] if an implementation list contains an input signal
+    or misses a non-input one. *)

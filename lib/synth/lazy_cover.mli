@@ -1,0 +1,37 @@
+(** Lazy (early-enabling) cover relaxation.
+
+    The paper's second source of optimization: a signal's set or reset
+    cover may be {e extended} into states where the transition is not yet
+    enabled by the specification — provided the events that would complete
+    the enabling are known (assumed) to occur before the lazily-enabled
+    signal actually fires.  The classic instance is the FIFO's state
+    signal: the reset of [x] waits for both [lo-] and [ro-] in the
+    specification, but the implementation fires off [ro-] alone, with
+    "[lo-] before [x-]" back-annotated as a required timing constraint
+    (Figure 5(c)).
+
+    [relax] re-minimizes the covers over the enlarged interval and derives,
+    for every cause of every transition instance, whether the relaxed
+    cover still structurally waits for it ({e guaranteed}) or relies on
+    timing (a {e Laziness}-origin assumption to back-annotate). *)
+
+type result = {
+  impl : Implement.impl;  (** possibly cheaper implementation *)
+  constraints : Rtcad_rt.Assumption.t list;
+      (** required orderings "cause before edge", origin [Laziness] *)
+  guaranteed : (int * int) list;
+      (** (cause transition, signal transition) orderings that the relaxed
+          cover still enforces structurally *)
+}
+
+val relax : Rtcad_sg.Sg.t -> Nextstate.spec -> Implement.impl -> result
+(** Only [Gc] implementations are relaxed; a [Complex] implementation is
+    returned unchanged with no constraints. *)
+
+val early_region : Rtcad_sg.Sg.t -> int -> Rtcad_logic.Bdd.t
+(** [early_region sg t]: codes of reachable states in which transition [t]
+    is not enabled, at least one of its input places is already marked,
+    the signal still has [t]'s source value, and every still-pending cause
+    is a non-input transition already enabled in that state (a race the
+    back-annotated constraint can win) — the states into which [t]'s
+    cover may lazily extend. *)

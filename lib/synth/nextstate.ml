@@ -1,0 +1,67 @@
+module Bdd = Rtcad_logic.Bdd
+module Sg = Rtcad_sg.Sg
+module Stg = Rtcad_stg.Stg
+
+type spec = {
+  signal : int;
+  on_set : Bdd.t;
+  off_set : Bdd.t;
+  dc_set : Bdd.t;
+  rise_region : Bdd.t;
+  fall_region : Bdd.t;
+  high_region : Bdd.t;
+  low_region : Bdd.t;
+}
+
+exception Conflict of int * string
+
+let minterm_of_state sg s =
+  let n = Stg.num_signals (Sg.stg sg) in
+  Bdd.of_minterm n (Array.init n (fun i -> Sg.value sg s i))
+
+let of_sg sg u =
+  let on = ref Bdd.zero
+  and off = ref Bdd.zero
+  and rise = ref Bdd.zero
+  and fall = ref Bdd.zero
+  and high = ref Bdd.zero
+  and low = ref Bdd.zero in
+  Sg.iter_states
+    (fun s ->
+      let m = minterm_of_state sg s in
+      let v = Sg.value sg s u and e = Sg.excited sg s u in
+      let next = v <> e in
+      if next then on := Bdd.bor !on m else off := Bdd.bor !off m;
+      match (v, e) with
+      | false, true -> rise := Bdd.bor !rise m
+      | true, true -> fall := Bdd.bor !fall m
+      | true, false -> high := Bdd.bor !high m
+      | false, false -> low := Bdd.bor !low m)
+    sg;
+  if not (Bdd.is_zero (Bdd.band !on !off)) then
+    raise
+      (Conflict
+         ( u,
+           Format.asprintf "signal %s: a code requires both next values"
+             (Stg.signal_name (Sg.stg sg) u) ));
+  {
+    signal = u;
+    on_set = !on;
+    off_set = !off;
+    dc_set = Bdd.bnot (Bdd.bor !on !off);
+    rise_region = !rise;
+    fall_region = !fall;
+    high_region = !high;
+    low_region = !low;
+  }
+
+let all sg = List.map (of_sg sg) (Stg.non_input_signals (Sg.stg sg))
+
+let pp sg ppf spec =
+  let stg = Sg.stg sg in
+  let n = Stg.num_signals stg in
+  Format.fprintf ppf "%s: on=%d off=%d dc=%d rise=%d fall=%d"
+    (Stg.signal_name stg spec.signal)
+    (Bdd.sat_count spec.on_set n) (Bdd.sat_count spec.off_set n)
+    (Bdd.sat_count spec.dc_set n) (Bdd.sat_count spec.rise_region n)
+    (Bdd.sat_count spec.fall_region n)

@@ -1,0 +1,40 @@
+(** Next-state functions extracted from a state graph.
+
+    For every non-input signal [u] the states of the graph are classified
+    by the implied next value of [u]: the {e on-set} (next value 1), the
+    {e off-set} (next value 0), and the {e don't-care} set (codes not
+    reachable in the graph — synthesizing from a relative-timing pruned
+    graph therefore automatically gains the pruned codes as don't-cares).
+    The excitation regions — where the signal is enabled to rise or to
+    fall — drive generalized-C (set/reset) implementations and the
+    monotonic-cover hazard check.  Lazy (early-enabling) relaxations are
+    handled downstream at the cover level ({!Lazy_cover}).
+
+    All sets are BDDs over the STG's signal indices. *)
+
+type spec = {
+  signal : int;
+  on_set : Rtcad_logic.Bdd.t;
+  off_set : Rtcad_logic.Bdd.t;
+  dc_set : Rtcad_logic.Bdd.t;
+  rise_region : Rtcad_logic.Bdd.t;  (** codes of states where [u+] is enabled *)
+  fall_region : Rtcad_logic.Bdd.t;  (** codes of states where [u-] is enabled *)
+  high_region : Rtcad_logic.Bdd.t;  (** codes where [u]=1 and stable *)
+  low_region : Rtcad_logic.Bdd.t;  (** codes where [u]=0 and stable *)
+}
+
+exception Conflict of int * string
+(** The graph violates CSC for this signal: some code is both in the
+    on-set and the off-set.  Carries the signal and a description. *)
+
+val of_sg : Rtcad_sg.Sg.t -> int -> spec
+(** [of_sg sg u] computes the specification of signal [u].  Raises
+    {!Conflict} on CSC violation. *)
+
+val all : Rtcad_sg.Sg.t -> spec list
+(** Specifications for every non-input signal. *)
+
+val minterm_of_state : Rtcad_sg.Sg.t -> int -> Rtcad_logic.Bdd.t
+(** Characteristic minterm of a state's code. *)
+
+val pp : Rtcad_sg.Sg.t -> Format.formatter -> spec -> unit

@@ -1,0 +1,112 @@
+type t = { n : int; bits : Bytes.t }
+
+let bytes_for n = (n + 7) / 8
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create";
+  { n; bits = Bytes.make (bytes_for n) '\000' }
+
+let capacity s = s.n
+
+let check s i =
+  if i < 0 || i >= s.n then invalid_arg "Bitset: index out of bounds"
+
+let mem s i =
+  check s i;
+  Char.code (Bytes.get s.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let with_copy s f =
+  let bits = Bytes.copy s.bits in
+  f bits;
+  { s with bits }
+
+let add s i =
+  check s i;
+  if mem s i then s
+  else
+    with_copy s (fun b ->
+        let j = i lsr 3 in
+        Bytes.set b j (Char.chr (Char.code (Bytes.get b j) lor (1 lsl (i land 7)))))
+
+let remove s i =
+  check s i;
+  if not (mem s i) then s
+  else
+    with_copy s (fun b ->
+        let j = i lsr 3 in
+        Bytes.set b j
+          (Char.chr (Char.code (Bytes.get b j) land lnot (1 lsl (i land 7)) land 0xff)))
+
+let set s i v = if v then add s i else remove s i
+
+let zip op a b =
+  if a.n <> b.n then invalid_arg "Bitset: capacity mismatch";
+  let len = Bytes.length a.bits in
+  let bits = Bytes.create len in
+  for j = 0 to len - 1 do
+    Bytes.set bits j
+      (Char.chr (op (Char.code (Bytes.get a.bits j)) (Char.code (Bytes.get b.bits j)) land 0xff))
+  done;
+  { a with bits }
+
+let union = zip ( lor )
+let inter = zip ( land )
+let diff = zip (fun x y -> x land lnot y)
+
+let is_empty s =
+  let rec go j = j >= Bytes.length s.bits || (Bytes.get s.bits j = '\000' && go (j + 1)) in
+  go 0
+
+let subset a b =
+  if a.n <> b.n then invalid_arg "Bitset: capacity mismatch";
+  let rec go j =
+    j >= Bytes.length a.bits
+    ||
+    let x = Char.code (Bytes.get a.bits j) and y = Char.code (Bytes.get b.bits j) in
+    x land lnot y = 0 && go (j + 1)
+  in
+  go 0
+
+let disjoint a b = is_empty (inter a b)
+
+let popcount_byte =
+  let tbl = Array.make 256 0 in
+  for i = 1 to 255 do
+    tbl.(i) <- tbl.(i lsr 1) + (i land 1)
+  done;
+  fun c -> tbl.(Char.code c)
+
+let cardinal s =
+  let acc = ref 0 in
+  Bytes.iter (fun c -> acc := !acc + popcount_byte c) s.bits;
+  !acc
+
+let equal a b = a.n = b.n && Bytes.equal a.bits b.bits
+let compare a b = if a.n <> b.n then Int.compare a.n b.n else Bytes.compare a.bits b.bits
+let hash s = Hashtbl.hash (s.n, s.bits)
+
+let iter f s =
+  for i = 0 to s.n - 1 do
+    if mem s i then f i
+  done
+
+let fold f s init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) s;
+  !acc
+
+let elements s = List.rev (fold (fun i acc -> i :: acc) s [])
+let of_list n xs = List.fold_left add (create n) xs
+
+let for_all p s = fold (fun i acc -> acc && p i) s true
+let exists p s = fold (fun i acc -> acc || p i) s false
+
+let pp ppf s =
+  Format.fprintf ppf "{";
+  let first = ref true in
+  iter
+    (fun i ->
+      if !first then first := false else Format.fprintf ppf " ";
+      Format.fprintf ppf "%d" i)
+    s;
+  Format.fprintf ppf "}"

@@ -1,0 +1,50 @@
+(** Immutable fixed-width bit sets.
+
+    A bit set is created with a fixed capacity [n] and holds a subset of
+    [0 .. n-1].  Values are immutable: all operations return fresh sets.
+    They are suitable for hash-table keys (structural equality and
+    [Hashtbl.hash] work, and dedicated {!equal}, {!compare} and {!hash}
+    are provided). *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty set with capacity [n].  [n >= 0]. *)
+
+val capacity : t -> int
+(** Number of elements the set can hold (the [n] given to {!create}). *)
+
+val mem : t -> int -> bool
+(** [mem s i] tests membership.  Raises [Invalid_argument] if [i] is out of
+    [0 .. capacity - 1]. *)
+
+val add : t -> int -> t
+val remove : t -> int -> t
+val set : t -> int -> bool -> t
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+
+val is_empty : t -> bool
+val subset : t -> t -> bool
+(** [subset a b] is [true] iff every element of [a] is in [b]. *)
+
+val disjoint : t -> t -> bool
+val cardinal : t -> int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val iter : (int -> unit) -> t -> unit
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val elements : t -> int list
+val of_list : int -> int list -> t
+(** [of_list n xs] is the set of capacity [n] containing [xs]. *)
+
+val for_all : (int -> bool) -> t -> bool
+val exists : (int -> bool) -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [{0 3 7}]. *)

@@ -1,0 +1,20 @@
+(** Mutable binary min-heaps keyed by integer priorities.
+
+    Used as the event queue of the discrete-event simulators.  Ties are
+    broken by insertion order (FIFO among equal keys), which makes
+    simulations deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+val push : 'a t -> int -> 'a -> unit
+(** [push h key v] inserts [v] with priority [key]. *)
+
+val pop : 'a t -> (int * 'a) option
+(** Removes and returns the entry with the smallest key, FIFO among ties. *)
+
+val peek_key : 'a t -> int option
+val clear : 'a t -> unit

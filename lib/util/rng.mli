@@ -1,0 +1,28 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    All stochastic components of the library (workload generation, random
+    test sequences, randomized environment delays) draw from this generator
+    so that experiments are reproducible from a seed. *)
+
+type t
+
+val create : int -> t
+(** [create seed] is a fresh generator. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0 .. bound-1].  [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0 .. bound). *)
+
+val bool : t -> bool
+
+val pick : t -> 'a array -> 'a
+(** Uniform choice from a non-empty array. *)
+
+val weighted : t -> (int * 'a) list -> 'a
+(** [weighted t choices] picks with probability proportional to the integer
+    weights.  Total weight must be positive. *)
+
+val split : t -> t
+(** An independent generator derived from the current state. *)

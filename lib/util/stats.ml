@@ -1,0 +1,42 @@
+(* Welford's online algorithm for numerically stable mean/variance. *)
+
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable min_v : float;
+  mutable max_v : float;
+  mutable sum : float;
+}
+
+let create () =
+  { n = 0; mean = 0.0; m2 = 0.0; min_v = infinity; max_v = neg_infinity; sum = 0.0 }
+
+let add t x =
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. x;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.min_v then t.min_v <- x;
+  if x > t.max_v then t.max_v <- x
+
+let count t = t.n
+let mean t = if t.n = 0 then 0.0 else t.mean
+
+let min_value t =
+  if t.n = 0 then invalid_arg "Stats.min_value: empty";
+  t.min_v
+
+let max_value t =
+  if t.n = 0 then invalid_arg "Stats.max_value: empty";
+  t.max_v
+
+let stddev t = if t.n < 2 then 0.0 else sqrt (t.m2 /. float_of_int t.n)
+let total t = t.sum
+
+let pp ppf t =
+  if t.n = 0 then Format.fprintf ppf "n=0"
+  else
+    Format.fprintf ppf "n=%d mean=%.3f min=%.3f max=%.3f sd=%.3f" t.n (mean t) t.min_v
+      t.max_v (stddev t)

@@ -1,0 +1,21 @@
+(** Streaming summary statistics (count, mean, min, max, variance). *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+(** 0 when empty. *)
+
+val min_value : t -> float
+(** Raises [Invalid_argument] when empty. *)
+
+val max_value : t -> float
+(** Raises [Invalid_argument] when empty. *)
+
+val stddev : t -> float
+(** Population standard deviation; 0 when fewer than two samples. *)
+
+val total : t -> float
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,367 @@
+module Bitset = Rtcad_util.Bitset
+module Stg = Rtcad_stg.Stg
+module Petri = Rtcad_stg.Petri
+module Sg = Rtcad_sg.Sg
+module Netlist = Rtcad_netlist.Netlist
+module Gate = Rtcad_netlist.Gate
+module Assumption = Rtcad_rt.Assumption
+
+type move = Env of int | Gate of Netlist.net * bool
+
+type failure =
+  | Unexpected_output of { net : Netlist.net; value : bool; trace : move list }
+  | Hazard of {
+      net : Netlist.net;
+      target : bool;  (* the value the gate was driving towards *)
+      cause : move;
+      trace : move list;
+    }
+  | Deadlock of { trace : move list }
+
+type net_edge = { net : Netlist.net; rising : bool }
+
+type result = {
+  ok : bool;
+  failures : failure list;
+  configurations : int;
+  used_constraints : Assumption.t list;
+  used_net_constraints : (net_edge * net_edge) list;
+}
+
+exception Bound_exceeded of int
+
+(* A configuration pairs the vector of net values with a spec state. *)
+module Config = struct
+  type t = { values : Bitset.t; spec : int }
+
+  let equal a b = a.spec = b.spec && Bitset.equal a.values b.values
+  let hash a = (Bitset.hash a.values * 31) + a.spec
+end
+
+module Config_tbl = Hashtbl.Make (Config)
+
+type ctx = {
+  circuit : Netlist.t;
+  spec : Stg.t;
+  spec_sg : Sg.t;
+  (* net -> spec signal (or -1), and signal -> net (or -1) *)
+  signal_of_net : int array;
+  net_of_signal : int array;
+}
+
+let build_ctx circuit spec =
+  let spec_sg = Sg.build spec in
+  let n_nets = Netlist.num_nets circuit in
+  let n_sigs = Stg.num_signals spec in
+  let signal_of_net = Array.make n_nets (-1) in
+  let net_of_signal = Array.make n_sigs (-1) in
+  List.iter
+    (fun s ->
+      let name = Stg.signal_name spec s in
+      match Netlist.find_net circuit name with
+      | net ->
+        signal_of_net.(net) <- s;
+        net_of_signal.(s) <- net;
+        if Stg.is_input spec s && not (Netlist.is_input circuit net) then
+          invalid_arg
+            (Printf.sprintf "Conformance: spec input %s is driven by the circuit" name);
+        if (not (Stg.is_input spec s)) && Netlist.is_input circuit net then
+          invalid_arg
+            (Printf.sprintf "Conformance: spec non-input %s is a circuit input" name)
+      | exception Not_found ->
+        if Stg.is_input spec s then
+          invalid_arg
+            (Printf.sprintf "Conformance: spec input %s missing from circuit" name))
+    (Stg.signals spec);
+  (* Every circuit primary input must be controlled by the spec. *)
+  List.iter
+    (fun net ->
+      if signal_of_net.(net) = -1 then
+        invalid_arg
+          (Printf.sprintf "Conformance: circuit input %s not a spec signal"
+             (Netlist.net_name circuit net)))
+    (Netlist.inputs circuit);
+  { circuit; spec; spec_sg; signal_of_net; net_of_signal }
+
+let eval_net ctx values net =
+  match Netlist.driver ctx.circuit net with
+  | None -> Bitset.mem values net
+  | Some (g, ins) ->
+    Gate.eval g
+      ~current:(Bitset.mem values net)
+      (List.map (fun (i, neg) -> Bitset.mem values i <> neg) ins)
+
+let excited ctx values net =
+  Netlist.driver ctx.circuit net <> None && eval_net ctx values net <> Bitset.mem values net
+
+let gate_nets ctx =
+  List.filter
+    (fun n -> Netlist.driver ctx.circuit n <> None)
+    (List.init (Netlist.num_nets ctx.circuit) Fun.id)
+
+let dir_of_value v = if v then Stg.Rise else Stg.Fall
+
+(* Does the edge (signal, dir) of a constraint endpoint count as enabled
+   in this configuration? *)
+let endpoint_enabled ctx (cfg : Config.t) t =
+  match Stg.label ctx.spec t with
+  | Stg.Dummy -> false
+  | Stg.Edge { signal; dir } ->
+    let net = ctx.net_of_signal.(signal) in
+    if (not (Stg.is_input ctx.spec signal)) && net >= 0 then
+      excited ctx cfg.values net
+      && dir_of_value (eval_net ctx cfg.values net) = dir
+    else List.mem t (Sg.enabled ctx.spec_sg cfg.spec)
+
+(* Spec transitions matching a move. *)
+let move_spec_edges ctx (cfg : Config.t) = function
+  | Env t -> [ t ]
+  | Gate (net, v) ->
+    let s = ctx.signal_of_net.(net) in
+    if s = -1 then []
+    else
+      List.filter
+        (fun t ->
+          match Stg.label ctx.spec t with
+          | Stg.Edge { signal; dir } -> signal = s && dir = dir_of_value v
+          | Stg.Dummy -> false)
+        (Sg.enabled ctx.spec_sg cfg.spec)
+
+let check ?(constraints = []) ?(net_constraints = []) ?(max_configurations = 200_000)
+    ?(max_failures = 10) ~circuit ~spec () =
+  let ctx = build_ctx circuit spec in
+  let gate_nets = gate_nets ctx in
+  (* Initial configuration; check inputs agree with the spec reset state. *)
+  let init_values =
+    List.fold_left
+      (fun acc n -> Bitset.set acc n (Netlist.initial_value circuit n))
+      (Bitset.create (Netlist.num_nets circuit))
+      (List.init (Netlist.num_nets circuit) Fun.id)
+  in
+  let init = { Config.values = init_values; spec = Sg.initial ctx.spec_sg } in
+  List.iter
+    (fun s ->
+      let net = ctx.net_of_signal.(s) in
+      if net >= 0 && Stg.initial_value ctx.spec s <> Bitset.mem init_values net then
+        invalid_arg
+          (Printf.sprintf "Conformance: initial value of %s disagrees with spec"
+             (Stg.signal_name ctx.spec s)))
+    (Stg.signals ctx.spec);
+  let visited = Config_tbl.create 1024 in
+  let parent : (move * Config.t) Config_tbl.t = Config_tbl.create 1024 in
+  let queue = Queue.create () in
+  Config_tbl.replace visited init ();
+  Queue.add init queue;
+  let failures = ref [] in
+  let failure_count = ref 0 in
+  let seen_failures = Hashtbl.create 16 in
+  let used = Hashtbl.create 16 in
+  let configurations = ref 1 in
+  let trace_of cfg =
+    let rec go cfg acc =
+      match Config_tbl.find_opt parent cfg with
+      | None -> acc
+      | Some (m, p) -> go p (m :: acc)
+    in
+    go cfg []
+  in
+  let record_failure key f =
+    if not (Hashtbl.mem seen_failures key) then begin
+      Hashtbl.add seen_failures key ();
+      failures := f :: !failures;
+      incr failure_count
+    end
+  in
+  (* All candidate moves in a configuration (before constraint filtering). *)
+  let moves_of (cfg : Config.t) =
+    let env =
+      List.filter_map
+        (fun t ->
+          match Stg.label ctx.spec t with
+          | Stg.Edge { signal; _ } when Stg.is_input ctx.spec signal -> Some (Env t)
+          | Stg.Edge _ | Stg.Dummy -> None)
+        (Sg.enabled ctx.spec_sg cfg.spec)
+    in
+    let gates =
+      List.filter_map
+        (fun n ->
+          if excited ctx cfg.values n then Some (Gate (n, eval_net ctx cfg.values n))
+          else None)
+        gate_nets
+    in
+    env @ gates
+  in
+  let used_net = Hashtbl.create 16 in
+  let net_edge_enabled ctx (cfg : Config.t) (e : net_edge) =
+    excited ctx cfg.Config.values e.net
+    && eval_net ctx cfg.Config.values e.net = e.rising
+  in
+  let blocked_net cfg m =
+    (* The move's net edge: gate moves directly, environment moves through
+       the driven input net ("the environment producing a- must be slower
+       than bc+", Section 5). *)
+    let edge =
+      match m with
+      | Gate (net, v) -> Some (net, v)
+      | Env t -> (
+        match Stg.label ctx.spec t with
+        | Stg.Edge { signal; dir } when ctx.net_of_signal.(signal) >= 0 ->
+          Some (ctx.net_of_signal.(signal), dir = Stg.Rise)
+        | Stg.Edge _ | Stg.Dummy -> None)
+    in
+    match edge with
+    | None -> []
+    | Some (net, v) ->
+      List.filter
+        (fun (first, second) ->
+          second.net = net && second.rising = v && net_edge_enabled ctx cfg first)
+        net_constraints
+  in
+  let blocked cfg m =
+    let second_edges =
+      match m with
+      | Env t -> [ t ]
+      | Gate (net, v) ->
+        let s = ctx.signal_of_net.(net) in
+        if s = -1 then []
+        else Stg.transitions_of ctx.spec s (dir_of_value v)
+    in
+    List.filter
+      (fun a ->
+        List.mem a.Assumption.second second_edges
+        && (not (List.mem a.Assumption.first second_edges))
+        && endpoint_enabled ctx cfg a.Assumption.first)
+      constraints
+  in
+  let apply cfg m =
+    match m with
+    | Env t ->
+      let s =
+        match Stg.label ctx.spec t with
+        | Stg.Edge { signal; _ } -> signal
+        | Stg.Dummy -> assert false
+      in
+      let net = ctx.net_of_signal.(s) in
+      let values =
+        if net >= 0 then
+          Bitset.set cfg.Config.values net (not (Bitset.mem cfg.Config.values net))
+        else cfg.Config.values
+      in
+      let spec' =
+        match List.assoc_opt t (Sg.succs ctx.spec_sg cfg.Config.spec) with
+        | Some s' -> s'
+        | None -> assert false
+      in
+      Some { Config.values; spec = spec' }
+    | Gate (net, v) -> (
+      let values = Bitset.set cfg.Config.values net v in
+      match ctx.signal_of_net.(net) with
+      | -1 -> Some { cfg with Config.values }
+      | _s -> (
+        match move_spec_edges ctx cfg m with
+        | t :: _ ->
+          let spec' =
+            match List.assoc_opt t (Sg.succs ctx.spec_sg cfg.Config.spec) with
+            | Some s' -> s'
+            | None -> assert false
+          in
+          Some { Config.values; spec = spec' }
+        | [] ->
+          record_failure
+            (`Output (net, v))
+            (Unexpected_output { net; value = v; trace = trace_of cfg @ [ m ] });
+          None))
+  in
+  while (not (Queue.is_empty queue)) && !failure_count < max_failures do
+    let cfg = Queue.pop queue in
+    let all_moves = moves_of cfg in
+    let allowed_moves =
+      List.filter
+        (fun m ->
+          let spec_blockers = blocked cfg m and net_blockers = blocked_net cfg m in
+          List.iter
+            (fun a -> Hashtbl.replace used (a.Assumption.first, a.Assumption.second) a)
+            spec_blockers;
+          List.iter (fun nc -> Hashtbl.replace used_net nc ()) net_blockers;
+          spec_blockers = [] && net_blockers = [])
+        all_moves
+    in
+    if allowed_moves = [] then begin
+      if Sg.enabled ctx.spec_sg cfg.Config.spec <> [] then
+        record_failure (`Deadlock cfg.Config.spec) (Deadlock { trace = trace_of cfg })
+    end
+    else
+      List.iter
+        (fun m ->
+          match apply cfg m with
+          | None -> ()
+          | Some cfg' ->
+            (* Semi-modularity: a gate excited before the move must still be
+               excited (or have fired) after it. *)
+            let fired_net = match m with Gate (n, _) -> n | Env _ -> -1 in
+            List.iter
+              (fun n ->
+                if
+                  n <> fired_net
+                  && excited ctx cfg.Config.values n
+                  && not (excited ctx cfg'.Config.values n)
+                then
+                  record_failure (`Hazard n)
+                    (Hazard
+                       {
+                         net = n;
+                         target = eval_net ctx cfg.Config.values n;
+                         cause = m;
+                         trace = trace_of cfg @ [ m ];
+                       }))
+              gate_nets;
+            if not (Config_tbl.mem visited cfg') then begin
+              if !configurations >= max_configurations then
+                raise (Bound_exceeded max_configurations);
+              Config_tbl.replace visited cfg' ();
+              Config_tbl.replace parent cfg' (m, cfg);
+              incr configurations;
+              Queue.add cfg' queue
+            end)
+        allowed_moves
+  done;
+  {
+    ok = !failures = [];
+    failures = List.rev !failures;
+    configurations = !configurations;
+    used_constraints =
+      List.sort Assumption.compare (Hashtbl.fold (fun _ a acc -> a :: acc) used []);
+    used_net_constraints = Hashtbl.fold (fun nc () acc -> nc :: acc) used_net [];
+  }
+
+let pp_move circuit spec ppf = function
+  | Env t -> Format.fprintf ppf "%a" (Stg.pp_transition spec) t
+  | Gate (net, v) ->
+    Format.fprintf ppf "%s%s" (Netlist.net_name circuit net) (if v then "+" else "-")
+
+let pp_trace circuit spec ppf trace =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf " ")
+    (pp_move circuit spec) ppf trace
+
+let pp_failure circuit spec ppf = function
+  | Unexpected_output { net; value; trace } ->
+    Format.fprintf ppf "unexpected output %s%s after [%a]" (Netlist.net_name circuit net)
+      (if value then "+" else "-")
+      (pp_trace circuit spec) trace
+  | Hazard { net; target; cause; trace } ->
+    Format.fprintf ppf "hazard on %s%s caused by %a after [%a]"
+      (Netlist.net_name circuit net)
+      (if target then "+" else "-")
+      (pp_move circuit spec) cause
+      (pp_trace circuit spec) trace
+  | Deadlock { trace } ->
+    Format.fprintf ppf "deadlock after [%a]" (pp_trace circuit spec) trace
+
+let pp_result circuit spec ppf r =
+  if r.ok then Format.fprintf ppf "conforms (%d configurations)" r.configurations
+  else begin
+    Format.fprintf ppf "@[<v>FAILS (%d configurations):@," r.configurations;
+    List.iter (fun f -> Format.fprintf ppf "  %a@," (pp_failure circuit spec) f) r.failures;
+    Format.fprintf ppf "@]"
+  end

@@ -1,0 +1,76 @@
+module Netlist = Rtcad_netlist.Netlist
+module Gate = Rtcad_netlist.Gate
+module Sim = Rtcad_netlist.Sim
+
+type suggestion = { net : Netlist.net; factor : float }
+
+type report = {
+  verdicts : (Paths.t * Separation.verdict) list;
+  suggestions : suggestion list;
+  all_hold : bool;
+}
+
+(* Gate outputs along a path (primary-input hops carry no sizing handle). *)
+let sizable_steps nl (p : Paths.path) =
+  List.filter_map
+    (fun (e : Sim.event) ->
+      match Netlist.driver nl e.Sim.net with Some _ -> Some e.Sim.net | None -> None)
+    p.Paths.steps
+
+let analyze ?(margin = 0.2) ?(safety = 0.9) nl paths =
+  let verdicts = List.map (fun p -> (p, Separation.check ~margin nl p)) paths in
+  let suggestions =
+    List.concat_map
+      (fun ((p : Paths.t), (v : Separation.verdict)) ->
+        if v.Separation.holds then []
+        else begin
+          (* Speed the fast path so that max(fast)·f < min(slow). *)
+          let needed =
+            if v.Separation.fast.Separation.max_ps <= 0.0 then 1.0
+            else
+              safety *. v.Separation.slow.Separation.min_ps
+              /. v.Separation.fast.Separation.max_ps
+          in
+          let factor = min 1.0 needed in
+          List.map (fun net -> { net; factor }) (sizable_steps nl p.Paths.fast)
+        end)
+      verdicts
+  in
+  (* Several constraints may ask to size the same gate: keep the most
+     demanding factor. *)
+  let table = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      match Hashtbl.find_opt table s.net with
+      | Some f when f <= s.factor -> ()
+      | Some _ | None -> Hashtbl.replace table s.net s.factor)
+    suggestions;
+  let suggestions =
+    List.sort compare (Hashtbl.fold (fun net factor acc -> { net; factor } :: acc) table [])
+  in
+  {
+    verdicts;
+    suggestions;
+    all_hold = List.for_all (fun (_, v) -> v.Separation.holds) verdicts;
+  }
+
+let sized_delay report net gate =
+  let base = Gate.delay_ps gate in
+  match List.find_opt (fun s -> s.net = net) report.suggestions with
+  | Some s -> base *. s.factor
+  | None -> base
+
+let pp_report nl ppf r =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (p, v) ->
+      Format.fprintf ppf "%a@,  %a@," (Paths.pp nl) p Separation.pp_verdict v)
+    r.verdicts;
+  if r.suggestions = [] then Format.fprintf ppf "no sizing needed@"
+  else
+    List.iter
+      (fun s ->
+        Format.fprintf ppf "size up %s: delay x%.2f@," (Netlist.net_name nl s.net)
+          s.factor)
+      r.suggestions;
+  Format.fprintf ppf "@]"

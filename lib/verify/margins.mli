@@ -1,0 +1,39 @@
+(** Race-margin analysis and sizing suggestions — the paper's Section 6
+    direction "automatic propagation of relative timing constraints to
+    sizing tools and physical design flow … the sizing tool should know
+    how much race margin to take".
+
+    Every relative-timing requirement, once turned into a pair of causal
+    paths ({!Paths}), becomes a delay constraint: the fast path's maximum
+    delay must stay below the slow path's minimum.  {!analyze} reports the
+    slack of every constraint under a process-variation margin and, for
+    the violated ones, the speed-up factor the fast path's gates need —
+    the input a transistor-sizing tool would consume. *)
+
+type suggestion = {
+  net : Rtcad_netlist.Netlist.net;  (** output of the gate to speed up *)
+  factor : float;  (** multiply this gate's delay by the factor (< 1) *)
+}
+
+type report = {
+  verdicts : (Paths.t * Separation.verdict) list;
+  suggestions : suggestion list;
+  all_hold : bool;  (** before sizing *)
+}
+
+val analyze :
+  ?margin:float ->
+  ?safety:float ->
+  Rtcad_netlist.Netlist.t ->
+  Paths.t list ->
+  report
+(** [margin] is the ±process variation (default 0.2); [safety] an extra
+    multiplicative guard band on the suggested factors (default 0.9). *)
+
+val sized_delay :
+  report -> Rtcad_netlist.Netlist.net -> Rtcad_netlist.Gate.t -> float
+(** A per-instance delay model with the report's suggestions applied —
+    plug into {!Rtcad_netlist.Sim.create} to re-characterize the sized
+    circuit and confirm the races now hold. *)
+
+val pp_report : Rtcad_netlist.Netlist.t -> Format.formatter -> report -> unit

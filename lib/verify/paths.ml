@@ -1,0 +1,63 @@
+module Sim = Rtcad_netlist.Sim
+module Netlist = Rtcad_netlist.Netlist
+
+type edge = { net : Netlist.net; value : bool }
+type path = { anchor : Sim.event; steps : Sim.event list }
+type t = { fast : path; slow : path }
+
+let ancestry by_id (e : Sim.event) =
+  let rec go e acc =
+    match e.Sim.cause with
+    | None -> e :: acc
+    | Some id -> (
+      match Hashtbl.find_opt by_id id with
+      | None -> e :: acc
+      | Some parent -> go parent (e :: acc))
+  in
+  go e [] (* oldest first, endpoint last *)
+
+let derive events ~fast ~slow =
+  let by_id = Hashtbl.create 256 in
+  List.iter (fun (e : Sim.event) -> Hashtbl.replace by_id e.Sim.id e) events;
+  let find_last p =
+    List.fold_left (fun acc e -> if p e then Some e else acc) None events
+  in
+  let matches (edge : edge) (e : Sim.event) =
+    e.Sim.net = edge.net && e.Sim.value = edge.value
+  in
+  match find_last (matches slow) with
+  | None -> None
+  | Some slow_event -> (
+    match
+      find_last (fun e -> matches fast e && e.Sim.at <= slow_event.Sim.at)
+    with
+    | None -> None
+    | Some fast_event ->
+      let fast_chain = ancestry by_id fast_event in
+      let slow_chain = ancestry by_id slow_event in
+      (* Longest common prefix = shared history; its last element is the
+         earliest common enabling event. *)
+      let rec split prefix_last fc sc =
+        match (fc, sc) with
+        | f :: fr, s :: sr when f.Sim.id = s.Sim.id -> split (Some f) fr sr
+        | _ -> (prefix_last, fc, sc)
+      in
+      (match split None fast_chain slow_chain with
+      | Some anchor, fast_steps, slow_steps ->
+        Some
+          {
+            fast = { anchor; steps = fast_steps };
+            slow = { anchor; steps = slow_steps };
+          }
+      | None, _, _ -> None))
+
+let pp_event nl ppf (e : Sim.event) =
+  Format.fprintf ppf "%s%s" (Netlist.net_name nl e.Sim.net)
+    (if e.Sim.value then "+" else "-")
+
+let pp_path nl ppf p =
+  Format.fprintf ppf "%a" (pp_event nl) p.anchor;
+  List.iter (fun e -> Format.fprintf ppf " -> %a" (pp_event nl) e) p.steps
+
+let pp nl ppf t =
+  Format.fprintf ppf "[%a] must beat [%a]" (pp_path nl) t.fast (pp_path nl) t.slow

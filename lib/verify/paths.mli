@@ -1,0 +1,30 @@
+(** Path constraints from relative-timing requirements (Section 5).
+
+    An RT requirement "[a] before [b]" is turned into a pair of causal
+    paths by finding the {e earliest common enabling event}: walking the
+    causal history of a timed execution back from both endpoints to their
+    nearest common ancestor.  The requirement then becomes "the path from
+    the ancestor to [a] must be faster than the path from the ancestor to
+    [b]" — which {!Separation} checks against delay bounds, playing the
+    role of the paper's "SPICE simulations or separation analysis". *)
+
+type edge = { net : Rtcad_netlist.Netlist.net; value : bool }
+
+type path = {
+  anchor : Rtcad_netlist.Sim.event;  (** the common enabling event *)
+  steps : Rtcad_netlist.Sim.event list;  (** from just after the anchor to the endpoint *)
+}
+
+type t = {
+  fast : path;  (** must complete first *)
+  slow : path;
+}
+
+val derive :
+  Rtcad_netlist.Sim.event list -> fast:edge -> slow:edge -> t option
+(** [derive events ~fast ~slow] locates the last occurrence of the [slow]
+    edge in the trace, the latest occurrence of the [fast] edge at or
+    before it, and intersects their causal ancestries.  [None] if either
+    edge never fires or the histories never meet. *)
+
+val pp : Rtcad_netlist.Netlist.t -> Format.formatter -> t -> unit

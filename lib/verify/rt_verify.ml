@@ -1,0 +1,43 @@
+module Assumption = Rtcad_rt.Assumption
+
+type report = {
+  untimed_ok : bool;
+  required : Assumption.t list;
+  failures_untimed : int;
+  configurations : int;
+}
+
+exception Not_verifiable
+
+let verify ?max_configurations ~circuit ~spec ~assumptions () =
+  let check constraints =
+    Conformance.check ?max_configurations ~constraints ~circuit ~spec ()
+  in
+  let untimed = check [] in
+  if untimed.Conformance.ok then
+    {
+      untimed_ok = true;
+      required = [];
+      failures_untimed = 0;
+      configurations = untimed.Conformance.configurations;
+    }
+  else begin
+    let full = check assumptions in
+    if not full.Conformance.ok then raise Not_verifiable;
+    (* Start from the constraints the full run actually used, then drop
+       greedily. *)
+    let keep = ref full.Conformance.used_constraints in
+    List.iter
+      (fun a ->
+        let trial = List.filter (fun b -> not (Assumption.equal a b)) !keep in
+        if (check trial).Conformance.ok then keep := trial)
+      full.Conformance.used_constraints;
+    let final = check !keep in
+    assert final.Conformance.ok;
+    {
+      untimed_ok = false;
+      required = !keep;
+      failures_untimed = List.length untimed.Conformance.failures;
+      configurations = final.Conformance.configurations;
+    }
+  end

@@ -1,0 +1,29 @@
+(** Relative-timing verification: find the constraint set a circuit needs.
+
+    Given a circuit that fails speed-independent conformance, search for a
+    minimal subset of the proposed assumptions under which it conforms —
+    the back-annotation step: those constraints "must be shown to be valid
+    in the implementation" (Section 5). *)
+
+type report = {
+  untimed_ok : bool;  (** conforms with no assumptions at all *)
+  required : Rtcad_rt.Assumption.t list;
+      (** a minimal (irredundant) subset sufficient for conformance *)
+  failures_untimed : int;  (** failure count without constraints *)
+  configurations : int;  (** of the final constrained check *)
+}
+
+exception Not_verifiable
+(** Even the full assumption set does not make the circuit conform. *)
+
+val verify :
+  ?max_configurations:int ->
+  circuit:Rtcad_netlist.Netlist.t ->
+  spec:Rtcad_stg.Stg.t ->
+  assumptions:Rtcad_rt.Assumption.t list ->
+  unit ->
+  report
+(** Greedy minimization: start from the constraints the full check
+    actually used, then drop each in turn if conformance survives.  The
+    result is irredundant (removing any one breaks conformance), though
+    not necessarily globally minimum. *)

@@ -1,0 +1,29 @@
+module Netlist = Rtcad_netlist.Netlist
+module Sim = Rtcad_netlist.Sim
+
+type bounds = { min_ps : float; max_ps : float }
+
+(* The nominal per-step delays are taken from the characterization run the
+   path was extracted from (the step timestamps), so environment hops are
+   included at their observed latency; the margin widens every step
+   symmetrically, modelling process variation. *)
+let path_bounds ?(margin = 0.2) _nl (p : Paths.path) =
+  let span =
+    match List.rev p.Paths.steps with
+    | [] -> 0.0
+    | last :: _ -> last.Sim.at -. p.Paths.anchor.Sim.at
+  in
+  { min_ps = span *. (1.0 -. margin); max_ps = span *. (1.0 +. margin) }
+
+type verdict = { holds : bool; slack_ps : float; fast : bounds; slow : bounds }
+
+let check ?margin nl (t : Paths.t) =
+  let fast = path_bounds ?margin nl t.Paths.fast in
+  let slow = path_bounds ?margin nl t.Paths.slow in
+  let slack_ps = slow.min_ps -. fast.max_ps in
+  { holds = slack_ps > 0.0; slack_ps; fast; slow }
+
+let pp_verdict ppf v =
+  Format.fprintf ppf "%s: fast [%.0f,%.0f]ps vs slow [%.0f,%.0f]ps, slack %.0fps"
+    (if v.holds then "holds" else "VIOLATED")
+    v.fast.min_ps v.fast.max_ps v.slow.min_ps v.slow.max_ps v.slack_ps

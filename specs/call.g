@@ -1,0 +1,24 @@
+# call — built-in specification of the rtcad library
+.model stg
+.inputs r1 r2 as
+.outputs a1 a2 rs
+.graph
+r1+ rs+
+rs+ as+
+as+ a1+
+a1+ r1-
+r1- rs-
+rs- as-
+as- a1-
+a1- sel
+r2+ rs+/2
+rs+/2 as+/2
+as+/2 a2+
+a2+ r2-
+r2- rs-/2
+rs-/2 as-/2
+as-/2 a2-
+a2- sel
+sel r1+ r2+
+.marking { sel }
+.end

@@ -1,0 +1,13 @@
+# celement — built-in specification of the rtcad library
+.model stg
+.inputs a b
+.outputs c
+.graph
+a+ c+
+c+ a- b-
+b+ c+
+a- c-
+b- c-
+c- a+ b+
+.marking { <c-,a+> <c-,b+> }
+.end

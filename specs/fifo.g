@@ -1,0 +1,17 @@
+# fifo — built-in specification of the rtcad library
+.model stg
+.inputs li ri
+.outputs lo ro
+.dummy eps
+.graph
+li+ lo+
+lo+ li- ro+
+li- lo-
+lo- li+
+ro+ ri+
+ri+ ro-
+ro- ri-
+ri- eps
+eps lo+
+.marking { <lo-,li+> <eps,lo+> }
+.end

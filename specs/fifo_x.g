@@ -1,0 +1,18 @@
+# fifo_x — built-in specification of the rtcad library
+.model stg
+.inputs li ri
+.outputs lo ro
+.internal x
+.graph
+li+ lo+
+lo+ li- ro+ x+
+li- lo-
+lo- li+ x-
+ro+ ri+
+ri+ ro-
+ro- ri- x-
+ri- lo+
+x+ x-
+x- lo+
+.marking { <lo-,li+> <x-,lo+> <ri-,lo+> }
+.end

@@ -1,0 +1,15 @@
+# pipeline — built-in specification of the rtcad library
+.model stg
+.inputs rin aout
+.outputs rout ain
+.graph
+rin+ rout+
+rout+ ain+ aout+
+ain+ rin-
+aout+ rout-
+rin- rout-
+rout- ain- aout-
+ain- rin+
+aout- rout+
+.marking { <ain-,rin+> <aout-,rout+> }
+.end

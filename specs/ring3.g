@@ -1,0 +1,18 @@
+# ring3 — built-in specification of the rtcad library
+.model stg
+.outputs r0 a0 r1 a1 r2 a2
+.graph
+r2+ a2+
+a2+ r0+ r2-
+a0- a2+
+r0+ a0+
+a0+ r0- r1+
+r0- a0-
+r2- a2-
+a2- a1+
+a1- a0+
+r1+ a1+
+a1+ r1- r2+
+r1- a1-
+.marking { <a2+,r0+> <a1-,a0+> <a2-,a1+> }
+.end

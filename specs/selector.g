@@ -1,0 +1,16 @@
+# selector — built-in specification of the rtcad library
+.model stg
+.inputs a b
+.outputs z
+.graph
+a+ z+
+b+ z+/2
+z+ a-
+a- z-
+z- choice
+z+/2 b-
+b- z-/2
+z-/2 choice
+choice a+ b+
+.marking { choice }
+.end

@@ -1,0 +1,15 @@
+# toggle — built-in specification of the rtcad library
+.model stg
+.inputs i
+.outputs o1 o2
+.graph
+i+ o1+
+o1+ i-
+i- o2+
+o2+ i+/2
+i+/2 o1-
+o1- i-/2
+i-/2 o2-
+o2- i+
+.marking { <o2-,i+> }
+.end

@@ -1,0 +1,301 @@
+(* Unit and property tests for Rtcad_logic.Bdd, Cube and Cover. *)
+
+module Bdd = Rtcad_logic.Bdd
+module Cube = Rtcad_logic.Cube
+module Cover = Rtcad_logic.Cover
+module Exact = Rtcad_logic.Exact
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* A tiny random Boolean-expression AST evaluated both directly and via
+   BDDs, used to cross-check the BDD operations. *)
+type expr = V of int | Not of expr | And of expr * expr | Or of expr * expr | Xor of expr * expr
+
+let rec eval_expr env = function
+  | V i -> env i
+  | Not e -> not (eval_expr env e)
+  | And (a, b) -> eval_expr env a && eval_expr env b
+  | Or (a, b) -> eval_expr env a || eval_expr env b
+  | Xor (a, b) -> eval_expr env a <> eval_expr env b
+
+let rec bdd_of_expr = function
+  | V i -> Bdd.var i
+  | Not e -> Bdd.bnot (bdd_of_expr e)
+  | And (a, b) -> Bdd.band (bdd_of_expr a) (bdd_of_expr b)
+  | Or (a, b) -> Bdd.bor (bdd_of_expr a) (bdd_of_expr b)
+  | Xor (a, b) -> Bdd.bxor (bdd_of_expr a) (bdd_of_expr b)
+
+let nvars = 5
+
+let gen_expr =
+  QCheck.Gen.(
+    sized
+    @@ fix (fun self n ->
+           if n <= 0 then map (fun i -> V i) (0 -- (nvars - 1))
+           else
+             frequency
+               [
+                 (1, map (fun i -> V i) (0 -- (nvars - 1)));
+                 (2, map (fun e -> Not e) (self (n - 1)));
+                 (2, map2 (fun a b -> And (a, b)) (self (n / 2)) (self (n / 2)));
+                 (2, map2 (fun a b -> Or (a, b)) (self (n / 2)) (self (n / 2)));
+                 (1, map2 (fun a b -> Xor (a, b)) (self (n / 2)) (self (n / 2)));
+               ]))
+
+let rec show_expr = function
+  | V i -> Printf.sprintf "x%d" i
+  | Not e -> Printf.sprintf "!(%s)" (show_expr e)
+  | And (a, b) -> Printf.sprintf "(%s & %s)" (show_expr a) (show_expr b)
+  | Or (a, b) -> Printf.sprintf "(%s | %s)" (show_expr a) (show_expr b)
+  | Xor (a, b) -> Printf.sprintf "(%s ^ %s)" (show_expr a) (show_expr b)
+
+let arb_expr = QCheck.make ~print:show_expr gen_expr
+
+let all_envs n =
+  let rec go i = if i >= 1 lsl n then [] else (fun v -> (i lsr v) land 1 = 1) :: go (i + 1) in
+  go 0
+
+let agree f e = List.for_all (fun env -> Bdd.eval f env = eval_expr env e) (all_envs nvars)
+
+(* Unit tests. *)
+
+let test_constants () =
+  check "one" true (Bdd.is_one Bdd.one);
+  check "zero" true (Bdd.is_zero Bdd.zero);
+  check "not one" true (Bdd.is_zero (Bdd.bnot Bdd.one));
+  check "x and !x" true (Bdd.is_zero (Bdd.band (Bdd.var 0) (Bdd.nvar 0)));
+  check "x or !x" true (Bdd.is_one (Bdd.bor (Bdd.var 0) (Bdd.nvar 0)))
+
+let test_hashcons () =
+  let a = Bdd.band (Bdd.var 0) (Bdd.var 1) in
+  let b = Bdd.band (Bdd.var 1) (Bdd.var 0) in
+  check "structural sharing" true (Bdd.equal a b);
+  check_int "same id" (Bdd.id a) (Bdd.id b)
+
+let test_cofactor () =
+  let f = Bdd.bor (Bdd.band (Bdd.var 0) (Bdd.var 1)) (Bdd.var 2) in
+  check "f|x0=1,x1=1" true (Bdd.is_one (Bdd.cofactor (Bdd.cofactor f 0 true) 1 true));
+  check "f|x0=0,x2=0" true
+    (Bdd.is_zero (Bdd.cofactor (Bdd.cofactor f 0 false) 2 false))
+
+let test_quantifiers () =
+  let f = Bdd.band (Bdd.var 0) (Bdd.var 1) in
+  check "exists x0 (x0&x1) = x1" true (Bdd.equal (Bdd.exists [ 0 ] f) (Bdd.var 1));
+  check "forall x0 (x0&x1) = 0" true (Bdd.is_zero (Bdd.forall [ 0 ] f));
+  check "forall x0 (x0|!x0) = 1" true
+    (Bdd.is_one (Bdd.forall [ 0 ] (Bdd.bor (Bdd.var 0) (Bdd.nvar 0))))
+
+let test_sat_count () =
+  let f = Bdd.bor (Bdd.var 0) (Bdd.var 1) in
+  check_int "sat(x0|x1) over 2 vars" 3 (Bdd.sat_count f 2);
+  check_int "sat over 3 vars" 6 (Bdd.sat_count f 3);
+  check_int "sat(1) over 4 vars" 16 (Bdd.sat_count Bdd.one 4);
+  check_int "sat(0)" 0 (Bdd.sat_count Bdd.zero 4)
+
+let test_support () =
+  let f = Bdd.bor (Bdd.band (Bdd.var 0) (Bdd.var 3)) (Bdd.var 5) in
+  Alcotest.(check (list int)) "support" [ 0; 3; 5 ] (Bdd.support f);
+  (* x1 xor x1 cancels: support must be empty *)
+  Alcotest.(check (list int)) "cancelled" [] (Bdd.support (Bdd.bxor (Bdd.var 1) (Bdd.var 1)))
+
+let test_any_sat () =
+  check "unsat" true (Bdd.any_sat Bdd.zero = None);
+  let f = Bdd.band (Bdd.nvar 0) (Bdd.var 2) in
+  (match Bdd.any_sat f with
+  | None -> Alcotest.fail "expected sat"
+  | Some assignment ->
+    let env v = List.assoc_opt v assignment = Some true in
+    check "assignment satisfies" true (Bdd.eval f env))
+
+let test_of_minterm () =
+  let f = Bdd.of_minterm 3 [| true; false; true |] in
+  check_int "one minterm" 1 (Bdd.sat_count f 3);
+  check "evals" true (Bdd.eval f (fun v -> v = 0 || v = 2))
+
+(* Property tests. *)
+
+let prop_eval_matches =
+  QCheck.Test.make ~name:"bdd agrees with direct eval" ~count:300 arb_expr (fun e ->
+      agree (bdd_of_expr e) e)
+
+let prop_double_negation =
+  QCheck.Test.make ~name:"double negation" ~count:200 arb_expr (fun e ->
+      let f = bdd_of_expr e in
+      Bdd.equal f (Bdd.bnot (Bdd.bnot f)))
+
+let prop_demorgan =
+  QCheck.Test.make ~name:"de morgan" ~count:200 (QCheck.pair arb_expr arb_expr)
+    (fun (a, b) ->
+      let fa = bdd_of_expr a and fb = bdd_of_expr b in
+      Bdd.equal (Bdd.bnot (Bdd.band fa fb)) (Bdd.bor (Bdd.bnot fa) (Bdd.bnot fb)))
+
+let prop_shannon =
+  QCheck.Test.make ~name:"shannon expansion" ~count:200
+    (QCheck.pair arb_expr (QCheck.int_range 0 (nvars - 1)))
+    (fun (e, v) ->
+      let f = bdd_of_expr e in
+      let expanded =
+        Bdd.bor
+          (Bdd.band (Bdd.var v) (Bdd.cofactor f v true))
+          (Bdd.band (Bdd.nvar v) (Bdd.cofactor f v false))
+      in
+      Bdd.equal f expanded)
+
+let prop_ite =
+  QCheck.Test.make ~name:"ite identity" ~count:200
+    (QCheck.triple arb_expr arb_expr arb_expr)
+    (fun (a, b, c) ->
+      let fa = bdd_of_expr a and fb = bdd_of_expr b and fc = bdd_of_expr c in
+      Bdd.equal (Bdd.ite fa fb fc)
+        (Bdd.bor (Bdd.band fa fb) (Bdd.band (Bdd.bnot fa) fc)))
+
+let prop_sat_count =
+  QCheck.Test.make ~name:"sat_count matches enumeration" ~count:100 arb_expr (fun e ->
+      let f = bdd_of_expr e in
+      let brute = List.length (List.filter (fun env -> Bdd.eval f env) (all_envs nvars)) in
+      Bdd.sat_count f nvars = brute)
+
+(* Cube / cover tests. *)
+
+let test_cube_basics () =
+  let c = Cube.of_literals [ (2, false); (0, true) ] in
+  check_int "size" 2 (Cube.size c);
+  check "mem pos" true (Cube.mem c 0 = Some true);
+  check "mem neg" true (Cube.mem c 2 = Some false);
+  check "mem absent" true (Cube.mem c 1 = None);
+  check "eval true" true (Cube.eval c (fun v -> v = 0));
+  check "eval false" false (Cube.eval c (fun v -> v = 2));
+  check "contradiction add" true (Cube.add c 0 false = None);
+  Alcotest.check_raises "contradictory literals"
+    (Invalid_argument "Cube.of_literals: contradiction") (fun () ->
+      ignore (Cube.of_literals [ (1, true); (1, false) ]))
+
+let test_cube_covers () =
+  let big = Cube.of_literals [ (0, true) ] in
+  let small = Cube.of_literals [ (0, true); (1, false) ] in
+  check "covers" true (Cube.covers big small);
+  check "not covers" false (Cube.covers small big)
+
+let test_isop_exact () =
+  (* f = x0 x1 + x2 with no DC: ISOP must equal f. *)
+  let f = Bdd.bor (Bdd.band (Bdd.var 0) (Bdd.var 1)) (Bdd.var 2) in
+  let cover = Cover.irredundant_sop ~on_set:f ~dc_set:Bdd.zero in
+  check "cover equals f" true (Bdd.equal (Cover.to_bdd cover) f);
+  check_int "two cubes" 2 (Cover.num_cubes cover)
+
+let test_isop_dc () =
+  (* ON = x0 x1, DC = x0 !x1: the cover can collapse to the single literal x0. *)
+  let on_set = Bdd.band (Bdd.var 0) (Bdd.var 1) in
+  let dc_set = Bdd.band (Bdd.var 0) (Bdd.nvar 1) in
+  let cover = Cover.irredundant_sop ~on_set ~dc_set in
+  check_int "one cube" 1 (Cover.num_cubes cover);
+  check_int "one literal" 1 (Cover.num_literals cover)
+
+let test_single_cube () =
+  let on_set = Bdd.band (Bdd.var 0) (Bdd.var 1) in
+  (match Cover.single_cube_implementable ~on_set ~dc_set:Bdd.zero with
+  | Some c -> check_int "2 lits" 2 (Cube.size c)
+  | None -> Alcotest.fail "expected single cube");
+  let f = Bdd.bor (Bdd.var 0) (Bdd.var 1) in
+  check "or is not a cube" true (Cover.single_cube_implementable ~on_set:f ~dc_set:Bdd.zero = None)
+
+let prop_isop_interval =
+  QCheck.Test.make ~name:"isop within interval" ~count:200
+    (QCheck.pair arb_expr arb_expr)
+    (fun (e_on, e_dc) ->
+      let on_set = bdd_of_expr e_on in
+      let dc_set = Bdd.band (bdd_of_expr e_dc) (Bdd.bnot on_set) in
+      let cover = Cover.irredundant_sop ~on_set ~dc_set in
+      let f = Cover.to_bdd cover in
+      Bdd.subset (Bdd.band on_set (Bdd.bnot dc_set)) f && Bdd.subset f (Bdd.bor on_set dc_set))
+
+(* Exact minimization. *)
+
+let test_exact_majority () =
+  (* majority(a,b,c) has exactly three primes: ab, ac, bc. *)
+  let v = Bdd.var in
+  let f =
+    Bdd.bor
+      (Bdd.bor (Bdd.band (v 0) (v 1)) (Bdd.band (v 0) (v 2)))
+      (Bdd.band (v 1) (v 2))
+  in
+  check_int "three primes" 3 (List.length (Exact.primes f));
+  let cover = Exact.minimum_cover f in
+  check "equals f" true (Bdd.equal (Cover.to_bdd cover) f);
+  check_int "minimum is 3 cubes" 3 (Cover.num_cubes cover)
+
+let test_exact_with_dc () =
+  (* ON = x0x1, DC = x0x1': collapses to the single literal x0. *)
+  let on_set = Bdd.band (Bdd.var 0) (Bdd.var 1) in
+  let dc_set = Bdd.band (Bdd.var 0) (Bdd.nvar 1) in
+  let cover = Exact.minimum_cover ~dc_set on_set in
+  check_int "one cube" 1 (Cover.num_cubes cover);
+  check_int "one literal" 1 (Cover.num_literals cover)
+
+let test_exact_empty_and_guard () =
+  check_int "false fn" 0 (Cover.num_cubes (Exact.minimum_cover Bdd.zero));
+  Alcotest.check_raises "support guard"
+    (Invalid_argument "Exact.minimum_cover: too many variables") (fun () ->
+      ignore (Exact.minimum_cover ~max_vars:3 (Bdd.var 5)))
+
+let prop_exact_within_interval =
+  QCheck.Test.make ~name:"exact cover within interval" ~count:60
+    (QCheck.pair arb_expr arb_expr)
+    (fun (e_on, e_dc) ->
+      let on_set = bdd_of_expr e_on in
+      let dc_set = Bdd.band (bdd_of_expr e_dc) (Bdd.bnot on_set) in
+      let cover = Exact.minimum_cover ~dc_set on_set in
+      let f = Cover.to_bdd cover in
+      Bdd.subset (Bdd.band on_set (Bdd.bnot dc_set)) f && Bdd.subset f (Bdd.bor on_set dc_set))
+
+let prop_isop_matches_exact_size =
+  (* ISOP is heuristic; on these small random functions it should never
+     beat the exact minimum (sanity) and usually match it. *)
+  QCheck.Test.make ~name:"isop never smaller than exact" ~count:60 arb_expr (fun e ->
+      let f = bdd_of_expr e in
+      let isop = Cover.irredundant_sop ~on_set:f ~dc_set:Bdd.zero in
+      let best = Exact.minimum_cover f in
+      Cover.num_cubes isop >= Cover.num_cubes best)
+
+let prop_isop_exact_no_dc =
+  QCheck.Test.make ~name:"isop exact without DC" ~count:200 arb_expr (fun e ->
+      let f = bdd_of_expr e in
+      let cover = Cover.irredundant_sop ~on_set:f ~dc_set:Bdd.zero in
+      Bdd.equal (Cover.to_bdd cover) f)
+
+let suite =
+  [
+    ( "bdd",
+      [
+        Alcotest.test_case "constants" `Quick test_constants;
+        Alcotest.test_case "hash-consing" `Quick test_hashcons;
+        Alcotest.test_case "cofactor" `Quick test_cofactor;
+        Alcotest.test_case "quantifiers" `Quick test_quantifiers;
+        Alcotest.test_case "sat_count" `Quick test_sat_count;
+        Alcotest.test_case "support" `Quick test_support;
+        Alcotest.test_case "any_sat" `Quick test_any_sat;
+        Alcotest.test_case "of_minterm" `Quick test_of_minterm;
+        QCheck_alcotest.to_alcotest prop_eval_matches;
+        QCheck_alcotest.to_alcotest prop_double_negation;
+        QCheck_alcotest.to_alcotest prop_demorgan;
+        QCheck_alcotest.to_alcotest prop_shannon;
+        QCheck_alcotest.to_alcotest prop_ite;
+        QCheck_alcotest.to_alcotest prop_sat_count;
+      ] );
+    ( "cover",
+      [
+        Alcotest.test_case "cube basics" `Quick test_cube_basics;
+        Alcotest.test_case "cube covers" `Quick test_cube_covers;
+        Alcotest.test_case "isop exact" `Quick test_isop_exact;
+        Alcotest.test_case "isop with DC" `Quick test_isop_dc;
+        Alcotest.test_case "single cube" `Quick test_single_cube;
+        Alcotest.test_case "exact: majority" `Quick test_exact_majority;
+        Alcotest.test_case "exact: don't-cares" `Quick test_exact_with_dc;
+        Alcotest.test_case "exact: guards" `Quick test_exact_empty_and_guard;
+        QCheck_alcotest.to_alcotest prop_isop_interval;
+        QCheck_alcotest.to_alcotest prop_isop_exact_no_dc;
+        QCheck_alcotest.to_alcotest prop_exact_within_interval;
+        QCheck_alcotest.to_alcotest prop_isop_matches_exact_size;
+      ] );
+  ]

@@ -1,0 +1,106 @@
+(* Unit and property tests for Rtcad_util.Bitset. *)
+
+module Bitset = Rtcad_util.Bitset
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_empty () =
+  let s = Bitset.create 10 in
+  check "empty" true (Bitset.is_empty s);
+  check_int "cardinal" 0 (Bitset.cardinal s);
+  for i = 0 to 9 do
+    check "mem" false (Bitset.mem s i)
+  done
+
+let test_add_remove () =
+  let s = Bitset.add (Bitset.create 20) 5 in
+  check "mem 5" true (Bitset.mem s 5);
+  check "mem 6" false (Bitset.mem s 6);
+  let s2 = Bitset.remove s 5 in
+  check "removed" false (Bitset.mem s2 5);
+  check "original untouched" true (Bitset.mem s 5)
+
+let test_bounds () =
+  let s = Bitset.create 8 in
+  Alcotest.check_raises "oob mem" (Invalid_argument "Bitset: index out of bounds")
+    (fun () -> ignore (Bitset.mem s 8));
+  Alcotest.check_raises "oob add" (Invalid_argument "Bitset: index out of bounds")
+    (fun () -> ignore (Bitset.add s (-1)))
+
+let test_set_ops () =
+  let a = Bitset.of_list 16 [ 1; 3; 5; 7 ] in
+  let b = Bitset.of_list 16 [ 3; 4; 5; 6 ] in
+  check "union" true
+    (Bitset.equal (Bitset.union a b) (Bitset.of_list 16 [ 1; 3; 4; 5; 6; 7 ]));
+  check "inter" true (Bitset.equal (Bitset.inter a b) (Bitset.of_list 16 [ 3; 5 ]));
+  check "diff" true (Bitset.equal (Bitset.diff a b) (Bitset.of_list 16 [ 1; 7 ]));
+  check "subset yes" true (Bitset.subset (Bitset.of_list 16 [ 3; 5 ]) a);
+  check "subset no" false (Bitset.subset a b);
+  check "disjoint no" false (Bitset.disjoint a b);
+  check "disjoint yes" true
+    (Bitset.disjoint (Bitset.of_list 16 [ 0 ]) (Bitset.of_list 16 [ 1 ]))
+
+let test_elements_roundtrip () =
+  let xs = [ 0; 2; 9; 31; 32; 63 ] in
+  let s = Bitset.of_list 64 xs in
+  Alcotest.(check (list int)) "elements" xs (Bitset.elements s);
+  check_int "cardinal" (List.length xs) (Bitset.cardinal s)
+
+let test_boundary_byte () =
+  (* Exercise bits straddling byte boundaries. *)
+  let s = Bitset.of_list 17 [ 7; 8; 15; 16 ] in
+  check "bit7" true (Bitset.mem s 7);
+  check "bit8" true (Bitset.mem s 8);
+  check "bit16" true (Bitset.mem s 16);
+  check_int "cardinal" 4 (Bitset.cardinal s)
+
+(* Property tests. *)
+
+let gen_set n = QCheck.Gen.(map (Bitset.of_list n) (list_size (0 -- n) (0 -- (n - 1))))
+let arb_set n = QCheck.make ~print:(Format.asprintf "%a" Bitset.pp) (gen_set n)
+
+let prop_union_commutative =
+  QCheck.Test.make ~name:"union commutative" ~count:200
+    (QCheck.pair (arb_set 40) (arb_set 40))
+    (fun (a, b) -> Bitset.equal (Bitset.union a b) (Bitset.union b a))
+
+let prop_diff_disjoint =
+  QCheck.Test.make ~name:"diff disjoint from subtrahend" ~count:200
+    (QCheck.pair (arb_set 40) (arb_set 40))
+    (fun (a, b) -> Bitset.is_empty (Bitset.inter (Bitset.diff a b) b))
+
+let prop_cardinal_union =
+  QCheck.Test.make ~name:"inclusion-exclusion" ~count:200
+    (QCheck.pair (arb_set 40) (arb_set 40))
+    (fun (a, b) ->
+      Bitset.cardinal (Bitset.union a b) + Bitset.cardinal (Bitset.inter a b)
+      = Bitset.cardinal a + Bitset.cardinal b)
+
+let prop_add_mem =
+  QCheck.Test.make ~name:"add then mem" ~count:200
+    (QCheck.pair (arb_set 40) (QCheck.int_range 0 39))
+    (fun (s, i) -> Bitset.mem (Bitset.add s i) i)
+
+let prop_compare_total =
+  QCheck.Test.make ~name:"compare consistent with equal" ~count:200
+    (QCheck.pair (arb_set 40) (arb_set 40))
+    (fun (a, b) -> Bitset.equal a b = (Bitset.compare a b = 0))
+
+let suite =
+  [
+    ( "bitset",
+      [
+        Alcotest.test_case "empty" `Quick test_empty;
+        Alcotest.test_case "add/remove" `Quick test_add_remove;
+        Alcotest.test_case "bounds" `Quick test_bounds;
+        Alcotest.test_case "set ops" `Quick test_set_ops;
+        Alcotest.test_case "elements roundtrip" `Quick test_elements_roundtrip;
+        Alcotest.test_case "byte boundaries" `Quick test_boundary_byte;
+        QCheck_alcotest.to_alcotest prop_union_commutative;
+        QCheck_alcotest.to_alcotest prop_diff_disjoint;
+        QCheck_alcotest.to_alcotest prop_cardinal_union;
+        QCheck_alcotest.to_alcotest prop_add_mem;
+        QCheck_alcotest.to_alcotest prop_compare_total;
+      ] );
+  ]

@@ -1,0 +1,132 @@
+(* Tests for burst-mode specifications and flow-table synthesis. *)
+
+module Spec = Rtcad_bm.Spec
+module Synth = Rtcad_bm.Synth
+module Netlist = Rtcad_netlist.Netlist
+module Gate = Rtcad_netlist.Gate
+module Sim = Rtcad_netlist.Sim
+module Harness = Rtcad_core.Harness
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let fifo_bm = Rtcad_core.Fifo_impls.fifo_burst_spec
+
+let test_validate_fifo () =
+  let entry = Spec.validate fifo_bm in
+  check_int "three states" 3 (Array.length entry);
+  (* s1 is entered with everything high except ri. *)
+  Alcotest.(check (array bool)) "s1 entry" [| true; false; true; true |] entry.(1);
+  Alcotest.(check (array bool)) "s2 entry" [| false; true; false; false |] entry.(2)
+
+let test_validate_rejections () =
+  let fails spec = try ignore (Spec.validate spec) ; false with Spec.Invalid _ -> true in
+  let base = fifo_bm in
+  check "unknown signal" true
+    (fails { base with Spec.arcs = [ { Spec.src = 0; dst = 1; inputs = [ ("zz", true) ]; outputs = [] } ] });
+  check "empty input burst" true
+    (fails { base with Spec.arcs = [ { Spec.src = 0; dst = 1; inputs = []; outputs = [] } ] });
+  (* subset bursts from the same state *)
+  check "maximal set property" true
+    (fails
+       {
+         base with
+         Spec.arcs =
+           [
+             { Spec.src = 0; dst = 1; inputs = [ ("li", true) ]; outputs = [ ("lo", true) ] };
+             {
+               Spec.src = 0;
+               dst = 2;
+               inputs = [ ("li", true); ("ri", true) ];
+               outputs = [ ("ro", true) ];
+             };
+           ];
+       });
+  (* an edge that does not toggle *)
+  check "non-toggling edge" true
+    (fails
+       {
+         base with
+         Spec.arcs =
+           [
+             { Spec.src = 0; dst = 1; inputs = [ ("li", false) ]; outputs = [] };
+           ];
+       })
+
+let test_synthesize_fifo () =
+  let r = Synth.synthesize fifo_bm in
+  check_int "no state variables needed" 0 r.Synth.state_vars;
+  check_int "two output gates" 2 (Netlist.gate_count r.Synth.netlist);
+  (* The classic majority solution: lo = li ri' + li ro + ri' ro. *)
+  let lo_cover = List.assoc "lo" r.Synth.covers in
+  check_int "three cubes" 3 (Rtcad_logic.Cover.num_cubes lo_cover);
+  check_int "six literals" 6 (Rtcad_logic.Cover.num_literals lo_cover)
+
+let test_bm_functional () =
+  (* Fundamental-mode simulation: drive complete bursts with settling
+     time between them; the machine must answer each burst. *)
+  let r = Synth.synthesize fifo_bm in
+  let nl = r.Synth.netlist in
+  let sim = Sim.create nl in
+  Sim.settle sim ();
+  let li = Netlist.find_net nl "li" and ri = Netlist.find_net nl "ri" in
+  let lo = Netlist.find_net nl "lo" and ro = Netlist.find_net nl "ro" in
+  Sim.drive sim li true ~after:100.0;
+  Sim.run sim ~until:2000.0;
+  check "burst 1: lo+" true (Sim.value sim lo);
+  check "burst 1: ro+" true (Sim.value sim ro);
+  Sim.drive sim li false ~after:10.0;
+  Sim.drive sim ri true ~after:20.0;
+  Sim.run sim ~until:4000.0;
+  check "burst 2: lo-" false (Sim.value sim lo);
+  check "burst 2: ro-" false (Sim.value sim ro);
+  Sim.drive sim ri false ~after:10.0;
+  Sim.drive sim li true ~after:20.0;
+  Sim.run sim ~until:6000.0;
+  check "burst 3: lo+ again" true (Sim.value sim lo)
+
+let test_bm_measured () =
+  let r = Synth.synthesize fifo_bm in
+  let env =
+    { Harness.left_delay_ps = 400.0; right_delay_ps = 400.0; jitter = 200.0; seed = 3 }
+  in
+  let m = Harness.measure_fourphase ~env ~cycles:60 r.Synth.netlist in
+  check "cycles complete" true (m.Harness.cycles >= 50);
+  check "no glitches under fundamental mode" true (m.Harness.glitches = 0)
+
+let test_state_variable_insertion () =
+  (* A two-state machine whose states share all signal values: a state
+     variable must be added.  i toggles, machine answers o+ then o-. *)
+  let spec =
+    {
+      Spec.name = "half";
+      input_signals = [ "i" ];
+      output_signals = [ "o" ];
+      num_states = 4;
+      initial = 0;
+      arcs =
+        [
+          { Spec.src = 0; dst = 1; inputs = [ ("i", true) ]; outputs = [ ("o", true) ] };
+          { Spec.src = 1; dst = 2; inputs = [ ("i", false) ]; outputs = [ ("o", false) ] };
+          { Spec.src = 2; dst = 3; inputs = [ ("i", true) ]; outputs = [] };
+          { Spec.src = 3; dst = 0; inputs = [ ("i", false) ]; outputs = [] };
+        ];
+    }
+  in
+  (* states 0/2 share (i=0, o=0) entries and 1/3 share... state 1 entry:
+     i=1,o=1; state 3: i=1,o=0 - distinct; 0: (0,0); 2: (0,0) - clash. *)
+  let r = Synth.synthesize spec in
+  check "state variable added" true (r.Synth.state_vars >= 1)
+
+let suite =
+  [
+    ( "burst_mode",
+      [
+        Alcotest.test_case "validate fifo machine" `Quick test_validate_fifo;
+        Alcotest.test_case "validation rejections" `Quick test_validate_rejections;
+        Alcotest.test_case "synthesize fifo" `Quick test_synthesize_fifo;
+        Alcotest.test_case "functional bursts" `Quick test_bm_functional;
+        Alcotest.test_case "measured under fundamental mode" `Quick test_bm_measured;
+        Alcotest.test_case "state variable insertion" `Quick test_state_variable_insertion;
+      ] );
+  ]

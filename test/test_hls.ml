@@ -1,0 +1,197 @@
+(* Tests for the handshake-process language: parser, compiler, and the
+   synthesis of compiled controllers. *)
+
+module Ast = Rtcad_hls.Ast
+module Parser = Rtcad_hls.Parser
+module Compile = Rtcad_hls.Compile
+module Stg = Rtcad_stg.Stg
+module Petri = Rtcad_stg.Petri
+module Sg = Rtcad_sg.Sg
+module Props = Rtcad_sg.Props
+module Encoding = Rtcad_sg.Encoding
+module Flow = Rtcad_core.Flow
+module Check = Rtcad_core.Check
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Parser. *)
+
+let test_parse_buffer () =
+  let p = Parser.parse "proc buffer (in A, out B) { A?; B! }" in
+  Alcotest.(check string) "name" "buffer" p.Ast.name;
+  check_int "channels" 2 (List.length p.Ast.channels);
+  (match p.Ast.body with
+  | Ast.Seq [ Ast.Action (Ast.Recv "A"); Ast.Action (Ast.Send "B") ] -> ()
+  | _ -> Alcotest.fail "unexpected body")
+
+let test_parse_structures () =
+  let p =
+    Parser.parse
+      "proc t (in A, out B, out C) { loop { A?; par { B! } { C! } } }"
+  in
+  match p.Ast.body with
+  | Ast.Loop (Ast.Seq [ Ast.Action (Ast.Recv "A"); Ast.Par [ _; _ ] ]) -> ()
+  | _ -> Alcotest.fail "unexpected structure"
+
+let test_parse_comments_whitespace () =
+  let p =
+    Parser.parse
+      "# a pipeline controller\nproc p ( in A , out B ) {\n  A? ; # receive\n  B!\n}"
+  in
+  check_int "channels" 2 (List.length p.Ast.channels)
+
+let test_parse_errors () =
+  let fails text =
+    try
+      ignore (Parser.parse text);
+      false
+    with Parser.Parse_error _ -> true
+  in
+  check "missing proc" true (fails "buffer (in A) { A? }");
+  check "undeclared channel" true (fails "proc t (in A) { B! }");
+  check "wrong direction" true (fails "proc t (in A) { A! }");
+  check "bare channel" true (fails "proc t (in A) { A }");
+  check "single par block" true (fails "proc t (in A) { par { A? } }");
+  check "trailing garbage" true (fails "proc t (in A) { A? } proc")
+
+let test_channels_used () =
+  let p = Parser.parse "proc t (in A, out B) { A?; B!; A? }" in
+  Alcotest.(check (list (pair string bool)))
+    "used"
+    [ ("A", true); ("B", false) ]
+    (List.map
+       (fun (c, d) -> (c, d = Ast.In))
+       (Ast.channels_used p.Ast.body))
+
+(* Compiler. *)
+
+let test_compile_buffer_structure () =
+  let stg = Compile.compile (Parser.parse "proc buffer (in A, out B) { A?; B! }") in
+  check_int "4 signals" 4 (Stg.num_signals stg);
+  check_int "8 transitions" 8 (Petri.num_transitions (Stg.net stg));
+  check "A_req is input" true (Stg.is_input stg (Stg.signal_index stg "A_req"));
+  check "A_ack is output" false (Stg.is_input stg (Stg.signal_index stg "A_ack"));
+  check "B_req is output" false (Stg.is_input stg (Stg.signal_index stg "B_req"));
+  check "B_ack is input" true (Stg.is_input stg (Stg.signal_index stg "B_ack"))
+
+let test_compile_behaviour () =
+  List.iter
+    (fun (name, text) ->
+      let stg = Compile.compile (Parser.parse text) in
+      let sg = Sg.build stg in
+      check (name ^ " deadlock-free") true (Props.deadlock_free sg);
+      check (name ^ " live") true (Props.live_transitions sg);
+      check (name ^ " persistent") true (Props.is_output_persistent sg))
+    [
+      ("buffer", "proc b (in A, out B) { A?; B! }");
+      ("fork", "proc f (in A, out B, out C) { A?; par { B! } { C! } }");
+      ("join", "proc j (in A, in B, out C) { par { A? } { B? }; C! }");
+      ("double", "proc d (in A, out B) { A?; A?; B! }");
+    ]
+
+let test_compile_par_concurrency () =
+  (* fork: B! and C! proceed concurrently -> more states than the purely
+     sequential A?;B!;C!. *)
+  let seq =
+    Sg.build (Compile.compile (Parser.parse "proc s (in A, out B, out C) { A?; B!; C! }"))
+  in
+  let par =
+    Sg.build
+      (Compile.compile
+         (Parser.parse "proc p (in A, out B, out C) { A?; par { B! } { C! } }"))
+  in
+  check "par has more states" true (Sg.num_states par > Sg.num_states seq)
+
+let test_compile_rejects_shared_par () =
+  check "channel in two branches" true
+    (try
+       ignore
+         (Compile.compile (Parser.parse "proc t (in A, out B) { par { B! } { B! } }"));
+       false
+     with Compile.Unsupported _ -> true)
+
+let test_compile_rejects_nested_loop () =
+  check "inner loop" true
+    (try
+       ignore
+         (Compile.compile
+            (Parser.parse "proc t (in A, out B) { A?; loop { B! } }"));
+       false
+     with Compile.Unsupported _ -> true)
+
+(* The compiled buffer is exactly the paper's FIFO structure. *)
+let test_buffer_is_fifo_like () =
+  let stg = Compile.compile (Parser.parse "proc b (in A, out B) { A?; B! }") in
+  let sg = Sg.build stg in
+  (* It has the same CSC disease the paper's FIFO has… *)
+  check "CSC conflict" true (Encoding.has_csc sg)
+
+(* End-to-end: compile then synthesize. *)
+
+let test_buffer_si_flow () =
+  let stg = Compile.compile (Parser.parse "proc b (in A, out B) { A?; B! }") in
+  let r = Flow.synthesize ~mode:Flow.Si stg in
+  let c = Check.conformance r in
+  check "SI conforms" true c.Rtcad_verify.Conformance.ok
+
+let test_buffer_rt_flow () =
+  let stg = Compile.compile (Parser.parse "proc b (in A, out B) { A?; B! }") in
+  let r = Flow.synthesize ~mode:Flow.rt_default stg in
+  check "constraints found" true (r.Flow.constraints <> []);
+  let minimal = Check.minimal_constraints r in
+  check "verifies under minimal set" true (minimal <> [])
+
+(* Property: every well-formed random process compiles to a live, safe,
+   deadlock-free, output-persistent STG. *)
+
+let gen_proc =
+  (* Bodies over channels A(in), B(out), C(out); par branches never share
+     a channel by construction. *)
+  QCheck.Gen.(
+    let atom =
+      oneofl
+        [ Ast.Action (Ast.Recv "A"); Ast.Action (Ast.Send "B");
+          Ast.Action (Ast.Send "C");
+          Ast.Par [ Ast.Action (Ast.Send "B"); Ast.Action (Ast.Send "C") ] ]
+    in
+    map (fun items -> Ast.Seq items) (list_size (1 -- 4) atom))
+
+let arb_proc =
+  QCheck.make ~print:(Format.asprintf "%a" Ast.pp_proc) gen_proc
+
+let prop_compiled_behaviour =
+  QCheck.Test.make ~name:"compiled processes behave" ~count:40 arb_proc (fun body ->
+      let prog = { Ast.name = "t"; channels = [ ("A", Ast.In); ("B", Ast.Out); ("C", Ast.Out) ]; body } in
+      let stg = Compile.compile prog in
+      let sg = Sg.build stg in
+      Props.deadlock_free sg && Props.live_transitions sg
+      && Props.is_output_persistent sg)
+
+let suite =
+  [
+    ( "hls_parser",
+      [
+        Alcotest.test_case "buffer" `Quick test_parse_buffer;
+        Alcotest.test_case "structures" `Quick test_parse_structures;
+        Alcotest.test_case "comments/whitespace" `Quick test_parse_comments_whitespace;
+        Alcotest.test_case "errors" `Quick test_parse_errors;
+        Alcotest.test_case "channels_used" `Quick test_channels_used;
+      ] );
+    ( "hls_compile",
+      [
+        Alcotest.test_case "buffer structure" `Quick test_compile_buffer_structure;
+        Alcotest.test_case "behaviour of compiled STGs" `Quick test_compile_behaviour;
+        Alcotest.test_case "par concurrency" `Quick test_compile_par_concurrency;
+        Alcotest.test_case "shared channel rejected" `Quick test_compile_rejects_shared_par;
+        Alcotest.test_case "nested loop rejected" `Quick test_compile_rejects_nested_loop;
+        Alcotest.test_case "buffer has the FIFO's CSC conflict" `Quick
+          test_buffer_is_fifo_like;
+      ] );
+    ( "hls_flow",
+      [
+        Alcotest.test_case "SI synthesis" `Quick test_buffer_si_flow;
+        Alcotest.test_case "RT synthesis" `Quick test_buffer_rt_flow;
+        QCheck_alcotest.to_alcotest prop_compiled_behaviour;
+      ] );
+  ]

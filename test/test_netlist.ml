@@ -1,0 +1,318 @@
+(* Tests for the gate library, netlists, the event-driven simulator and
+   fault simulation. *)
+
+module Gate = Rtcad_netlist.Gate
+module Netlist = Rtcad_netlist.Netlist
+module Sim = Rtcad_netlist.Sim
+module Faults = Rtcad_netlist.Faults
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Gate evaluation. *)
+
+let test_gate_eval_basic () =
+  let and2 = Gate.make Gate.And ~fanin:2 in
+  check "and tt" true (Gate.eval and2 ~current:false [ true; true ]);
+  check "and tf" false (Gate.eval and2 ~current:false [ true; false ]);
+  let nor3 = Gate.make Gate.Nor ~fanin:3 in
+  check "nor fff" true (Gate.eval nor3 ~current:false [ false; false; false ]);
+  check "nor t.." false (Gate.eval nor3 ~current:false [ true; false; false ]);
+  let xor = Gate.make Gate.Xor ~fanin:2 in
+  check "xor" true (Gate.eval xor ~current:false [ true; false ])
+
+let test_gate_eval_state () =
+  let c2 = Gate.make Gate.Celem ~fanin:2 in
+  check "c rises" true (Gate.eval c2 ~current:false [ true; true ]);
+  check "c holds high" true (Gate.eval c2 ~current:true [ true; false ]);
+  check "c holds low" false (Gate.eval c2 ~current:false [ false; true ]);
+  check "c falls" false (Gate.eval c2 ~current:true [ false; false ]);
+  let sr = Gate.make Gate.Set_reset ~fanin:2 in
+  check "set" true (Gate.eval sr ~current:false [ true; false ]);
+  check "set dominant" true (Gate.eval sr ~current:false [ true; true ]);
+  check "reset" false (Gate.eval sr ~current:true [ false; true ]);
+  check "hold" true (Gate.eval sr ~current:true [ false; false ])
+
+let test_gate_eval_sop () =
+  (* f = x0 x1 + x2 *)
+  let g = Gate.make (Gate.Sop [ 2; 1 ]) ~fanin:3 in
+  check "cube 1" true (Gate.eval g ~current:false [ true; true; false ]);
+  check "cube 2" true (Gate.eval g ~current:false [ false; false; true ]);
+  check "neither" false (Gate.eval g ~current:false [ true; false; false ]);
+  (* gC: set = s0 s1, reset = r0 *)
+  let gc = Gate.make (Gate.Sop_sr { set_cubes = [ 2 ]; reset_cubes = [ 1 ] }) ~fanin:3 in
+  check "gc sets" true (Gate.eval gc ~current:false [ true; true; false ]);
+  check "gc holds" true (Gate.eval gc ~current:true [ false; true; false ]);
+  check "gc resets" false (Gate.eval gc ~current:true [ false; false; true ])
+
+let test_gate_validation () =
+  check "bad fanin" true
+    (try
+       ignore (Gate.make Gate.Not ~fanin:2);
+       false
+     with Invalid_argument _ -> true);
+  check "bad sop shape" true
+    (try
+       ignore (Gate.make (Gate.Sop [ 2; 2 ]) ~fanin:3);
+       false
+     with Invalid_argument _ -> true);
+  check "domino c-element rejected" true
+    (try
+       ignore (Gate.make ~style:(Gate.Domino { footed = true }) Gate.Celem ~fanin:2);
+       false
+     with Invalid_argument _ -> true)
+
+let test_gate_costs () =
+  let static4 = Gate.make (Gate.Sop [ 4 ]) ~fanin:4 in
+  let domino4 = Gate.make ~style:(Gate.Domino { footed = true }) (Gate.Sop [ 4 ]) ~fanin:4 in
+  let unfooted4 =
+    Gate.make ~style:(Gate.Domino { footed = false }) (Gate.Sop [ 4 ]) ~fanin:4
+  in
+  check_int "static 2/literal" 8 (Gate.transistors static4);
+  check "domino cheaper than static" true
+    (Gate.transistors domino4 <= Gate.transistors static4 + 2);
+  check "unfooted saves the foot" true
+    (Gate.transistors unfooted4 = Gate.transistors domino4 - 1);
+  check "domino faster than static" true (Gate.delay_ps domino4 < Gate.delay_ps static4);
+  check "energy grows with size" true
+    (Gate.energy_fj static4 > Gate.energy_fj (Gate.make Gate.Not ~fanin:1))
+
+(* Netlist structure. *)
+
+let build_and_or () =
+  (* f = (a & b) | c, with c read negated *)
+  let nl = Netlist.create () in
+  let a = Netlist.input nl "a" in
+  let b = Netlist.input nl "b" in
+  let c = Netlist.input nl "c" in
+  let ab = Netlist.add_gate nl (Gate.make Gate.And ~fanin:2) [ (a, false); (b, false) ] "ab" in
+  let f = Netlist.add_gate nl (Gate.make Gate.Or ~fanin:2) [ (ab, false); (c, true) ] "f" in
+  Netlist.mark_output nl f;
+  (* the internal AND is observable too (a test point), so that stuck-at
+     faults that only shift WHEN the output toggles are still caught by
+     the delay-insensitive trace comparison *)
+  Netlist.mark_output nl ab;
+  nl
+
+let test_netlist_structure () =
+  let nl = build_and_or () in
+  check_int "nets" 5 (Netlist.num_nets nl);
+  check_int "gates" 2 (Netlist.gate_count nl);
+  check_int "inputs" 3 (List.length (Netlist.inputs nl));
+  check_int "outputs" 2 (List.length (Netlist.outputs nl));
+  let f = Netlist.find_net nl "f" in
+  check "driver arity" true
+    (match Netlist.driver nl f with Some (_, ins) -> List.length ins = 2 | None -> false);
+  let a = Netlist.find_net nl "a" in
+  Alcotest.(check (list int)) "fanout of a" [ Netlist.find_net nl "ab" ] (Netlist.fanout nl a)
+
+let test_netlist_errors () =
+  let nl = Netlist.create () in
+  let a = Netlist.input nl "a" in
+  check "duplicate name" true
+    (try
+       ignore (Netlist.input nl "a");
+       false
+     with Invalid_argument _ -> true);
+  check "driving an input" true
+    (try
+       Netlist.set_driver nl a (Gate.make Gate.Not ~fanin:1) [ (a, false) ];
+       false
+     with Invalid_argument _ -> true);
+  let fwd = Netlist.forward nl "w" in
+  Netlist.set_driver nl fwd (Gate.make Gate.Not ~fanin:1) [ (a, false) ];
+  check "double drive" true
+    (try
+       Netlist.set_driver nl fwd (Gate.make Gate.Not ~fanin:1) [ (a, false) ];
+       false
+     with Invalid_argument _ -> true)
+
+let test_copy () =
+  let nl = build_and_or () in
+  Netlist.set_initial nl (Netlist.find_net nl "c") true;
+  Netlist.settle_initial nl;
+  let nl2 = Netlist.copy nl in
+  check_int "same nets" (Netlist.num_nets nl) (Netlist.num_nets nl2);
+  check_int "same gates" (Netlist.gate_count nl) (Netlist.gate_count nl2);
+  check_int "same transistors" (Netlist.transistors nl) (Netlist.transistors nl2);
+  check "same outputs" true (Netlist.outputs nl = Netlist.outputs nl2);
+  check "initial values preserved" true
+    (List.for_all
+       (fun n -> Netlist.initial_value nl n = Netlist.initial_value nl2 n)
+       (List.init (Netlist.num_nets nl) Fun.id));
+  (* extending the copy leaves the original alone *)
+  let tap =
+    Netlist.add_gate nl2 (Gate.make Gate.Not ~fanin:1)
+      [ (Netlist.find_net nl2 "ab", false) ] "tap"
+  in
+  Netlist.mark_output nl2 tap;
+  check "original unchanged" true
+    (Netlist.num_nets nl2 = Netlist.num_nets nl + 1)
+
+let test_settle_initial () =
+  let nl = build_and_or () in
+  Netlist.set_initial nl (Netlist.find_net nl "c") false;
+  Netlist.settle_initial nl;
+  (* f = ab | !c = 0 | 1 = 1 *)
+  check "f settles high" true (Netlist.initial_value nl (Netlist.find_net nl "f"))
+
+(* Simulation. *)
+
+let test_sim_propagation () =
+  let nl = build_and_or () in
+  Netlist.settle_initial nl;
+  let sim = Sim.create nl in
+  Sim.settle sim ();
+  let f = Netlist.find_net nl "f" in
+  check "initially 1 (c=0 negated)" true (Sim.value sim f);
+  Sim.drive sim (Netlist.find_net nl "c") true ~after:10.0;
+  Sim.run sim ~until:1000.0;
+  check "f falls after c+" false (Sim.value sim f);
+  Sim.drive sim (Netlist.find_net nl "a") true ~after:10.0;
+  Sim.drive sim (Netlist.find_net nl "b") true ~after:10.0;
+  Sim.run sim ~until:2000.0;
+  check "f rises via ab" true (Sim.value sim f);
+  check "time advanced" true (Sim.time sim >= 2000.0)
+
+let test_sim_glitch_cancel () =
+  (* A pulse shorter than the gate delay is swallowed (inertial). *)
+  let nl = Netlist.create () in
+  let a = Netlist.input nl "a" in
+  let buf = Netlist.add_gate nl (Gate.make Gate.Buf ~fanin:1) [ (a, false) ] "y" in
+  Netlist.mark_output nl buf;
+  let sim = Sim.create nl in
+  Sim.drive sim a true ~after:10.0;
+  Sim.drive sim a false ~after:20.0;
+  (* Buf delay is 70ps: at 20ps the re-evaluation cancels the pending rise. *)
+  Sim.run sim ~until:500.0;
+  check_int "no output transitions" 0 (Sim.transition_count sim buf);
+  check "glitch counted" true (Sim.glitches sim >= 1)
+
+let test_sim_oscillation () =
+  (* A ring oscillator must trip the event budget. *)
+  let nl = Netlist.create () in
+  let y = Netlist.forward nl "y" in
+  Netlist.set_driver nl y (Gate.make Gate.Not ~fanin:1) [ (y, false) ];
+  let sim = Sim.create nl in
+  check "oscillation detected" true
+    (try
+       Sim.run ~max_events:1000 sim ~until:1e9;
+       false
+     with Sim.Oscillation _ -> true)
+
+let test_sim_forced () =
+  let nl = build_and_or () in
+  let f = Netlist.find_net nl "f" in
+  let sim = Sim.create ~forced:[ (f, true) ] nl in
+  Sim.settle sim ();
+  Sim.drive sim (Netlist.find_net nl "c") true ~after:10.0;
+  Sim.run sim ~until:1000.0;
+  check "forced net immutable" true (Sim.value sim f)
+
+let test_sim_energy_and_events () =
+  let nl = build_and_or () in
+  Netlist.settle_initial nl;
+  let sim = Sim.create nl in
+  Sim.settle sim ();
+  let e0 = Sim.energy_pj sim in
+  Sim.drive sim (Netlist.find_net nl "a") true ~after:5.0;
+  Sim.drive sim (Netlist.find_net nl "b") true ~after:5.0;
+  Sim.run sim ~until:1000.0;
+  check "energy accumulated" true (Sim.energy_pj sim > e0);
+  let events = Sim.events sim in
+  check "events recorded" true (List.length events >= 3);
+  (* gate events carry causes; the cause ids refer to earlier events *)
+  check "causal ids sane" true
+    (List.for_all
+       (fun e ->
+         match e.Sim.cause with
+         | None -> true
+         | Some id -> List.exists (fun e' -> e'.Sim.id = id) events)
+       events)
+
+let test_sim_callbacks () =
+  let nl = build_and_or () in
+  Netlist.settle_initial nl;
+  let sim = Sim.create nl in
+  Sim.settle sim ();
+  let seen = ref [] in
+  Sim.on_change sim (Netlist.find_net nl "f") (fun _ v -> seen := v :: !seen);
+  Sim.drive sim (Netlist.find_net nl "c") true ~after:5.0;
+  Sim.run sim ~until:1000.0;
+  Alcotest.(check (list bool)) "callback saw the fall" [ false ] !seen
+
+(* Fault simulation. *)
+
+let test_faults_coverage () =
+  let nl = build_and_or () in
+  Netlist.settle_initial nl;
+  (* Stimulus: walk enough input combinations to expose every stuck-at. *)
+  let stimulus sim =
+    let a = Netlist.find_net nl "a"
+    and b = Netlist.find_net nl "b"
+    and c = Netlist.find_net nl "c" in
+    List.iteri
+      (fun i (va, vb, vc) ->
+        let t = float_of_int (1 + (i * 500)) in
+        Sim.drive sim a va ~after:t;
+        Sim.drive sim b vb ~after:(t +. 1.0);
+        Sim.drive sim c vc ~after:(t +. 2.0))
+      [
+        (true, true, false);
+        (false, true, false);
+        (true, false, true);
+        (false, false, false);
+        (true, true, true);
+        (false, true, true);
+      ]
+  in
+  let report = Faults.coverage ~stimulus ~horizon:4000.0 nl in
+  check_int "fault universe = 2 x nets" 10 report.Faults.total;
+  check "full coverage" true (report.Faults.coverage >= 99.0)
+
+let test_faults_undetectable () =
+  (* With a stimulus that never raises c, faults on c's path escape. *)
+  let nl = build_and_or () in
+  Netlist.settle_initial nl;
+  let stimulus sim =
+    let a = Netlist.find_net nl "a" and b = Netlist.find_net nl "b" in
+    Sim.drive sim a true ~after:5.0;
+    Sim.drive sim b true ~after:6.0;
+    Sim.drive sim a false ~after:600.0
+  in
+  let report = Faults.coverage ~stimulus ~horizon:2000.0 nl in
+  check "undetected faults listed" true (report.Faults.undetected <> []);
+  check "coverage below 100" true (report.Faults.coverage < 100.0)
+
+let suite =
+  [
+    ( "gate",
+      [
+        Alcotest.test_case "combinational eval" `Quick test_gate_eval_basic;
+        Alcotest.test_case "state-holding eval" `Quick test_gate_eval_state;
+        Alcotest.test_case "SOP / gC eval" `Quick test_gate_eval_sop;
+        Alcotest.test_case "validation" `Quick test_gate_validation;
+        Alcotest.test_case "cost models" `Quick test_gate_costs;
+      ] );
+    ( "netlist",
+      [
+        Alcotest.test_case "structure" `Quick test_netlist_structure;
+        Alcotest.test_case "errors" `Quick test_netlist_errors;
+        Alcotest.test_case "copy" `Quick test_copy;
+        Alcotest.test_case "settle_initial" `Quick test_settle_initial;
+      ] );
+    ( "sim",
+      [
+        Alcotest.test_case "propagation" `Quick test_sim_propagation;
+        Alcotest.test_case "inertial glitch" `Quick test_sim_glitch_cancel;
+        Alcotest.test_case "oscillation guard" `Quick test_sim_oscillation;
+        Alcotest.test_case "forced nets" `Quick test_sim_forced;
+        Alcotest.test_case "energy and causality" `Quick test_sim_energy_and_events;
+        Alcotest.test_case "callbacks" `Quick test_sim_callbacks;
+      ] );
+    ( "faults",
+      [
+        Alcotest.test_case "full coverage" `Quick test_faults_coverage;
+        Alcotest.test_case "undetectable faults" `Quick test_faults_undetectable;
+      ] );
+  ]

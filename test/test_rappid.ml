@@ -1,0 +1,154 @@
+(* Tests for the RAPPID workload, performance models and comparison. *)
+
+module W = Rtcad_rappid.Workload
+module R = Rtcad_rappid.Rappid
+module C = Rtcad_rappid.Clocked
+module M = Rtcad_rappid.Metrics
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Workload. *)
+
+let test_workload_reproducible () =
+  let a = W.generate ~seed:5 W.typical ~instructions:1000 in
+  let b = W.generate ~seed:5 W.typical ~instructions:1000 in
+  check "same seed, same stream" true (a.W.lengths = b.W.lengths);
+  let c = W.generate ~seed:6 W.typical ~instructions:1000 in
+  check "different seed differs" true (a.W.lengths <> c.W.lengths)
+
+let test_workload_lengths_valid () =
+  List.iter
+    (fun profile ->
+      let s = W.generate ~seed:1 profile ~instructions:5000 in
+      check
+        (profile.W.name ^ " lengths in 1..15")
+        true
+        (Array.for_all (fun l -> l >= 1 && l <= 15) s.W.lengths))
+    W.all_profiles
+
+let test_workload_starts () =
+  let s = W.generate ~seed:2 W.uniform ~instructions:100 in
+  let starts = W.starts s in
+  check_int "first at 0" 0 starts.(0);
+  let ok = ref true in
+  for i = 1 to 99 do
+    if starts.(i) <> starts.(i - 1) + s.W.lengths.(i - 1) then ok := false
+  done;
+  check "starts accumulate lengths" true !ok;
+  check_int "total bytes" s.W.total_bytes
+    (starts.(99) + s.W.lengths.(99))
+
+let test_workload_profiles_differ () =
+  let short = W.generate ~seed:1 W.short ~instructions:5000 in
+  let long = W.generate ~seed:1 W.long ~instructions:5000 in
+  check "short mean < long mean" true (W.mean_length short < W.mean_length long);
+  check "short packs more per line" true
+    (W.instructions_per_line short > W.instructions_per_line long)
+
+(* RAPPID model. *)
+
+let stream () = W.generate ~seed:7 W.typical ~instructions:20_000
+
+let test_rappid_basic () =
+  let r = R.run (stream ()) in
+  check_int "all instructions issued" 20_000 r.R.instructions;
+  check "positive throughput" true (r.R.gips > 0.0);
+  check "latency positive" true (r.R.avg_latency_ps > 0.0);
+  check "worst >= avg" true (r.R.worst_latency_ps >= r.R.avg_latency_ps);
+  check "energy positive" true (r.R.energy_per_instr_pj > 0.0)
+
+let test_rappid_average_case () =
+  (* The asynchronous advantage: common (short) instructions stream
+     faster than uncommon (long) ones through the tag cycle. *)
+  let short = R.run (W.generate ~seed:7 W.short ~instructions:20_000) in
+  let long = R.run (W.generate ~seed:7 W.long ~instructions:20_000) in
+  check "short mix yields higher GIPS" true (short.R.gips > long.R.gips);
+  (* …but lines are consumed faster when they hold fewer instructions
+     (the paper's observation). *)
+  check "long mix consumes lines faster" true
+    (long.R.lines_per_sec > short.R.lines_per_sec)
+
+let test_rappid_scaling () =
+  let s = stream () in
+  let gips rows = (R.run ~params:{ R.default with R.rows } s).R.gips in
+  check "more rows, more throughput" true (gips 4 > gips 2);
+  check "monotone to 8" true (gips 8 >= gips 4 *. 0.99)
+
+let test_rappid_speculation_energy () =
+  (* Speculative decoding costs energy on every byte column: the long mix
+     (fewer instructions per line) pays more per instruction. *)
+  let short = R.run (W.generate ~seed:7 W.short ~instructions:20_000) in
+  let long = R.run (W.generate ~seed:7 W.long ~instructions:20_000) in
+  check "speculation overhead visible" true
+    (long.R.energy_per_instr_pj > short.R.energy_per_instr_pj)
+
+(* Clocked model. *)
+
+let test_clocked_basic () =
+  let c = C.run (stream ()) in
+  check "clock-bound throughput" true (c.R.gips <= 1.2);
+  (* Latency is a whole number of pipeline stages at 400 MHz: at least
+     pipeline_depth x 2.5 ns. *)
+  check "latency at least pipeline depth" true (c.R.avg_latency_ps >= 2.0 *. 2500.0)
+
+let test_clocked_width_scaling () =
+  let s = stream () in
+  let gips w = (C.run ~params:{ C.default with C.issue_width = w } s).R.gips in
+  check "wider issue helps" true (gips 4 > gips 1)
+
+(* Table 1 comparison. *)
+
+let test_table1_shape () =
+  let c = M.compare (stream ()) in
+  check "throughput ~3x" true (c.M.throughput_ratio > 2.0 && c.M.throughput_ratio < 4.5);
+  check "latency ~2x" true (c.M.latency_ratio > 1.5 && c.M.latency_ratio < 3.5);
+  check "power ~2x" true (c.M.power_ratio > 1.3 && c.M.power_ratio < 3.0);
+  check "area penalty 10-40%" true
+    (c.M.area_penalty_pct > 10.0 && c.M.area_penalty_pct < 40.0)
+
+let test_table1_holds_across_mixes () =
+  List.iter
+    (fun profile ->
+      let s = W.generate ~seed:11 profile ~instructions:20_000 in
+      let c = M.compare s in
+      check (profile.W.name ^ ": rappid wins throughput") true
+        (c.M.throughput_ratio > 1.5);
+      check (profile.W.name ^ ": rappid wins latency") true (c.M.latency_ratio > 1.0))
+    W.all_profiles
+
+let test_empty_stream_rejected () =
+  check "rappid rejects empty" true
+    (try
+       ignore (R.run { W.lengths = [||]; total_bytes = 0 });
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    ( "workload",
+      [
+        Alcotest.test_case "reproducible" `Quick test_workload_reproducible;
+        Alcotest.test_case "lengths valid" `Quick test_workload_lengths_valid;
+        Alcotest.test_case "starts" `Quick test_workload_starts;
+        Alcotest.test_case "profiles differ" `Quick test_workload_profiles_differ;
+      ] );
+    ( "rappid",
+      [
+        Alcotest.test_case "basic run" `Quick test_rappid_basic;
+        Alcotest.test_case "average-case behaviour" `Quick test_rappid_average_case;
+        Alcotest.test_case "row scaling" `Quick test_rappid_scaling;
+        Alcotest.test_case "speculation energy" `Quick test_rappid_speculation_energy;
+        Alcotest.test_case "empty stream" `Quick test_empty_stream_rejected;
+      ] );
+    ( "clocked",
+      [
+        Alcotest.test_case "basic run" `Quick test_clocked_basic;
+        Alcotest.test_case "issue width" `Quick test_clocked_width_scaling;
+      ] );
+    ( "table1",
+      [
+        Alcotest.test_case "headline ratios" `Quick test_table1_shape;
+        Alcotest.test_case "across mixes" `Quick test_table1_holds_across_mixes;
+      ] );
+  ]

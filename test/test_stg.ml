@@ -1,0 +1,254 @@
+(* Tests for Petri nets, STG construction, the .g parser and printer. *)
+
+module Bitset = Rtcad_util.Bitset
+module Petri = Rtcad_stg.Petri
+module Stg = Rtcad_stg.Stg
+module Stg_io = Rtcad_stg.Stg_io
+module Library = Rtcad_stg.Library
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let simple_net () =
+  (* p0 -> t0 -> p1 -> t1 -> p0 *)
+  Petri.make
+    ~place_names:[| "p0"; "p1" |]
+    ~transition_names:[| "t0"; "t1" |]
+    ~pre:[| [ 0 ]; [ 1 ] |]
+    ~post:[| [ 1 ]; [ 0 ] |]
+    ~initial:[ 0 ]
+
+let test_petri_fire () =
+  let net = simple_net () in
+  let m0 = Petri.initial_marking net in
+  check "t0 enabled" true (Petri.enabled net m0 0);
+  check "t1 disabled" false (Petri.enabled net m0 1);
+  let m1 = Petri.fire net m0 0 in
+  check "token moved" true (Bitset.mem m1 1 && not (Bitset.mem m1 0));
+  Alcotest.check_raises "firing disabled" (Invalid_argument "Petri.fire: transition not enabled")
+    (fun () -> ignore (Petri.fire net m1 0))
+
+let test_petri_unsafe () =
+  (* Two producers into p1 without a consumer in between. *)
+  let net =
+    Petri.make
+      ~place_names:[| "p0"; "pa"; "p1" |]
+      ~transition_names:[| "ta"; "tb" |]
+      ~pre:[| [ 0 ]; [ 1 ] |]
+      ~post:[| [ 2 ]; [ 2 ] |]
+      ~initial:[ 0; 1 ]
+  in
+  let m0 = Petri.initial_marking net in
+  let m1 = Petri.fire net m0 0 in
+  check "unsafe raised" true
+    (try
+       ignore (Petri.fire net m1 1);
+       false
+     with Petri.Unsafe p -> p = 2)
+
+let test_petri_structure () =
+  let net = simple_net () in
+  check_int "producers p0" 1 (List.length (Petri.producers net 0));
+  Alcotest.(check (list int)) "consumers p1" [ 1 ] (Petri.consumers net 1);
+  Alcotest.(check (list int)) "no conflicts" [] (Petri.structural_conflicts net 0)
+
+let test_builder_fifo () =
+  let stg = Library.fifo () in
+  check_int "signals" 4 (Stg.num_signals stg);
+  check_int "transitions" 9 (Petri.num_transitions (Stg.net stg));
+  check "li is input" true (Stg.is_input stg (Stg.signal_index stg "li"));
+  check "lo is output" false (Stg.is_input stg (Stg.signal_index stg "lo"));
+  (* eps is the only dummy *)
+  let dummies =
+    List.filter
+      (fun t -> Stg.label stg t = Stg.Dummy)
+      (List.init (Petri.num_transitions (Stg.net stg)) Fun.id)
+  in
+  check_int "one dummy" 1 (List.length dummies)
+
+let test_builder_errors () =
+  let b = Stg.Build.create () in
+  Stg.Build.signal b Stg.Input "a";
+  check "duplicate signal" true
+    (try
+       Stg.Build.signal b Stg.Input "a";
+       false
+     with Failure _ -> true);
+  check "undeclared marking" true
+    (try
+       Stg.Build.mark_between b "a+" "a-";
+       false
+     with Failure _ -> true)
+
+let test_transitions_of () =
+  let stg = Library.selector () in
+  let z = Stg.signal_index stg "z" in
+  check_int "two z+ instances" 2 (List.length (Stg.transitions_of stg z Stg.Rise));
+  check_int "two z- instances" 2 (List.length (Stg.transitions_of stg z Stg.Fall))
+
+let fifo_g = {|
+.model fifo
+.inputs li ri
+.outputs lo ro
+.dummy eps
+.graph
+li+ lo+
+lo+ li- ro+
+li- lo-
+lo- li+
+ro+ ri+
+ri+ ro-
+ro- ri-
+ri- eps
+eps lo+
+.marking { <lo-,li+> <eps,lo+> }
+.end
+|}
+
+let test_parse_fifo () =
+  let stg = Stg_io.parse fifo_g in
+  check_int "signals" 4 (Stg.num_signals stg);
+  check_int "transitions" 9 (Petri.num_transitions (Stg.net stg));
+  check_int "places" 10 (Petri.num_places (Stg.net stg));
+  check_int "initial marking" 2 (Bitset.cardinal (Petri.initial_marking (Stg.net stg)))
+
+let test_parse_explicit_places () =
+  let g = {|
+.model choice
+.inputs a b
+.outputs z
+.graph
+p0 a+ b+
+a+ z+
+b+ z+/2
+z+ a-
+z+/2 b-
+a- z-
+b- z-/2
+z- p0
+z-/2 p0
+.marking { p0 }
+.end
+|}
+  in
+  let stg = Stg_io.parse g in
+  check_int "signals" 3 (Stg.num_signals stg);
+  (* z+ appears twice *)
+  let z = Stg.signal_index stg "z" in
+  check_int "z+ occurrences" 2 (List.length (Stg.transitions_of stg z Stg.Rise))
+
+let test_parse_initial_state () =
+  let g = {|
+.model t
+.inputs a
+.outputs y
+.initial_state y
+.graph
+a+ y-
+y- a-
+a- y+
+y+ a+
+.marking { <y+,a+> }
+.end
+|}
+  in
+  let stg = Stg_io.parse g in
+  check "y starts high" true (Stg.initial_value stg (Stg.signal_index stg "y"));
+  check "a starts low" false (Stg.initial_value stg (Stg.signal_index stg "a"))
+
+let test_parse_errors () =
+  check "unknown directive" true
+    (try
+       ignore (Stg_io.parse ".model x\n.bogus y\n.end");
+       false
+     with Stg_io.Parse_error (2, _) -> true);
+  check "stray line" true
+    (try
+       ignore (Stg_io.parse ".model x\nfoo bar\n.end");
+       false
+     with Stg_io.Parse_error (2, _) -> true)
+
+let test_new_library_specs () =
+  let toggle = Library.toggle () in
+  check_int "toggle signals" 3 (Stg.num_signals toggle);
+  check_int "toggle transitions" 8 (Petri.num_transitions (Stg.net toggle));
+  let call = Library.call_element () in
+  check_int "call signals" 6 (Stg.num_signals call);
+  (* two occurrences of every server transition *)
+  let rs = Stg.signal_index call "rs" in
+  check_int "rs+ occurrences" 2 (List.length (Stg.transitions_of call rs Stg.Rise))
+
+let test_roundtrip () =
+  List.iter
+    (fun (name, stg) ->
+      let text = Stg_io.to_string stg in
+      let stg' = Stg_io.parse text in
+      Alcotest.(check int)
+        (name ^ " signals") (Stg.num_signals stg) (Stg.num_signals stg');
+      Alcotest.(check int)
+        (name ^ " transitions")
+        (Petri.num_transitions (Stg.net stg))
+        (Petri.num_transitions (Stg.net stg'));
+      Alcotest.(check int)
+        (name ^ " marking size")
+        (Bitset.cardinal (Petri.initial_marking (Stg.net stg)))
+        (Bitset.cardinal (Petri.initial_marking (Stg.net stg'))))
+    (Library.all_named ())
+
+(* The on-disk spec collection stays in sync with the built-in library. *)
+let test_spec_files () =
+  let dir = "../../../specs" in
+  if Sys.file_exists dir then
+    List.iter
+      (fun (name, stg) ->
+        let path = Filename.concat dir (name ^ ".g") in
+        check (name ^ ".g exists") true (Sys.file_exists path);
+        let parsed = Stg_io.parse_file path in
+        Alcotest.(check int)
+          (name ^ ".g transitions")
+          (Petri.num_transitions (Stg.net stg))
+          (Petri.num_transitions (Stg.net parsed));
+        Alcotest.(check int)
+          (name ^ ".g signals") (Stg.num_signals stg) (Stg.num_signals parsed))
+      (Library.all_named ())
+
+let test_dot_export () =
+  let dot = Format.asprintf "%a" Stg_io.print_dot (Library.fifo ()) in
+  check "digraph" true (String.length dot > 0 && String.sub dot 0 7 = "digraph");
+  (* one box per transition, dashed for inputs *)
+  check "boxes" true
+    (List.length (String.split_on_char '\n' dot)
+     > Petri.num_transitions (Stg.net (Library.fifo ())));
+  check "dashed inputs present" true
+    (let rec contains s sub i =
+       i + String.length sub <= String.length s
+       && (String.sub s i (String.length sub) = sub || contains s sub (i + 1))
+     in
+     contains dot "style=dashed" 0)
+
+let suite =
+  [
+    ( "petri",
+      [
+        Alcotest.test_case "fire" `Quick test_petri_fire;
+        Alcotest.test_case "unsafe" `Quick test_petri_unsafe;
+        Alcotest.test_case "structure" `Quick test_petri_structure;
+      ] );
+    ( "stg",
+      [
+        Alcotest.test_case "builder fifo" `Quick test_builder_fifo;
+        Alcotest.test_case "builder errors" `Quick test_builder_errors;
+        Alcotest.test_case "transitions_of" `Quick test_transitions_of;
+        Alcotest.test_case "toggle and call" `Quick test_new_library_specs;
+      ] );
+    ( "stg_io",
+      [
+        Alcotest.test_case "parse fifo" `Quick test_parse_fifo;
+        Alcotest.test_case "explicit places" `Quick test_parse_explicit_places;
+        Alcotest.test_case "initial_state" `Quick test_parse_initial_state;
+        Alcotest.test_case "parse errors" `Quick test_parse_errors;
+        Alcotest.test_case "print/parse roundtrip" `Quick test_roundtrip;
+        Alcotest.test_case "spec files in sync" `Quick test_spec_files;
+        Alcotest.test_case "dot export" `Quick test_dot_export;
+      ] );
+  ]

@@ -1,0 +1,219 @@
+(* Tests for Petri-net structural analysis, DFT, technology mapping and
+   sizing margins. *)
+
+module Petri = Rtcad_stg.Petri
+module Stg = Rtcad_stg.Stg
+module Library = Rtcad_stg.Library
+module Transform = Rtcad_stg.Transform
+module Structure = Rtcad_stg.Structure
+module Netlist = Rtcad_netlist.Netlist
+module Gate = Rtcad_netlist.Gate
+module Dft = Rtcad_netlist.Dft
+module Flow = Rtcad_core.Flow
+module Mapping = Rtcad_core.Mapping
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Structure. *)
+
+let test_classification () =
+  let fifo = Stg.net (Transform.contract_dummies (Library.fifo ())) in
+  check "fifo is a marked graph" true (Structure.is_marked_graph fifo);
+  check "marked graphs are free choice" true (Structure.is_free_choice fifo);
+  let sel = Stg.net (Library.selector ()) in
+  check "selector is not a marked graph" false (Structure.is_marked_graph sel);
+  check "selector is free choice" true (Structure.is_free_choice sel)
+
+let test_invariants_fifo () =
+  let net = Stg.net (Transform.contract_dummies (Library.fifo ())) in
+  let invs = Structure.place_invariants net in
+  check "kernel non-empty" true (invs <> []);
+  (* Every invariant's weighted token count must stay constant: validate
+     against a firing sequence. *)
+  let check_constant x =
+    let count m =
+      let acc = ref 0 in
+      Array.iteri (fun p w -> if Rtcad_util.Bitset.mem m p then acc := !acc + w) x;
+      !acc
+    in
+    let m = ref (Petri.initial_marking net) in
+    let v0 = count !m in
+    let ok = ref true in
+    for _ = 1 to 40 do
+      match Petri.enabled_transitions net !m with
+      | t :: _ ->
+        m := Petri.fire net !m t;
+        if count !m <> v0 then ok := false
+      | [] -> ()
+    done;
+    !ok
+  in
+  check "invariants are invariant" true (List.for_all check_constant invs)
+
+let test_unit_cover_safety () =
+  (* The handshake controllers are covered by token-1 invariants: a
+     structural proof of safeness. *)
+  List.iter
+    (fun (name, stg) ->
+      let stg =
+        if name = "fifo" then Transform.contract_dummies stg else stg
+      in
+      check (name ^ " covered by unit invariants") true
+        (Structure.covered_by_unit_invariants (Stg.net stg)))
+    [ ("fifo", Library.fifo ()); ("celement", Library.c_element ());
+      ("pipeline", Library.pipeline_stage ()) ]
+
+let test_semi_positive () =
+  let net = Stg.net (Library.c_element ()) in
+  let sp = Structure.semi_positive_invariants net in
+  check "some semi-positive" true (sp <> []);
+  check "all nonnegative" true
+    (List.for_all (fun x -> Array.for_all (fun v -> v >= 0) x) sp)
+
+(* DFT. *)
+
+let rt_fifo_netlist () =
+  (Rtcad_core.Fifo_impls.relative_timing ()).Rtcad_core.Fifo_impls.netlist
+
+let test_feedback_loops () =
+  let nl = rt_fifo_netlist () in
+  let loops = Dft.feedback_loops nl in
+  (* The RT FIFO's gates are cross-coupled: at least one loop exists. *)
+  check "loops found" true (loops <> []);
+  (* Each reported loop really is cyclic: every net in it reaches itself. *)
+  let reaches src dst =
+    let seen = Hashtbl.create 16 in
+    let rec go n =
+      n = dst
+      || (not (Hashtbl.mem seen n))
+         && begin
+              Hashtbl.add seen n ();
+              List.exists go (Netlist.fanout nl n)
+            end
+    in
+    List.exists go (Netlist.fanout nl src)
+  in
+  check "loops are cyclic" true
+    (List.for_all (fun loop -> List.for_all (fun n -> reaches n n) loop) loops)
+
+let test_no_loops_in_combinational () =
+  let nl = Netlist.create () in
+  let a = Netlist.input nl "a" in
+  let b = Netlist.add_gate nl (Gate.make Gate.Not ~fanin:1) [ (a, false) ] "b" in
+  let _c = Netlist.add_gate nl (Gate.make Gate.Not ~fanin:1) [ (b, false) ] "c" in
+  check "acyclic" true (Dft.feedback_loops nl = [])
+
+let test_insert_test_points () =
+  (* The pulse cell without its tap: coverage below 100, taps fix it. *)
+  let nl = Netlist.create () in
+  let li = Netlist.input nl "li" in
+  let ro = Netlist.forward nl "ro" in
+  let fb1 = Netlist.add_gate nl (Gate.make Gate.Not ~fanin:1) [ (ro, false) ] "fb1" in
+  let fb2 = Netlist.add_gate nl (Gate.make Gate.Not ~fanin:1) [ (fb1, false) ] "fb2" in
+  Netlist.set_driver nl ro
+    (Gate.make ~style:(Gate.Domino { footed = false })
+       (Gate.Sop_sr { set_cubes = [ 1 ]; reset_cubes = [ 1 ] })
+       ~fanin:2)
+    [ (li, false); (fb2, false) ];
+  Netlist.mark_output nl ro;
+  Netlist.settle_initial nl;
+  let stimulus sim = Rtcad_core.Harness.pulse_stimulus ~cycles:10 sim in
+  let plan = Dft.insert_test_points ~target:100.0 ~stimulus ~horizon:40_000.0 nl in
+  check "coverage improved" true (plan.Dft.coverage_after > plan.Dft.coverage_before);
+  check "taps inserted" true (plan.Dft.taps <> []);
+  check "original untouched" true
+    (List.length (Netlist.outputs nl) = 1)
+
+(* Mapping. *)
+
+let test_emit_mapped_fanin () =
+  let r = Flow.synthesize ~mode:Flow.Si (Rtcad_stg.Library.fifo ()) in
+  let stg = r.Flow.stg in
+  let impls =
+    List.map
+      (fun s -> (Stg.signal_index stg s.Flow.signal_name, s.Flow.impl))
+      r.Flow.signals
+  in
+  let nl = Mapping.emit_mapped ~max_fanin:2 stg impls in
+  check "fan-in bounded" true
+    (List.for_all (fun (_, g, _) -> g.Gate.fanin <= 2) (Netlist.gates nl));
+  check "more gates than atomic" true
+    (Netlist.gate_count nl > Netlist.gate_count r.Flow.netlist)
+
+let test_mapping_inference_pipeline () =
+  (* The decomposed Muller pipeline controller: inference finds the
+     internal constraints under which it conforms. *)
+  let r = Flow.synthesize ~mode:Flow.Si (Rtcad_stg.Library.pipeline_stage ()) in
+  let inf = Mapping.map_flow ~max_fanin:2 r in
+  check "conforms after inference" true inf.Mapping.conforms;
+  check "constraints inferred" true (inf.Mapping.constraints <> []);
+  check "rounds counted" true (inf.Mapping.rounds > 0)
+
+let test_mapping_reports_hard_case () =
+  (* The fully decomposed C-element exceeds the repair budget: the
+     inference must fail honestly, with residual failures attached. *)
+  let r = Flow.synthesize ~mode:Flow.Si (Rtcad_stg.Library.c_element ()) in
+  let inf = Mapping.map_flow ~max_fanin:2 r in
+  check "reports failure" false inf.Mapping.conforms;
+  check "residual failures listed" true (inf.Mapping.residual <> [])
+
+(* Margins / sizing. *)
+
+let test_margins_sizing () =
+  (* Build a racing pair: fast path one gate, slow path one gate of the
+     same delay; with +-20% variation the race is unsafe until the fast
+     gate is sized up. *)
+  let module Sim = Rtcad_netlist.Sim in
+  let module Paths = Rtcad_verify.Paths in
+  let module Margins = Rtcad_verify.Margins in
+  let nl = Netlist.create () in
+  let a = Netlist.input nl "a" in
+  let fast = Netlist.add_gate nl (Gate.make Gate.Buf ~fanin:1) [ (a, false) ] "fast" in
+  let slow = Netlist.add_gate nl (Gate.make Gate.Buf ~fanin:1) [ (a, false) ] "slow" in
+  Netlist.mark_output nl fast;
+  Netlist.mark_output nl slow;
+  let sim = Sim.create nl in
+  Sim.drive sim a true ~after:10.0;
+  Sim.run sim ~until:1000.0;
+  let events = Sim.events sim in
+  match
+    Paths.derive events ~fast:{ Paths.net = fast; value = true }
+      ~slow:{ Paths.net = slow; value = true }
+  with
+  | None -> Alcotest.fail "expected paths"
+  | Some p ->
+    let report = Margins.analyze ~margin:0.2 nl [ p ] in
+    check "race unsafe before sizing" false report.Margins.all_hold;
+    check "sizing suggested" true (report.Margins.suggestions <> []);
+    (* The sized delay model must speed up the fast gate. *)
+    let g = Gate.make Gate.Buf ~fanin:1 in
+    check "fast gate sped up" true
+      (Margins.sized_delay report fast g < Gate.delay_ps g);
+    check "slow gate untouched" true
+      (Margins.sized_delay report slow g = Gate.delay_ps g)
+
+let suite =
+  [
+    ( "structure",
+      [
+        Alcotest.test_case "net classes" `Quick test_classification;
+        Alcotest.test_case "invariants invariant" `Quick test_invariants_fifo;
+        Alcotest.test_case "unit-invariant safety cover" `Quick test_unit_cover_safety;
+        Alcotest.test_case "semi-positive basis" `Quick test_semi_positive;
+      ] );
+    ( "dft",
+      [
+        Alcotest.test_case "feedback loops" `Quick test_feedback_loops;
+        Alcotest.test_case "acyclic netlist" `Quick test_no_loops_in_combinational;
+        Alcotest.test_case "test-point insertion" `Quick test_insert_test_points;
+      ] );
+    ( "mapping",
+      [
+        Alcotest.test_case "fan-in bound" `Quick test_emit_mapped_fanin;
+        Alcotest.test_case "constraint inference" `Quick test_mapping_inference_pipeline;
+        Alcotest.test_case "hard case reported" `Quick test_mapping_reports_hard_case;
+      ] );
+    ( "margins",
+      [ Alcotest.test_case "race sizing" `Quick test_margins_sizing ] );
+  ]

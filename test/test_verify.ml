@@ -1,0 +1,269 @@
+(* Tests for conformance checking, RT verification, path extraction and
+   separation analysis. *)
+
+module Stg = Rtcad_stg.Stg
+module Library = Rtcad_stg.Library
+module Flow = Rtcad_core.Flow
+module Check = Rtcad_core.Check
+module Netlist = Rtcad_netlist.Netlist
+module Gate = Rtcad_netlist.Gate
+module Sim = Rtcad_netlist.Sim
+module Conformance = Rtcad_verify.Conformance
+module Rt_verify = Rtcad_verify.Rt_verify
+module Paths = Rtcad_verify.Paths
+module Separation = Rtcad_verify.Separation
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Atomic-gate C-element: conforms. *)
+let atomic_celement () =
+  let nl = Netlist.create () in
+  let a = Netlist.input nl "a" in
+  let b = Netlist.input nl "b" in
+  let c = Netlist.forward nl "c" in
+  Netlist.set_driver nl c
+    (Gate.make (Gate.Sop [ 2; 2; 2 ]) ~fanin:6)
+    [ (a, false); (b, false); (a, false); (c, false); (b, false); (c, false) ];
+  Netlist.mark_output nl c;
+  Netlist.settle_initial nl;
+  nl
+
+(* Decomposed C-element: fails untimed. *)
+let decomposed_celement () =
+  let nl = Netlist.create () in
+  let a = Netlist.input nl "a" in
+  let b = Netlist.input nl "b" in
+  let c = Netlist.forward nl "c" in
+  let g2 = Gate.make Gate.And ~fanin:2 in
+  let ab = Netlist.add_gate nl g2 [ (a, false); (b, false) ] "ab" in
+  let ac = Netlist.add_gate nl g2 [ (a, false); (c, false) ] "ac" in
+  let bc = Netlist.add_gate nl g2 [ (b, false); (c, false) ] "bc" in
+  Netlist.set_driver nl c
+    (Gate.make Gate.Or ~fanin:3)
+    [ (ab, false); (ac, false); (bc, false) ];
+  Netlist.mark_output nl c;
+  Netlist.settle_initial nl;
+  nl
+
+let test_conformance_ok () =
+  let r = Conformance.check ~circuit:(atomic_celement ()) ~spec:(Library.c_element ()) () in
+  check "conforms" true r.Conformance.ok;
+  check_int "8 configurations" 8 r.Conformance.configurations
+
+let test_conformance_hazard () =
+  let r =
+    Conformance.check ~circuit:(decomposed_celement ()) ~spec:(Library.c_element ()) ()
+  in
+  check "fails" false r.Conformance.ok;
+  check "has a hazard" true
+    (List.exists
+       (function Conformance.Hazard _ -> true | _ -> false)
+       r.Conformance.failures);
+  check "has an unexpected output" true
+    (List.exists
+       (function Conformance.Unexpected_output _ -> true | _ -> false)
+       r.Conformance.failures)
+
+let test_conformance_wrong_circuit () =
+  (* A buffer pretending to be a C-element: fires c after only one input. *)
+  let nl = Netlist.create () in
+  let a = Netlist.input nl "a" in
+  let _b = Netlist.input nl "b" in
+  let c = Netlist.add_gate nl (Gate.make Gate.Buf ~fanin:1) [ (a, false) ] "c" in
+  Netlist.mark_output nl c;
+  let r = Conformance.check ~circuit:nl ~spec:(Library.c_element ()) () in
+  check "fails" false r.Conformance.ok;
+  check "unexpected output" true
+    (List.exists
+       (function
+         | Conformance.Unexpected_output { value = true; _ } -> true
+         | _ -> false)
+       r.Conformance.failures)
+
+let test_conformance_deadlock () =
+  (* A circuit that never answers: c stuck low via a constant. *)
+  let nl = Netlist.create () in
+  let a = Netlist.input nl "a" in
+  let b = Netlist.input nl "b" in
+  let c =
+    Netlist.add_gate nl (Gate.make Gate.And ~fanin:2) [ (a, false); (a, true) ] "c"
+  in
+  ignore b;
+  Netlist.mark_output nl c;
+  let r = Conformance.check ~circuit:nl ~spec:(Library.c_element ()) () in
+  check "fails" false r.Conformance.ok;
+  check "deadlocks" true
+    (List.exists (function Conformance.Deadlock _ -> true | _ -> false) r.Conformance.failures)
+
+let test_conformance_interface_checks () =
+  (* Spec input missing from the circuit. *)
+  let nl = Netlist.create () in
+  let a = Netlist.input nl "a" in
+  let c = Netlist.add_gate nl (Gate.make Gate.Buf ~fanin:1) [ (a, false) ] "c" in
+  Netlist.mark_output nl c;
+  check "missing input rejected" true
+    (try
+       ignore (Conformance.check ~circuit:nl ~spec:(Library.c_element ()) ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_net_constraints_block () =
+  let nl = decomposed_celement () in
+  let edge name rising = { Conformance.net = Netlist.find_net nl name; rising } in
+  let constraints =
+    (edge "ac" true, edge "ab" false)
+    :: (edge "bc" true, edge "ab" false)
+    :: List.concat_map
+         (fun g ->
+           List.concat_map
+             (fun x -> [ (edge g true, edge x false); (edge g false, edge x true) ])
+             [ "a"; "b" ])
+         [ "ac"; "bc" ]
+  in
+  let r =
+    Conformance.check ~net_constraints:constraints ~circuit:nl
+      ~spec:(Library.c_element ()) ()
+  in
+  check "conforms with net constraints" true r.Conformance.ok;
+  check "used constraints reported" true (r.Conformance.used_net_constraints <> [])
+
+(* Rt_verify: the flow's RT circuits verify with a small required set. *)
+
+let test_rt_verify_fig5 () =
+  let r =
+    Flow.synthesize
+      ~mode:(Flow.Rt { user = []; allow_input_first = true; allow_lazy = true })
+      (Library.fifo_with_state ())
+  in
+  let report =
+    Rt_verify.verify ~circuit:r.Flow.netlist ~spec:r.Flow.stg
+      ~assumptions:r.Flow.assumptions ()
+  in
+  check "not SI" false report.Rt_verify.untimed_ok;
+  (* The paper's headline: five constraints sufficient. *)
+  check_int "five constraints" 5 (List.length report.Rt_verify.required);
+  (* Irredundancy: removing any one breaks conformance. *)
+  List.iter
+    (fun a ->
+      let rest =
+        List.filter
+          (fun b -> not (Rtcad_rt.Assumption.equal a b))
+          report.Rt_verify.required
+      in
+      let weaker =
+        Conformance.check ~constraints:rest ~circuit:r.Flow.netlist ~spec:r.Flow.stg ()
+      in
+      check "irredundant" false weaker.Conformance.ok)
+    report.Rt_verify.required
+
+let test_rt_verify_si_circuit () =
+  let r = Flow.synthesize ~mode:Flow.Si (Library.fifo ()) in
+  let report =
+    Rt_verify.verify ~circuit:r.Flow.netlist ~spec:r.Flow.stg ~assumptions:[] ()
+  in
+  check "SI circuit needs nothing" true report.Rt_verify.untimed_ok;
+  check "empty required set" true (report.Rt_verify.required = [])
+
+let test_rt_verify_not_verifiable () =
+  (* The wrong circuit cannot be saved by assumptions. *)
+  let spec = Library.c_element () in
+  let nl = Netlist.create () in
+  let a = Netlist.input nl "a" in
+  let _b = Netlist.input nl "b" in
+  let c = Netlist.add_gate nl (Gate.make Gate.Buf ~fanin:1) [ (a, false) ] "c" in
+  Netlist.mark_output nl c;
+  check "not verifiable" true
+    (try
+       ignore (Rt_verify.verify ~circuit:nl ~spec ~assumptions:[] ());
+       false
+     with Rt_verify.Not_verifiable -> true)
+
+(* Paths and separation. *)
+
+let run_celement_sim () =
+  let nl = decomposed_celement () in
+  let sim = Sim.create nl in
+  Sim.settle sim ();
+  let a = Netlist.find_net nl "a"
+  and b = Netlist.find_net nl "b"
+  and c = Netlist.find_net nl "c" in
+  Sim.on_change sim c (fun sim v ->
+      let cause = Option.map (fun e -> e.Sim.id) (Sim.last_event sim) in
+      Sim.drive ?cause sim a (not v) ~after:200.0;
+      Sim.drive ?cause sim b (not v) ~after:250.0);
+  Sim.drive sim a true ~after:10.0;
+  Sim.drive sim b true ~after:30.0;
+  Sim.run sim ~until:5000.0;
+  (nl, Sim.events sim)
+
+let test_paths_common_ancestor () =
+  let nl, events = run_celement_sim () in
+  match
+    Paths.derive events
+      ~fast:{ Paths.net = Netlist.find_net nl "bc"; value = true }
+      ~slow:{ Paths.net = Netlist.find_net nl "ab"; value = false }
+  with
+  | None -> Alcotest.fail "expected a common ancestor"
+  | Some p ->
+    (* Section 5: "the common source for these transitions is c+". *)
+    check "anchor is c+" true
+      (p.Paths.fast.Paths.anchor.Sim.net = Netlist.find_net nl "c"
+      && p.Paths.fast.Paths.anchor.Sim.value);
+    check "fast path one step" true (List.length p.Paths.fast.Paths.steps = 1);
+    (* slow path: c+ -> a- -> ab- *)
+    check_int "slow path two steps" 2 (List.length p.Paths.slow.Paths.steps)
+
+let test_separation_verdict () =
+  let nl, events = run_celement_sim () in
+  match
+    Paths.derive events
+      ~fast:{ Paths.net = Netlist.find_net nl "bc"; value = true }
+      ~slow:{ Paths.net = Netlist.find_net nl "ab"; value = false }
+  with
+  | None -> Alcotest.fail "expected paths"
+  | Some p ->
+    let v = Separation.check ~margin:0.2 nl p in
+    check "holds with slow env" true v.Separation.holds;
+    check "positive slack" true (v.Separation.slack_ps > 0.0);
+    (* With an extreme margin the race is no longer safe. *)
+    let v2 = Separation.check ~margin:0.9 nl p in
+    check "extreme margin violates" false v2.Separation.holds
+
+let test_paths_missing_edge () =
+  let nl, events = run_celement_sim () in
+  check "absent edge gives None" true
+    (Paths.derive events
+       ~fast:{ Paths.net = Netlist.find_net nl "bc"; value = true }
+       ~slow:{ Paths.net = Netlist.find_net nl "bc"; value = true }
+     <> None);
+  (* an edge that never fired *)
+  let nl2 = Netlist.create () in
+  let _a = Netlist.input nl2 "a" in
+  check "empty trace" true (Paths.derive [] ~fast:{ Paths.net = 0; value = true }
+                              ~slow:{ Paths.net = 0; value = false } = None)
+
+let suite =
+  [
+    ( "conformance",
+      [
+        Alcotest.test_case "atomic c-element conforms" `Quick test_conformance_ok;
+        Alcotest.test_case "decomposed c-element hazards" `Quick test_conformance_hazard;
+        Alcotest.test_case "wrong circuit rejected" `Quick test_conformance_wrong_circuit;
+        Alcotest.test_case "deadlock detected" `Quick test_conformance_deadlock;
+        Alcotest.test_case "interface checks" `Quick test_conformance_interface_checks;
+        Alcotest.test_case "net constraints" `Quick test_net_constraints_block;
+      ] );
+    ( "rt_verify",
+      [
+        Alcotest.test_case "fig5: five constraints" `Quick test_rt_verify_fig5;
+        Alcotest.test_case "SI circuit" `Quick test_rt_verify_si_circuit;
+        Alcotest.test_case "not verifiable" `Quick test_rt_verify_not_verifiable;
+      ] );
+    ( "paths",
+      [
+        Alcotest.test_case "common ancestor c+" `Quick test_paths_common_ancestor;
+        Alcotest.test_case "separation verdict" `Quick test_separation_verdict;
+        Alcotest.test_case "missing edges" `Quick test_paths_missing_edge;
+      ] );
+  ]
