@@ -1,8 +1,10 @@
 (* Benchmark and reproduction harness.
 
-     dune exec bench/main.exe            — run every experiment
-     dune exec bench/main.exe -- NAME…   — run selected experiments
-     dune exec bench/main.exe -- perf    — Bechamel micro-benchmarks
+     dune exec bench/main.exe               — run every experiment
+     dune exec bench/main.exe -- NAME…      — run selected experiments
+     dune exec bench/main.exe -- perf       — kernel wall-times -> BENCH_perf.json
+     dune exec bench/main.exe -- compare    — diff BENCH_perf.json vs bench/baseline.json
+     dune exec bench/main.exe -- micro      — Bechamel micro-benchmarks
 
    One experiment per table and figure of the paper; each prints the rows
    or series the paper reports next to the paper's published values. *)
@@ -512,7 +514,7 @@ let regression () =
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
-let perf () =
+let micro () =
   section "Bechamel micro-benchmarks";
   let open Bechamel in
   let fifo = Transform.contract_dummies (Library.fifo ()) in
@@ -579,16 +581,28 @@ let () =
   match args with
   | [] ->
     List.iter (fun (_, f) -> f ()) experiments;
-    Format.printf "@.(run `bench/main.exe perf' for Bechamel micro-benchmarks)@."
-  | [ "perf" ] -> perf ()
+    Format.printf
+      "@.(run `bench/main.exe perf' for kernel wall-times, `micro' for Bechamel)@."
+  | "compare" :: rest ->
+    let strict =
+      match rest with
+      | [] -> false
+      | [ "--strict" ] -> true
+      | _ ->
+        Printf.eprintf "usage: compare [--strict]\n";
+        exit 2
+    in
+    Perf.run_compare ~strict ()
   | names ->
     List.iter
       (fun name ->
         match List.assoc_opt name experiments with
         | Some f -> f ()
-        | None when name = "perf" -> perf ()
+        | None when name = "perf" -> Perf.run_perf ()
+        | None when name = "micro" -> micro ()
         | None ->
-          Printf.eprintf "unknown experiment %s; available: %s perf\n" name
+          Printf.eprintf "unknown experiment %s; available: %s perf compare micro\n"
+            name
             (String.concat " " (List.map fst experiments));
           exit 2)
       names

@@ -1,0 +1,337 @@
+(* Kernel wall-time benchmarks with a machine-readable JSON trajectory.
+
+     dune exec bench/main.exe -- perf              — run, write BENCH_perf.json
+     dune exec bench/main.exe -- compare           — diff vs bench/baseline.json
+     dune exec bench/main.exe -- compare --strict  — exit 1 on >15% regression
+
+   Each kernel is a closure timed [reps] times (RTCAD_BENCH_REPS, default
+   5) after one untimed warm-up; the JSON records every run plus min /
+   mean / max so later sessions can track the trajectory and the
+   comparator can flag regressions against a committed baseline. *)
+
+module Stg = Rtcad_stg.Stg
+module Library = Rtcad_stg.Library
+module Transform = Rtcad_stg.Transform
+module Sg = Rtcad_sg.Sg
+module Flow = Rtcad_core.Flow
+module Table2 = Rtcad_core.Table2
+module W = Rtcad_rappid.Workload
+module R = Rtcad_rappid.Rappid
+
+let result_file = "BENCH_perf.json"
+let baseline_file = "bench/baseline.json"
+let regression_threshold = 0.15
+
+let reps () =
+  match Sys.getenv_opt "RTCAD_BENCH_REPS" with
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> n
+    | Some _ | None -> invalid_arg "RTCAD_BENCH_REPS must be a positive integer")
+  | None -> 5
+
+(* ------------------------------------------------------------------ *)
+(* Kernels                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Each kernel returns a closure so that setup (workload generation,
+   dummy contraction) happens outside the timed region. *)
+let kernels () =
+  let specs =
+    List.map (fun (n, stg) -> (n, Transform.contract_dummies stg)) (Library.all_named ())
+    (* The named specs are small; token rings grow the state space
+       combinatorially (ring 8 ~ 35k states) and dominate the kernel. *)
+    @ List.map (fun n -> (Printf.sprintf "ring%d" n, Library.ring n)) [ 6; 7; 8 ]
+  in
+  let stream = W.generate ~seed:7 W.typical ~instructions:200_000 in
+  [
+    ( "sg_reachability",
+      "Sg.build over every library STG (dummies contracted) plus rings 6-8",
+      fun () ->
+        List.iter (fun (_, stg) -> ignore (Sg.build stg)) specs );
+    ( "table2_fifo_sim",
+      "Table 2: event-driven simulation of all four FIFO variants, 200 cycles",
+      fun () -> ignore (Table2.all ~cycles:200 ()) );
+    ( "rappid_200k",
+      "RAPPID microarchitecture model, 200k-instruction typical stream",
+      fun () -> ignore (R.run stream) );
+    ( "rt_flow",
+      "Full relative-timing synthesis flow on the FIFO spec",
+      fun () -> ignore (Flow.synthesize ~mode:Flow.rt_default (Library.fifo ())) );
+  ]
+
+type timing = { name : string; descr : string; runs_ms : float list }
+
+let time_one f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  (Unix.gettimeofday () -. t0) *. 1000.0
+
+let measure ~reps (name, descr, f) =
+  ignore (time_one f) (* warm-up *);
+  let runs_ms = List.init reps (fun _ -> time_one f) in
+  Format.printf "%-18s %s@." name
+    (String.concat " " (List.map (Printf.sprintf "%.1fms") runs_ms));
+  { name; descr; runs_ms }
+
+let min_ms t = List.fold_left min infinity t.runs_ms
+let max_ms t = List.fold_left max 0.0 t.runs_ms
+
+let mean_ms t =
+  List.fold_left ( +. ) 0.0 t.runs_ms /. float_of_int (List.length t.runs_ms)
+
+(* ------------------------------------------------------------------ *)
+(* JSON emission                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_results ~reps timings =
+  let oc = open_out result_file in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"schema\": \"rtcad-bench-perf/1\",\n";
+  p "  \"generated_at_unix\": %.0f,\n" (Unix.time ());
+  p "  \"reps\": %d,\n" reps;
+  p "  \"kernels\": {\n";
+  List.iteri
+    (fun i t ->
+      p "    \"%s\": {\n" (json_escape t.name);
+      p "      \"descr\": \"%s\",\n" (json_escape t.descr);
+      p "      \"runs_ms\": [%s],\n"
+        (String.concat ", " (List.map (Printf.sprintf "%.3f") t.runs_ms));
+      p "      \"min_ms\": %.3f,\n" (min_ms t);
+      p "      \"mean_ms\": %.3f,\n" (mean_ms t);
+      p "      \"max_ms\": %.3f\n" (max_ms t);
+      p "    }%s\n" (if i = List.length timings - 1 then "" else ","))
+    timings;
+  p "  }\n";
+  p "}\n";
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON reader (for our own schema and the baseline)           *)
+(* ------------------------------------------------------------------ *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+let parse_json s =
+  let pos = ref 0 in
+  let len = String.length s in
+  let peek () = if !pos < len then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if peek () = Some c then advance () else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word v =
+    if !pos + String.length word <= len && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail "bad literal"
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some 'n' -> Buffer.add_char b '\n'
+        | Some 't' -> Buffer.add_char b '\t'
+        | Some c -> Buffer.add_char b c
+        | None -> fail "unterminated escape");
+        advance ();
+        go ()
+      | Some c ->
+        Buffer.add_char b c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else Obj (parse_members [])
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        Arr []
+      end
+      else Arr (parse_elements [])
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+    | None -> fail "unexpected end of input"
+  and parse_members acc =
+    skip_ws ();
+    let key = parse_string () in
+    skip_ws ();
+    expect ':';
+    let v = parse_value () in
+    skip_ws ();
+    match peek () with
+    | Some ',' ->
+      advance ();
+      parse_members ((key, v) :: acc)
+    | Some '}' ->
+      advance ();
+      List.rev ((key, v) :: acc)
+    | _ -> fail "expected ',' or '}'"
+  and parse_elements acc =
+    let v = parse_value () in
+    skip_ws ();
+    match peek () with
+    | Some ',' ->
+      advance ();
+      parse_elements (v :: acc)
+    | Some ']' ->
+      advance ();
+      List.rev (v :: acc)
+    | _ -> fail "expected ',' or ']'"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> len then fail "trailing garbage";
+  v
+
+let load_json path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  parse_json s
+
+let member key = function Obj kvs -> List.assoc_opt key kvs | _ -> None
+
+let kernel_stats path =
+  match member "kernels" (load_json path) with
+  | Some (Obj kernels) ->
+    List.filter_map
+      (fun (name, v) ->
+        match (member "min_ms" v, member "mean_ms" v) with
+        | Some (Num mn), Some (Num mean) -> Some (name, (mn, mean))
+        | _ -> None)
+      kernels
+  | Some _ | None -> raise (Parse_error (path ^ ": no \"kernels\" object"))
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let run_perf () =
+  let reps = reps () in
+  Format.printf "kernel wall-time benchmarks (%d reps; RTCAD_BENCH_REPS to tune)@." reps;
+  let timings = List.map (measure ~reps) (kernels ()) in
+  write_results ~reps timings;
+  Format.printf "@.%-18s %10s %10s %10s@." "kernel" "min ms" "mean ms" "max ms";
+  List.iter
+    (fun t ->
+      Format.printf "%-18s %10.1f %10.1f %10.1f@." t.name (min_ms t) (mean_ms t)
+        (max_ms t))
+    timings;
+  Format.printf "@.wrote %s@." result_file;
+  if Sys.file_exists baseline_file then Format.printf "(compare with `-- compare')@."
+
+(* Regressions are judged on min_ms — the least noise-sensitive statistic
+   for a wall-clock benchmark — but the table shows mean too. *)
+let run_compare ~strict () =
+  let fail_usage msg =
+    Printf.eprintf "compare: %s\n" msg;
+    exit 2
+  in
+  if not (Sys.file_exists result_file) then
+    fail_usage (result_file ^ " not found; run `bench/main.exe -- perf' first");
+  if not (Sys.file_exists baseline_file) then
+    fail_usage (baseline_file ^ " not found; commit a baseline first");
+  let current = kernel_stats result_file in
+  let baseline = kernel_stats baseline_file in
+  Format.printf "%-18s %12s %12s %9s  %s@." "kernel" "baseline ms" "current ms" "delta"
+    "";
+  let regressions = ref [] in
+  List.iter
+    (fun (name, (base_min, _)) ->
+      match List.assoc_opt name current with
+      | None -> Format.printf "%-18s %12.1f %12s %9s  missing from current run@." name base_min "-" "-"
+      | Some (cur_min, _) ->
+        let delta = (cur_min -. base_min) /. base_min in
+        let verdict =
+          if delta > regression_threshold then begin
+            regressions := name :: !regressions;
+            "REGRESSION"
+          end
+          else if delta < -.regression_threshold then "improved"
+          else "ok"
+        in
+        Format.printf "%-18s %12.1f %12.1f %+8.1f%%  %s@." name base_min cur_min
+          (100.0 *. delta) verdict)
+    baseline;
+  List.iter
+    (fun (name, (cur_min, _)) ->
+      if not (List.mem_assoc name baseline) then
+        Format.printf "%-18s %12s %12.1f %9s  new kernel (no baseline)@." name "-"
+          cur_min "-")
+    current;
+  match !regressions with
+  | [] -> Format.printf "@.no regressions beyond %.0f%%@." (100.0 *. regression_threshold)
+  | names ->
+    Format.printf "@.%d kernel(s) regressed beyond %.0f%%: %s@." (List.length names)
+      (100.0 *. regression_threshold)
+      (String.concat ", " (List.rev names));
+    if strict then exit 1
+    else Format.printf "(warning only; pass --strict to fail the run)@."

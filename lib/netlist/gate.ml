@@ -79,6 +79,37 @@ let eval g ~current inputs =
     let s = eval_sop set_cubes set_ins and r = eval_sop reset_cubes reset_ins in
     s || (current && not r)
 
+(* Array variant of {!eval} for the simulator's hot loop: input values
+   live in a caller-owned scratch prefix [a.(0 .. n-1)], so evaluation
+   allocates nothing.  Helpers are top-level so the recursion compiles to
+   direct calls instead of per-call closures. *)
+let rec arr_all a i j = i >= j || (Array.unsafe_get a i && arr_all a (i + 1) j)
+let rec arr_any a i j = i < j && (Array.unsafe_get a i || arr_any a (i + 1) j)
+
+let rec eval_sop_arr cubes a off =
+  match cubes with
+  | [] -> false
+  | c :: rest -> arr_all a off (off + c) || eval_sop_arr rest a (off + c)
+
+let eval_arr g ~current a ~n =
+  if n <> g.fanin then invalid_arg "Gate.eval: arity";
+  match g.func with
+  | And -> arr_all a 0 n
+  | Or -> arr_any a 0 n
+  | Nand -> not (arr_all a 0 n)
+  | Nor -> not (arr_any a 0 n)
+  | Not -> not (Array.unsafe_get a 0)
+  | Buf -> Array.unsafe_get a 0
+  | Xor -> Array.unsafe_get a 0 <> Array.unsafe_get a 1
+  | Celem ->
+    if arr_all a 0 n then true else if not (arr_any a 0 n) then false else current
+  | Set_reset -> a.(0) || (current && not a.(1))
+  | Sop cubes -> eval_sop_arr cubes a 0
+  | Sop_sr { set_cubes; reset_cubes } ->
+    let s = eval_sop_arr set_cubes a 0
+    and r = eval_sop_arr reset_cubes a (sum set_cubes) in
+    s || (current && not r)
+
 (* Transistor counts: static complementary = 2 per literal; domino =
    pulldown stack (1/literal) + precharge + keeper pair + output inverter,
    plus the foot transistor when footed; C-element = classic 8-transistor

@@ -47,6 +47,11 @@ val eval : t -> current:bool -> bool list -> bool
 (** Combinational/next value given input values ([current] matters only
     for the state-holding functions). *)
 
+val eval_arr : t -> current:bool -> bool array -> n:int -> bool
+(** Same as {!eval}, reading the first [n] elements of a caller-owned
+    scratch array — no allocation, for the simulator's inner loop.
+    [n] must equal the gate's fan-in. *)
+
 val transistors : t -> int
 val delay_ps : t -> float
 (** Nominal propagation delay. *)

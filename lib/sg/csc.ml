@@ -50,10 +50,15 @@ let first_occurrences stg =
   go 0;
   occ
 
-let apply stg ins =
+(* [named:false] skips the [Printf] place-name construction: the search in
+   {!resolve} probes thousands of candidate insertions whose names are never
+   observed (the winning insertion is re-applied with real names), and the
+   formatting otherwise shows up at the top of the profile.  [occ] lets the
+   search share one {!first_occurrences} table across all candidates. *)
+let apply_gen ?occ ~named stg ins =
   let net = Stg.net stg in
   let np = Petri.num_places net and nt = Petri.num_transitions net in
-  let occ = first_occurrences stg in
+  let occ = match occ with Some o -> o | None -> first_occurrences stg in
   let pos_of triggers =
     List.fold_left (fun acc t -> max acc (float_of_int occ.(t) +. 0.5)) 0.0 triggers
   in
@@ -82,18 +87,24 @@ let apply stg ins =
     pre.(dst) <- p :: pre.(dst)
   in
   List.iter
-    (fun t -> arc t t_rise (Printf.sprintf "<%s,%s+>" (Petri.transition_name net t) x))
+    (fun t ->
+      arc t t_rise
+        (if named then Printf.sprintf "<%s,%s+>" (Petri.transition_name net t) x else ""))
     ins.rise_triggers;
   List.iter
-    (fun t -> arc t t_fall (Printf.sprintf "<%s,%s->" (Petri.transition_name net t) x))
+    (fun t ->
+      arc t t_fall
+        (if named then Printf.sprintf "<%s,%s->" (Petri.transition_name net t) x else ""))
     ins.fall_triggers;
   (* A waiter that occurs before the new edge in the cycle consumes the
      token of the previous (virtual) edge: its place starts marked. *)
   let waiter_arc src pos t =
     let name =
-      Printf.sprintf "<%s,%s>"
-        (if src = t_rise then x ^ "+" else x ^ "-")
-        (Petri.transition_name net t)
+      if named then
+        Printf.sprintf "<%s,%s>"
+          (if src = t_rise then x ^ "+" else x ^ "-")
+          (Petri.transition_name net t)
+      else ""
     in
     let p = fresh name in
     post.(src) <- p :: post.(src);
@@ -106,10 +117,10 @@ let apply stg ins =
     List.filter_map (waiter_arc t_rise pos_rise) ins.rise_waiters
     @ List.filter_map (waiter_arc t_fall pos_fall) ins.fall_waiters
   in
-  let p_up_down = fresh (Printf.sprintf "<%s+,%s->" x x) in
+  let p_up_down = fresh (if named then Printf.sprintf "<%s+,%s->" x x else "") in
   post.(t_rise) <- p_up_down :: post.(t_rise);
   pre.(t_fall) <- p_up_down :: pre.(t_fall);
-  let p_down_up = fresh (Printf.sprintf "<%s-,%s+>" x x) in
+  let p_down_up = fresh (if named then Printf.sprintf "<%s-,%s+>" x x else "") in
   post.(t_fall) <- p_down_up :: post.(t_fall);
   pre.(t_rise) <- p_down_up :: pre.(t_rise);
   let place_names =
@@ -140,6 +151,8 @@ let apply stg ins =
     Array.append (Array.init ns (Stg.initial_value stg)) [| false |]
   in
   Stg.make ~net:net' ~labels ~signal_names ~kinds ~initial_values
+
+let apply stg ins = apply_gen ~named:true stg ins
 
 (* Candidate enumeration: trigger sets are singletons or pairs of
    non-dummy, non-input transitions; waiter sets are empty or a single
@@ -216,6 +229,7 @@ let resolve ?(mode = Timing_aware) ?(name = "x") ?(view = Fun.id) ?max_states
   if not (Encoding.has_csc (view base_sg)) then None
   else begin
     let budget = ref max_candidates in
+    let occ = first_occurrences stg in
     let candidates_triggers =
       singletons_and_pairs
         (match trigger_space with
@@ -228,7 +242,7 @@ let resolve ?(mode = Timing_aware) ?(name = "x") ?(view = Fun.id) ?max_states
     let consider ins =
       if !budget > 0 then begin
         decr budget;
-        match Sg.build ?max_states (apply stg ins) with
+        match Sg.build ?max_states (apply_gen ~occ ~named:false stg ins) with
         | exception (Sg.Inconsistent _ | Sg.Too_large _ | Petri.Unsafe _) -> ()
         | sg ->
           if Props.deadlock_free sg && Props.live_transitions sg then

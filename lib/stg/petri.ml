@@ -5,8 +5,10 @@ type t = {
   transition_names : string array;
   pre : int array array;
   post : int array array;
-  producers : int array array;
-  consumers : int array array;
+  (* Reverse flow tables, computed on first use: only cold paths (net
+     transformations, structural checks, I/O) read them, and building
+     them for every candidate net of the CSC search is measurable. *)
+  mutable flows : (int array array * int array array) option;
   initial : Bitset.t;
 }
 
@@ -22,32 +24,46 @@ let make ~place_names ~transition_names ~pre ~post ~initial =
   Array.iter check_places pre;
   Array.iter check_places post;
   check_places initial;
-  let producers = Array.make np [] and consumers = Array.make np [] in
-  for tr = nt - 1 downto 0 do
-    List.iter (fun p -> producers.(p) <- tr :: producers.(p)) post.(tr);
-    List.iter (fun p -> consumers.(p) <- tr :: consumers.(p)) pre.(tr)
-  done;
   {
     place_names;
     transition_names;
     pre = Array.map Array.of_list pre;
     post = Array.map Array.of_list post;
-    producers = Array.map Array.of_list producers;
-    consumers = Array.map Array.of_list consumers;
+    flows = None;
     initial = Bitset.of_list np initial;
   }
 
 let num_places net = Array.length net.place_names
 let num_transitions net = Array.length net.transition_names
+
+let flows net =
+  match net.flows with
+  | Some f -> f
+  | None ->
+    let np = num_places net and nt = num_transitions net in
+    let producers = Array.make np [] and consumers = Array.make np [] in
+    for tr = nt - 1 downto 0 do
+      Array.iter (fun p -> producers.(p) <- tr :: producers.(p)) net.post.(tr);
+      Array.iter (fun p -> consumers.(p) <- tr :: consumers.(p)) net.pre.(tr)
+    done;
+    let f = (Array.map Array.of_list producers, Array.map Array.of_list consumers) in
+    net.flows <- Some f;
+    f
 let place_name net p = net.place_names.(p)
 let transition_name net t = net.transition_names.(t)
 let pre net t = Array.to_list net.pre.(t)
 let post net t = Array.to_list net.post.(t)
-let producers net p = Array.to_list net.producers.(p)
-let consumers net p = Array.to_list net.consumers.(p)
+let producers net p = Array.to_list (fst (flows net)).(p)
+let consumers net p = Array.to_list (snd (flows net)).(p)
 let initial_marking net = net.initial
 
-let enabled net m t = Array.for_all (fun p -> Bitset.mem m p) net.pre.(t)
+(* Top level so the recursion compiles to direct calls: a local [let rec]
+   would allocate a closure on each of the millions of [enabled] checks a
+   reachability analysis performs. *)
+let rec all_marked m pre k =
+  k >= Array.length pre || (Bitset.mem m (Array.unsafe_get pre k) && all_marked m pre (k + 1))
+
+let enabled net m t = all_marked m net.pre.(t) 0
 
 let enabled_transitions net m =
   let rec go t acc =
@@ -55,18 +71,32 @@ let enabled_transitions net m =
   in
   go (num_transitions net - 1) []
 
+let iter_enabled net m f =
+  for t = 0 to num_transitions net - 1 do
+    if enabled net m t then f t
+  done
+
+(* One copy of the marking for the whole firing, instead of one per
+   consumed/produced place. *)
 let fire net m t =
   if not (enabled net m t) then invalid_arg "Petri.fire: transition not enabled";
-  let m' = Array.fold_left Bitset.remove m net.pre.(t) in
-  Array.fold_left
-    (fun acc p -> if Bitset.mem acc p then raise (Unsafe p) else Bitset.add acc p)
-    m' net.post.(t)
+  let b = Bitset.Builder.of_set m in
+  let pre = net.pre.(t) and post = net.post.(t) in
+  for k = 0 to Array.length pre - 1 do
+    Bitset.Builder.set b (Array.unsafe_get pre k) false
+  done;
+  for k = 0 to Array.length post - 1 do
+    let p = Array.unsafe_get post k in
+    if Bitset.Builder.mem b p then raise (Unsafe p) else Bitset.Builder.set b p true
+  done;
+  Bitset.Builder.freeze b
 
 let structural_conflicts net t =
+  let consumers = snd (flows net) in
   let seen = Hashtbl.create 8 in
   Array.iter
     (fun p ->
-      Array.iter (fun t' -> if t' <> t then Hashtbl.replace seen t' ()) net.consumers.(p))
+      Array.iter (fun t' -> if t' <> t then Hashtbl.replace seen t' ()) consumers.(p))
     net.pre.(t);
   List.sort Int.compare (Hashtbl.fold (fun k () acc -> k :: acc) seen [])
 

@@ -47,6 +47,11 @@ val enabled : t -> Rtcad_util.Bitset.t -> int -> bool
 
 val enabled_transitions : t -> Rtcad_util.Bitset.t -> int list
 
+val iter_enabled : t -> Rtcad_util.Bitset.t -> (int -> unit) -> unit
+(** [iter_enabled net m f] calls [f] on every enabled transition in
+    ascending index order, without building a list — the hot loop of
+    reachability analysis. *)
+
 val fire : t -> Rtcad_util.Bitset.t -> int -> Rtcad_util.Bitset.t
 (** [fire net m t] fires an enabled transition.  Raises [Invalid_argument]
     if [t] is not enabled and {!Unsafe} if safety would be violated. *)

@@ -1,10 +1,18 @@
-type t = { n : int; bits : Bytes.t }
+(* Word-packed immutable bit sets: [Sys.int_size] bits per unboxed [int]
+   word.  All bulk operations (union, intersection, subset, equality,
+   hashing, population count) work a word at a time; iteration extracts
+   set bits with lowest-set-bit arithmetic instead of probing every
+   index.  Words above bit [n - 1] are always zero — operations rely on
+   that invariant. *)
 
-let bytes_for n = (n + 7) / 8
+type t = { n : int; words : int array }
+
+let bpw = Sys.int_size
+let words_for n = (n + bpw - 1) / bpw
 
 let create n =
   if n < 0 then invalid_arg "Bitset.create";
-  { n; bits = Bytes.make (bytes_for n) '\000' }
+  { n; words = Array.make (words_for n) 0 }
 
 let capacity s = s.n
 
@@ -13,81 +21,159 @@ let check s i =
 
 let mem s i =
   check s i;
-  Char.code (Bytes.get s.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
-
-let with_copy s f =
-  let bits = Bytes.copy s.bits in
-  f bits;
-  { s with bits }
+  Array.unsafe_get s.words (i / bpw) land (1 lsl (i mod bpw)) <> 0
 
 let add s i =
   check s i;
-  if mem s i then s
-  else
-    with_copy s (fun b ->
-        let j = i lsr 3 in
-        Bytes.set b j (Char.chr (Char.code (Bytes.get b j) lor (1 lsl (i land 7)))))
+  let j = i / bpw and b = 1 lsl (i mod bpw) in
+  if s.words.(j) land b <> 0 then s
+  else begin
+    let words = Array.copy s.words in
+    words.(j) <- words.(j) lor b;
+    { s with words }
+  end
 
 let remove s i =
   check s i;
-  if not (mem s i) then s
-  else
-    with_copy s (fun b ->
-        let j = i lsr 3 in
-        Bytes.set b j
-          (Char.chr (Char.code (Bytes.get b j) land lnot (1 lsl (i land 7)) land 0xff)))
+  let j = i / bpw and b = 1 lsl (i mod bpw) in
+  if s.words.(j) land b = 0 then s
+  else begin
+    let words = Array.copy s.words in
+    words.(j) <- words.(j) land lnot b;
+    { s with words }
+  end
 
 let set s i v = if v then add s i else remove s i
 
-let zip op a b =
-  if a.n <> b.n then invalid_arg "Bitset: capacity mismatch";
-  let len = Bytes.length a.bits in
-  let bits = Bytes.create len in
+let check_cap a b = if a.n <> b.n then invalid_arg "Bitset: capacity mismatch"
+
+let union a b =
+  check_cap a b;
+  let len = Array.length a.words in
+  let words = Array.make len 0 in
   for j = 0 to len - 1 do
-    Bytes.set bits j
-      (Char.chr (op (Char.code (Bytes.get a.bits j)) (Char.code (Bytes.get b.bits j)) land 0xff))
+    Array.unsafe_set words j
+      (Array.unsafe_get a.words j lor Array.unsafe_get b.words j)
   done;
-  { a with bits }
+  { a with words }
 
-let union = zip ( lor )
-let inter = zip ( land )
-let diff = zip (fun x y -> x land lnot y)
+let inter a b =
+  check_cap a b;
+  let len = Array.length a.words in
+  let words = Array.make len 0 in
+  for j = 0 to len - 1 do
+    Array.unsafe_set words j
+      (Array.unsafe_get a.words j land Array.unsafe_get b.words j)
+  done;
+  { a with words }
 
-let is_empty s =
-  let rec go j = j >= Bytes.length s.bits || (Bytes.get s.bits j = '\000' && go (j + 1)) in
-  go 0
+let diff a b =
+  check_cap a b;
+  let len = Array.length a.words in
+  let words = Array.make len 0 in
+  for j = 0 to len - 1 do
+    Array.unsafe_set words j
+      (Array.unsafe_get a.words j land lnot (Array.unsafe_get b.words j))
+  done;
+  { a with words }
+
+(* Inner loops are top-level functions with explicit arguments: local
+   [let rec] helpers capture their environment and are allocated as
+   closures on every call, which dominates the profile in the hot
+   word-wise operations. *)
+let rec words_zero w j = j >= Array.length w || (Array.unsafe_get w j = 0 && words_zero w (j + 1))
+
+let is_empty s = words_zero s.words 0
+
+let rec words_subset x y j =
+  j >= Array.length x
+  || (Array.unsafe_get x j land lnot (Array.unsafe_get y j) = 0 && words_subset x y (j + 1))
 
 let subset a b =
-  if a.n <> b.n then invalid_arg "Bitset: capacity mismatch";
-  let rec go j =
-    j >= Bytes.length a.bits
-    ||
-    let x = Char.code (Bytes.get a.bits j) and y = Char.code (Bytes.get b.bits j) in
-    x land lnot y = 0 && go (j + 1)
-  in
-  go 0
+  check_cap a b;
+  words_subset a.words b.words 0
 
-let disjoint a b = is_empty (inter a b)
+let rec words_disjoint x y j =
+  j >= Array.length x
+  || (Array.unsafe_get x j land Array.unsafe_get y j = 0 && words_disjoint x y (j + 1))
 
-let popcount_byte =
-  let tbl = Array.make 256 0 in
-  for i = 1 to 255 do
-    tbl.(i) <- tbl.(i lsr 1) + (i land 1)
+let disjoint a b =
+  check_cap a b;
+  words_disjoint a.words b.words 0
+
+(* 16-bit population-count table (one byte per entry). *)
+let popcount16 =
+  let t = Bytes.create 65536 in
+  Bytes.unsafe_set t 0 '\000';
+  for i = 1 to 65535 do
+    Bytes.unsafe_set t i
+      (Char.unsafe_chr (Char.code (Bytes.unsafe_get t (i lsr 1)) + (i land 1)))
   done;
-  fun c -> tbl.(Char.code c)
+  t
+
+let popcount w =
+  Char.code (Bytes.unsafe_get popcount16 (w land 0xffff))
+  + Char.code (Bytes.unsafe_get popcount16 ((w lsr 16) land 0xffff))
+  + Char.code (Bytes.unsafe_get popcount16 ((w lsr 32) land 0xffff))
+  + Char.code (Bytes.unsafe_get popcount16 (w lsr 48))
 
 let cardinal s =
   let acc = ref 0 in
-  Bytes.iter (fun c -> acc := !acc + popcount_byte c) s.bits;
+  for j = 0 to Array.length s.words - 1 do
+    acc := !acc + popcount (Array.unsafe_get s.words j)
+  done;
   !acc
 
-let equal a b = a.n = b.n && Bytes.equal a.bits b.bits
-let compare a b = if a.n <> b.n then Int.compare a.n b.n else Bytes.compare a.bits b.bits
-let hash s = Hashtbl.hash (s.n, s.bits)
+let rec words_equal x y j =
+  j >= Array.length x || (Array.unsafe_get x j = Array.unsafe_get y j && words_equal x y (j + 1))
+
+let equal a b = a.n = b.n && words_equal a.words b.words 0
+
+let rec words_equal_flip x y j0 bit j =
+  j >= Array.length x
+  || (Array.unsafe_get x j
+        = (let y' = Array.unsafe_get y j in
+           if j = j0 then y' lxor bit else y')
+     && words_equal_flip x y j0 bit (j + 1))
+
+let equal_flip a b i =
+  check_cap a b;
+  check a i;
+  words_equal_flip a.words b.words (i / bpw) (1 lsl (i mod bpw)) 0
+
+let rec words_compare x y j =
+  if j >= Array.length x then 0
+  else
+    let c = Int.compare (Array.unsafe_get x j) (Array.unsafe_get y j) in
+    if c <> 0 then c else words_compare x y (j + 1)
+
+let compare a b =
+  if a.n <> b.n then Int.compare a.n b.n else words_compare a.words b.words 0
+
+(* Multiplicative mixing (splitmix-style), truncated to OCaml's int width.
+   Far better bucket spread than the generic [Hashtbl.hash] on the old
+   byte representation, which only sampled a prefix. *)
+let hash s =
+  let h = ref (s.n lxor 0x1fb87e3a3a3a9b5) in
+  for j = 0 to Array.length s.words - 1 do
+    let x = !h lxor Array.unsafe_get s.words j in
+    let x = x * 0x1e3779b97f4a7c5 in
+    h := x lxor (x lsr 29)
+  done;
+  !h land max_int
+
+(* Index of the (single) set bit of [b], a power of two. *)
+let bit_index b = popcount (b - 1)
 
 let iter f s =
-  for i = 0 to s.n - 1 do
-    if mem s i then f i
+  for j = 0 to Array.length s.words - 1 do
+    let w = ref (Array.unsafe_get s.words j) in
+    let base = j * bpw in
+    while !w <> 0 do
+      let b = !w land - !w in
+      f (base + bit_index b);
+      w := !w land (!w - 1)
+    done
   done
 
 let fold f s init =
@@ -98,8 +184,22 @@ let fold f s init =
 let elements s = List.rev (fold (fun i acc -> i :: acc) s [])
 let of_list n xs = List.fold_left add (create n) xs
 
-let for_all p s = fold (fun i acc -> acc && p i) s true
-let exists p s = fold (fun i acc -> acc || p i) s false
+let exists p s =
+  let nw = Array.length s.words in
+  let rec word j =
+    j < nw
+    &&
+    let rec bits w =
+      w <> 0
+      &&
+      let b = w land -w in
+      p (j * bpw + bit_index b) || bits (w land (w - 1))
+    in
+    bits (Array.unsafe_get s.words j) || word (j + 1)
+  in
+  word 0
+
+let for_all p s = not (exists (fun i -> not (p i)) s)
 
 let pp ppf s =
   Format.fprintf ppf "{";
@@ -110,3 +210,32 @@ let pp ppf s =
       Format.fprintf ppf "%d" i)
     s;
   Format.fprintf ppf "}"
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)
+
+module Builder = struct
+  type bitset = t
+  type builder = { bn : int; bwords : int array }
+
+  let of_set (s : bitset) = { bn = s.n; bwords = Array.copy s.words }
+
+  let bcheck b i =
+    if i < 0 || i >= b.bn then invalid_arg "Bitset: index out of bounds"
+
+  let mem b i =
+    bcheck b i;
+    Array.unsafe_get b.bwords (i / bpw) land (1 lsl (i mod bpw)) <> 0
+
+  let set b i v =
+    bcheck b i;
+    let j = i / bpw and bit = 1 lsl (i mod bpw) in
+    if v then Array.unsafe_set b.bwords j (Array.unsafe_get b.bwords j lor bit)
+    else Array.unsafe_set b.bwords j (Array.unsafe_get b.bwords j land lnot bit)
+
+  let freeze b : bitset = { n = b.bn; words = b.bwords }
+end

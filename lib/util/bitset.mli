@@ -1,10 +1,12 @@
-(** Immutable fixed-width bit sets.
+(** Immutable fixed-width bit sets, packed [Sys.int_size] bits per word.
 
     A bit set is created with a fixed capacity [n] and holds a subset of
     [0 .. n-1].  Values are immutable: all operations return fresh sets.
-    They are suitable for hash-table keys (structural equality and
-    [Hashtbl.hash] work, and dedicated {!equal}, {!compare} and {!hash}
-    are provided). *)
+    Bulk operations (union, subset, equality, hashing, cardinality) are
+    word-parallel; iteration visits only the set bits.  They are suitable
+    for hash-table keys (structural equality and [Hashtbl.hash] work, and
+    dedicated {!equal}, {!compare} and {!hash} are provided — {!Tbl} is a
+    ready-made hash table over them). *)
 
 type t
 
@@ -34,6 +36,12 @@ val disjoint : t -> t -> bool
 val cardinal : t -> int
 
 val equal : t -> t -> bool
+
+val equal_flip : t -> t -> int -> bool
+(** [equal_flip a b i] is [equal a (set b i (not (mem b i)))] without
+    allocating the intermediate set — the reachability builder's
+    successor-code consistency check. *)
+
 val compare : t -> t -> int
 val hash : t -> int
 
@@ -48,3 +56,23 @@ val exists : (int -> bool) -> t -> bool
 
 val pp : Format.formatter -> t -> unit
 (** Prints as [{0 3 7}]. *)
+
+module Tbl : Hashtbl.S with type key = t
+(** Hash tables keyed by bit sets, using {!hash} (a real word mixer)
+    rather than the generic structural hash. *)
+
+(** Batched edits: copy a set once, flip any number of bits in place,
+    freeze back to an immutable set.  Replaces chains of {!add} /
+    {!remove} (one copy each) in hot paths such as Petri-net firing. *)
+module Builder : sig
+  type builder
+
+  val of_set : t -> builder
+  (** Start from a copy of [t]; the original is never modified. *)
+
+  val mem : builder -> int -> bool
+  val set : builder -> int -> bool -> unit
+
+  val freeze : builder -> t
+  (** The builder must not be used after [freeze] (no copy is taken). *)
+end

@@ -1,0 +1,25 @@
+(** Growable arrays (amortized O(1) [push]), the accumulation structure
+    of the graph builders and simulators — replaces reversed-list
+    accumulation followed by [List.rev] / [Array.of_list].
+
+    The [dummy] element fills unused capacity; it is never observable. *)
+
+type 'a t
+
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+val length : 'a t -> int
+
+val get : 'a t -> int -> 'a
+(** Raises [Invalid_argument] outside [0 .. length - 1]. *)
+
+val set : 'a t -> int -> 'a -> unit
+val push : 'a t -> 'a -> unit
+
+val clear : 'a t -> unit
+(** Logical reset; keeps the capacity. *)
+
+val to_array : 'a t -> 'a array
+(** A fresh array of exactly [length] elements. *)
+
+val to_list : 'a t -> 'a list
+val iter : ('a -> unit) -> 'a t -> unit

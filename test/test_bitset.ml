@@ -87,6 +87,126 @@ let prop_compare_total =
     (QCheck.pair (arb_set 40) (arb_set 40))
     (fun (a, b) -> Bitset.equal a b = (Bitset.compare a b = 0))
 
+(* Model check: replay a random op sequence against a naive bool-array
+   model and compare every observable.  Capacity 130 spans three words of
+   the packed representation, so cross-word carries of add/remove/union
+   etc. are exercised. *)
+let model_cap = 130
+
+type model_op =
+  | Add of int
+  | Remove of int
+  | Union of int list
+  | Inter of int list
+  | Diff of int list
+
+let gen_ops =
+  QCheck.Gen.(
+    let idx = 0 -- (model_cap - 1) in
+    let elems = list_size (0 -- 20) idx in
+    list_size (1 -- 40)
+      (frequency
+         [
+           (4, map (fun i -> Add i) idx);
+           (4, map (fun i -> Remove i) idx);
+           (1, map (fun xs -> Union xs) elems);
+           (1, map (fun xs -> Inter xs) elems);
+           (1, map (fun xs -> Diff xs) elems);
+         ]))
+
+let arb_ops =
+  let print ops =
+    String.concat ";"
+      (List.map
+         (function
+           | Add i -> Printf.sprintf "add %d" i
+           | Remove i -> Printf.sprintf "remove %d" i
+           | Union _ -> "union"
+           | Inter _ -> "inter"
+           | Diff _ -> "diff")
+         ops)
+  in
+  QCheck.make ~print gen_ops
+
+let model_of_array m =
+  let s = ref (Bitset.create model_cap) in
+  Array.iteri (fun i v -> if v then s := Bitset.add !s i) m;
+  !s
+
+let agrees s m =
+  let ok = ref (Bitset.cardinal s = Array.fold_left (fun a v -> if v then a + 1 else a) 0 m) in
+  for i = 0 to model_cap - 1 do
+    if Bitset.mem s i <> m.(i) then ok := false
+  done;
+  !ok
+  && Bitset.is_empty s = Array.for_all not m
+  && Bitset.elements s
+     = List.filter (fun i -> m.(i)) (List.init model_cap Fun.id)
+
+let prop_model =
+  QCheck.Test.make ~name:"random ops agree with bool-array model" ~count:200 arb_ops
+    (fun ops ->
+      let s = ref (Bitset.create model_cap) in
+      let m = Array.make model_cap false in
+      List.for_all
+        (fun op ->
+          (match op with
+          | Add i ->
+            s := Bitset.add !s i;
+            m.(i) <- true
+          | Remove i ->
+            s := Bitset.remove !s i;
+            m.(i) <- false
+          | Union xs ->
+            s := Bitset.union !s (Bitset.of_list model_cap xs);
+            List.iter (fun i -> m.(i) <- true) xs
+          | Inter xs ->
+            s := Bitset.inter !s (Bitset.of_list model_cap xs);
+            Array.iteri (fun i v -> m.(i) <- v && List.mem i xs) m
+          | Diff xs ->
+            s := Bitset.diff !s (Bitset.of_list model_cap xs);
+            List.iter (fun i -> m.(i) <- false) xs);
+          agrees !s m)
+        ops)
+
+(* equal/compare/hash must be mutually consistent: equal sets hash alike
+   and compare to 0, and rebuilding the same contents through a different
+   op sequence yields an equal set. *)
+let prop_hash_equal_consistent =
+  QCheck.Test.make ~name:"hash/equal/compare consistent" ~count:200 arb_ops
+    (fun ops ->
+      let s = ref (Bitset.create model_cap) in
+      let m = Array.make model_cap false in
+      List.iter
+        (fun op ->
+          match op with
+          | Add i ->
+            s := Bitset.add !s i;
+            m.(i) <- true
+          | Remove i ->
+            s := Bitset.remove !s i;
+            m.(i) <- false
+          | Union xs ->
+            s := Bitset.union !s (Bitset.of_list model_cap xs);
+            List.iter (fun i -> m.(i) <- true) xs
+          | Inter xs ->
+            s := Bitset.inter !s (Bitset.of_list model_cap xs);
+            Array.iteri (fun i v -> m.(i) <- v && List.mem i xs) m
+          | Diff xs ->
+            s := Bitset.diff !s (Bitset.of_list model_cap xs);
+            List.iter (fun i -> m.(i) <- false) xs)
+        ops;
+      let rebuilt = model_of_array m in
+      Bitset.equal !s rebuilt
+      && Bitset.compare !s rebuilt = 0
+      && Bitset.hash !s = Bitset.hash rebuilt)
+
+let prop_equal_flip =
+  QCheck.Test.make ~name:"equal_flip matches equal-after-set" ~count:500
+    (QCheck.triple (arb_set 130) (arb_set 130) (QCheck.int_range 0 129))
+    (fun (a, b, i) ->
+      Bitset.equal_flip a b i = Bitset.equal a (Bitset.set b i (not (Bitset.mem b i))))
+
 let suite =
   [
     ( "bitset",
@@ -102,5 +222,8 @@ let suite =
         QCheck_alcotest.to_alcotest prop_cardinal_union;
         QCheck_alcotest.to_alcotest prop_add_mem;
         QCheck_alcotest.to_alcotest prop_compare_total;
+        QCheck_alcotest.to_alcotest prop_model;
+        QCheck_alcotest.to_alcotest prop_hash_equal_consistent;
+        QCheck_alcotest.to_alcotest prop_equal_flip;
       ] );
   ]

@@ -241,6 +241,49 @@ let test_sim_callbacks () =
   Sim.run sim ~until:1000.0;
   Alcotest.(check (list bool)) "callback saw the fall" [ false ] !seen
 
+let test_sim_drive_negative () =
+  let nl = build_and_or () in
+  let sim = Sim.create nl in
+  Alcotest.check_raises "negative delay rejected"
+    (Invalid_argument "Sim.drive: negative delay") (fun () ->
+      Sim.drive sim (Netlist.find_net nl "a") true ~after:(-1.0))
+
+let test_sim_deterministic () =
+  (* Two simulations of the same netlist under the same stimulus must
+     produce identical event sequences — ids, nets, values, times and
+     cause links all equal.  Pins the queue's tie-breaking (insertion
+     order among equal timestamps) and the fanout evaluation order. *)
+  let run_once () =
+    let nl = build_and_or () in
+    Netlist.settle_initial nl;
+    let sim = Sim.create nl in
+    Sim.settle sim ();
+    let a = Netlist.find_net nl "a"
+    and b = Netlist.find_net nl "b"
+    and c = Netlist.find_net nl "c" in
+    (* Deliberate timestamp collisions: a and b toggle at the same instant. *)
+    List.iter
+      (fun (t, va, vb, vc) ->
+        Sim.drive sim a va ~after:t;
+        Sim.drive sim b vb ~after:t;
+        Sim.drive sim c vc ~after:(t +. 1.0))
+      [
+        (10.0, true, true, false);
+        (400.0, false, true, true);
+        (800.0, true, false, false);
+        (1200.0, true, true, true);
+      ];
+    Sim.run sim ~until:2000.0;
+    (List.map (fun e -> (e.Sim.id, e.Sim.net, e.Sim.value, e.Sim.at, e.Sim.cause))
+       (Sim.events sim),
+     Sim.trace sim)
+  in
+  let events1, trace1 = run_once () in
+  let events2, trace2 = run_once () in
+  check "events nonempty" true (events1 <> []);
+  check "identical event sequences" true (events1 = events2);
+  check "identical output traces" true (trace1 = trace2)
+
 (* Fault simulation. *)
 
 let test_faults_coverage () =
@@ -309,6 +352,8 @@ let suite =
         Alcotest.test_case "forced nets" `Quick test_sim_forced;
         Alcotest.test_case "energy and causality" `Quick test_sim_energy_and_events;
         Alcotest.test_case "callbacks" `Quick test_sim_callbacks;
+        Alcotest.test_case "negative drive delay" `Quick test_sim_drive_negative;
+        Alcotest.test_case "event-trace determinism" `Quick test_sim_deterministic;
       ] );
     ( "faults",
       [

@@ -89,6 +89,36 @@ let test_ring_sg () =
         (!violations > 0))
     [ 2; 3; 4 ]
 
+(* Golden reachable-state counts for every library STG (dummies
+   contracted, as the synthesis flow builds them).  Pins the reachability
+   engine: any change to marking dedup, firing order or code tracking
+   that alters the state space fails here. *)
+let test_golden_state_counts () =
+  let golden =
+    [
+      ("fifo", 20);
+      ("fifo_x", 44);
+      ("celement", 8);
+      ("pipeline", 12);
+      ("selector", 7);
+      ("toggle", 8);
+      ("call", 15);
+      ("ring3", 54);
+    ]
+  in
+  let named = Library.all_named () in
+  check_int "covers every library spec" (List.length named) (List.length golden);
+  List.iter
+    (fun (name, stg) ->
+      let expected =
+        match List.assoc_opt name golden with
+        | Some n -> n
+        | None -> Alcotest.failf "no golden count for %s" name
+      in
+      let sg = Sg.build (Rtcad_stg.Transform.contract_dummies stg) in
+      check_int (name ^ " states") expected (Sg.num_states sg))
+    named
+
 let test_next_value () =
   let stg = Library.c_element () in
   let sg = Sg.build stg in
@@ -183,6 +213,7 @@ let suite =
         Alcotest.test_case "fifo conflict shape" `Quick test_fifo_conflict_shape;
         Alcotest.test_case "selector" `Quick test_selector_sg;
         Alcotest.test_case "ring: ri- before li+" `Quick test_ring_sg;
+        Alcotest.test_case "golden state counts" `Quick test_golden_state_counts;
         Alcotest.test_case "next_value" `Quick test_next_value;
         Alcotest.test_case "restrict" `Quick test_restrict;
         Alcotest.test_case "state bound" `Quick test_too_large;
