@@ -1,0 +1,24 @@
+# Convenience entry points; the source of truth is dune.
+
+.PHONY: all build test fuzz bench verify clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+fuzz:
+	dune exec bin/rtsyn.exe -- fuzz --cases 200 --seed 1 --quiet
+
+bench:
+	dune exec bench/main.exe -- perf
+
+# The full gate a change must pass: build, unit+cram tests, a 200-case
+# differential fuzzing campaign, and the kernel wall-time regression
+# check against bench/baseline.json.
+verify: build test fuzz
+	RTCAD_BENCH_REPS=3 dune exec bench/main.exe -- perf
+	dune exec bench/main.exe -- compare --strict

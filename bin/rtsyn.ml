@@ -4,7 +4,8 @@
      check  — parse an STG, report reachability, properties and encoding
      synth  — run the Figure-2 flow and print the synthesis report
      show   — pretty-print a specification (built-in or .g file)
-     list   — list built-in specifications *)
+     list   — list built-in specifications
+     fuzz   — differential fuzzing of the optimized kernels *)
 
 module Stg = Rtcad_stg.Stg
 module Stg_io = Rtcad_stg.Stg_io
@@ -15,6 +16,7 @@ module Props = Rtcad_sg.Props
 module Encoding = Rtcad_sg.Encoding
 module Flow = Rtcad_core.Flow
 module Check = Rtcad_core.Check
+module Fuzz = Rtcad_check.Fuzz
 
 let load_spec = function
   | `File path ->
@@ -30,49 +32,86 @@ let load_spec = function
   | `Builtin name -> (
     match List.assoc_opt name (Library.all_named ()) with
     | Some stg -> stg
-    | None ->
-      Printf.eprintf "unknown built-in spec %s (try `rtsyn list')\n" name;
-      exit 2)
+    | None -> assert false (* ruled out by [spec_conv] *))
 
 (* --- argument converters --- *)
 
+let spec_conv =
+  let open Cmdliner in
+  let parse s =
+    if Sys.file_exists s then Ok (`File s)
+    else if List.mem_assoc s (Library.all_named ()) then Ok (`Builtin s)
+    else
+      Error
+        (`Msg
+          (Printf.sprintf
+             "%s is neither an existing file nor a built-in specification (see \
+              `rtsyn list')"
+             s))
+  in
+  let print ppf = function
+    | `File p -> Format.pp_print_string ppf p
+    | `Builtin n -> Format.pp_print_string ppf n
+  in
+  Arg.conv ~docv:"SPEC" (parse, print)
+
 let spec_arg =
   let open Cmdliner in
-  let file =
-    Arg.(value & pos 0 (some string) None & info [] ~docv:"SPEC"
-         ~doc:"Specification: a .g file path, or a built-in name (see $(b,rtsyn list)).")
-  in
-  Term.(
-    const (fun s ->
-        match s with
-        | None ->
-          prerr_endline "missing SPEC argument";
-          Stdlib.exit 2
-        | Some s -> if Sys.file_exists s then `File s else `Builtin s)
-    $ file)
+  Arg.(
+    required
+    & pos 0 (some spec_conv) None
+    & info [] ~docv:"SPEC"
+        ~doc:
+          "Specification: a .g file path, or a built-in name (see $(b,rtsyn \
+           list)).")
 
-let parse_user_assumption s =
-  (* "ri-<li+" : first edge before second edge *)
-  match String.index_opt s '<' with
-  | None -> failwith "user assumption must look like ri-<li+"
-  | Some i ->
-    let parse_edge e =
-      let n = String.length e in
-      if n < 2 then failwith "bad edge";
-      let dir =
-        match e.[n - 1] with
-        | '+' -> Stg.Rise
-        | '-' -> Stg.Fall
-        | _ -> failwith "edge must end in + or -"
-      in
-      (String.sub e 0 (n - 1), dir)
-    in
-    ( parse_edge (String.trim (String.sub s 0 i)),
-      parse_edge (String.trim (String.sub s (i + 1) (String.length s - i - 1))) )
+(* "ri-<li+" : first edge must precede second edge. *)
+let assumption_conv =
+  let open Cmdliner in
+  let parse_edge e =
+    let n = String.length e in
+    if n < 2 then Error (`Msg (Printf.sprintf "edge %S is too short" e))
+    else
+      match e.[n - 1] with
+      | '+' -> Ok (String.sub e 0 (n - 1), Stg.Rise)
+      | '-' -> Ok (String.sub e 0 (n - 1), Stg.Fall)
+      | _ -> Error (`Msg (Printf.sprintf "edge %S must end in + or -" e))
+  in
+  let parse s =
+    match String.index_opt s '<' with
+    | None ->
+      Error (`Msg (Printf.sprintf "assumption %S must look like ri-<li+" s))
+    | Some i -> (
+      let before = String.trim (String.sub s 0 i)
+      and after = String.trim (String.sub s (i + 1) (String.length s - i - 1)) in
+      match (parse_edge before, parse_edge after) with
+      | Ok a, Ok b -> Ok (a, b)
+      | (Error _ as e), _ | _, (Error _ as e) -> e)
+  in
+  let print ppf ((a, da), (b, db)) =
+    let dir = function Stg.Rise -> "+" | Stg.Fall -> "-" in
+    Format.fprintf ppf "%s%s<%s%s" a (dir da) b (dir db)
+  in
+  Arg.conv ~docv:"A<B" (parse, print)
+
+(* Friendly reporting for the failures a well-formed command line can
+   still run into: unreadable or malformed specification files. *)
+let with_spec_errors f =
+  try f () with
+  | Stg_io.Parse_error (line, msg) ->
+    Printf.eprintf "rtsyn: parse error on line %d: %s\n" line msg;
+    1
+  | Sys_error msg ->
+    Printf.eprintf "rtsyn: %s\n" msg;
+    1
+  | Failure msg ->
+    Printf.eprintf "rtsyn: %s\n" msg;
+    1
 
 (* --- check --- *)
 
 let run_check spec =
+  with_spec_errors @@ fun () ->
   let stg = Transform.contract_dummies (load_spec spec) in
   Format.printf "%a@." Stg.pp stg;
   let sg = Sg.build stg in
@@ -92,31 +131,18 @@ let run_check spec =
 
 (* --- synth --- *)
 
-let run_synth spec mode_name user_assumptions input_first no_lazy style verify =
+let run_synth spec mode_name user input_first no_lazy style verify =
+  with_spec_errors @@ fun () ->
   let stg = load_spec spec in
-  let user = List.map parse_user_assumption user_assumptions in
   let mode =
     match mode_name with
-    | "si" ->
+    | `Si ->
       if user <> [] then prerr_endline "note: user assumptions ignored in SI mode";
       Flow.Si
-    | "rt" ->
+    | `Rt ->
       Flow.Rt { user; allow_input_first = input_first; allow_lazy = not no_lazy }
-    | other ->
-      Printf.eprintf "unknown mode %s (use si or rt)\n" other;
-      exit 2
   in
-  let emit_style =
-    match style with
-    | None -> None
-    | Some "static" -> Some Rtcad_synth.Emit.Static_cmos
-    | Some "domino" -> Some (Rtcad_synth.Emit.Domino_cmos { footed = true })
-    | Some "domino-unfooted" -> Some (Rtcad_synth.Emit.Domino_cmos { footed = false })
-    | Some other ->
-      Printf.eprintf "unknown style %s\n" other;
-      exit 2
-  in
-  match Flow.synthesize ~mode ?emit_style stg with
+  match Flow.synthesize ~mode ?emit_style:style stg with
   | exception Flow.Synthesis_failure msg ->
     Printf.eprintf "synthesis failed: %s\n" msg;
     1
@@ -146,6 +172,7 @@ let run_synth spec mode_name user_assumptions input_first no_lazy style verify =
 (* --- sim --- *)
 
 let run_sim spec steps seed =
+  with_spec_errors @@ fun () ->
   let stg = Transform.contract_dummies ~strict:false (load_spec spec) in
   let trace = Rtcad_rt.Timed_sim.run ~seed ~steps stg in
   List.iter
@@ -158,6 +185,7 @@ let run_sim spec steps seed =
 (* --- show / list --- *)
 
 let run_show spec dot =
+  with_spec_errors @@ fun () ->
   let stg = load_spec spec in
   if dot then Format.printf "%a@." Stg_io.print_dot stg
   else Format.printf "%a@." Stg_io.print stg;
@@ -171,6 +199,25 @@ let run_list () =
     (Library.all_named ());
   0
 
+(* --- fuzz --- *)
+
+let run_fuzz seed cases max_places shrink out quiet =
+  let config = { Fuzz.seed; cases; max_places; shrink } in
+  let log = if quiet then ignore else fun msg -> Printf.eprintf "%s\n%!" msg in
+  let outcome = Fuzz.run ~log config in
+  Format.printf "%a@." Fuzz.pp_outcome outcome;
+  match outcome.Fuzz.failure with
+  | None -> 0
+  | Some f ->
+    (match f.Fuzz.g_text with
+    | Some g ->
+      let oc = open_out out in
+      output_string oc g;
+      close_out oc;
+      Printf.printf "minimal failing specification written to %s\n" out
+    | None -> ());
+    1
+
 (* --- cmdliner wiring --- *)
 
 open Cmdliner
@@ -181,11 +228,11 @@ let check_cmd =
 
 let synth_cmd =
   let mode =
-    Arg.(value & opt string "rt" & info [ "mode" ] ~docv:"MODE"
-         ~doc:"Synthesis mode: $(b,si) or $(b,rt).")
+    Arg.(value & opt (enum [ ("si", `Si); ("rt", `Rt) ]) `Rt
+         & info [ "mode" ] ~docv:"MODE" ~doc:"Synthesis mode: $(b,si) or $(b,rt).")
   in
   let user =
-    Arg.(value & opt_all string [] & info [ "assume" ] ~docv:"A<B"
+    Arg.(value & opt_all assumption_conv [] & info [ "assume" ] ~docv:"A<B"
          ~doc:"User timing assumption, e.g. $(b,ri-<li+).  Repeatable.")
   in
   let input_first =
@@ -196,7 +243,12 @@ let synth_cmd =
     Arg.(value & flag & info [ "no-lazy" ] ~doc:"Disable lazy cover relaxation.")
   in
   let style =
-    Arg.(value & opt (some string) None & info [ "style" ] ~docv:"STYLE"
+    let styles =
+      [ ("static", Rtcad_synth.Emit.Static_cmos);
+        ("domino", Rtcad_synth.Emit.Domino_cmos { footed = true });
+        ("domino-unfooted", Rtcad_synth.Emit.Domino_cmos { footed = false }) ]
+    in
+    Arg.(value & opt (some (enum styles)) None & info [ "style" ] ~docv:"STYLE"
          ~doc:"Gate style: $(b,static), $(b,domino) or $(b,domino-unfooted).")
   in
   let verify =
@@ -229,10 +281,45 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List built-in specifications")
     Term.(const run_list $ const ())
 
+let fuzz_cmd =
+  let seed =
+    Arg.(value & opt int Fuzz.default.Fuzz.seed
+         & info [ "seed" ] ~docv:"S" ~doc:"Campaign seed.")
+  in
+  let cases =
+    Arg.(value & opt int Fuzz.default.Fuzz.cases
+         & info [ "cases" ] ~docv:"N" ~doc:"Number of random cases to run.")
+  in
+  let max_places =
+    Arg.(value & opt int Fuzz.default.Fuzz.max_places
+         & info [ "max-places" ] ~docv:"P"
+             ~doc:"Place budget for generated specifications.")
+  in
+  let shrink =
+    Arg.(value & opt bool Fuzz.default.Fuzz.shrink
+         & info [ "shrink" ] ~docv:"BOOL"
+             ~doc:"Minimize a failing specification before reporting it.")
+  in
+  let out =
+    Arg.(value & opt string "fuzz-fail.g"
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Where to write the minimal failing specification.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress progress messages.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: random specifications, netlists and bitset \
+          workloads run through both the optimized kernels and naive \
+          reference models")
+    Term.(const run_fuzz $ seed $ cases $ max_places $ shrink $ out $ quiet)
+
 let main =
   Cmd.group
     (Cmd.info "rtsyn" ~version:"1.0"
        ~doc:"Relative-timing synthesis for asynchronous circuits")
-    [ check_cmd; synth_cmd; sim_cmd; show_cmd; list_cmd ]
+    [ check_cmd; synth_cmd; sim_cmd; show_cmd; list_cmd; fuzz_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -1,0 +1,108 @@
+module Rng = Rtcad_util.Rng
+module Stg = Rtcad_stg.Stg
+module Stg_io = Rtcad_stg.Stg_io
+
+type config = { seed : int; cases : int; max_places : int; shrink : bool }
+
+let default = { seed = 1; cases = 100; max_places = 14; shrink = true }
+
+type failure = {
+  case : int;
+  case_seed : int;
+  finding : Oracle.finding;
+  plan : Gen.plan option;
+  g_text : string option;
+}
+
+type outcome = {
+  ran : int;
+  passed : int;
+  skipped : int;
+  failure : failure option;
+}
+
+let case_seed config i = (config.seed * 1_000_003) + i
+
+(* A crash inside a kernel is a finding, not a fuzzer error. *)
+let guarded oracle f =
+  try f ()
+  with e ->
+    Oracle.Fail { oracle; detail = "uncaught exception: " ^ Printexc.to_string e }
+
+(* Flow synthesis is much heavier than reachability, so only close the
+   Figure-2 loop on small specifications. *)
+let flow_budget = 10
+
+let check_plan ~fast_sg plan =
+  guarded "plan" (fun () ->
+      let stg = Gen.stg_of_plan plan in
+      match Oracle.diff_sg ~fast:fast_sg stg with
+      | Oracle.Pass when Gen.places_of_plan plan <= flow_budget ->
+        Oracle.flow_invariants stg
+      | v -> v)
+
+let is_fail = function Oracle.Fail _ -> true | _ -> false
+
+let rec shrink_plan check plan =
+  match List.find_opt (fun p -> is_fail (check p)) (Gen.shrink_plan plan) with
+  | Some smaller -> shrink_plan check smaller
+  | None -> plan
+
+let run ?(fast_sg = fun stg -> Oracle.fast_sg_result stg) ?(log = ignore) config =
+  let check = check_plan ~fast_sg in
+  let passed = ref 0 and skipped = ref 0 in
+  let failure = ref None and ran = ref 0 in
+  let record ~case ~seed ?plan verdict =
+    match verdict with
+    | Oracle.Pass -> incr passed
+    | Oracle.Skip reason ->
+      incr skipped;
+      log (Printf.sprintf "case %d: skipped (%s)" case reason)
+    | Oracle.Fail finding ->
+      let plan, finding =
+        match plan with
+        | None -> (None, finding)
+        | Some p when config.shrink ->
+          log (Printf.sprintf "case %d failed [%s]; shrinking…" case finding.Oracle.oracle);
+          let small = shrink_plan check p in
+          let finding =
+            match check small with Oracle.Fail f -> f | _ -> finding
+          in
+          (Some small, finding)
+        | Some p -> (Some p, finding)
+      in
+      let g_text = Option.map (fun p -> Stg_io.to_string (Gen.stg_of_plan p)) plan in
+      failure := Some { case; case_seed = seed; finding; plan; g_text }
+  in
+  (try
+     for case = 0 to config.cases - 1 do
+       if !failure <> None then raise Exit;
+       incr ran;
+       let seed = case_seed config case in
+       let rng = Rng.create seed in
+       match Rng.weighted rng [ (2, `Bitset); (2, `Sim); (5, `Stg); (1, `Shape) ] with
+       | `Bitset ->
+         record ~case ~seed (guarded "bitset-diff" (fun () -> Oracle.diff_bitset rng))
+       | `Sim -> record ~case ~seed (guarded "sim-diff" (fun () -> Oracle.diff_sim rng))
+       | `Stg ->
+         let plan = Gen.gen_plan rng ~max_places:config.max_places in
+         record ~case ~seed ~plan (check plan)
+       | `Shape ->
+         let plan = Gen.gen_shape rng in
+         record ~case ~seed ~plan (check plan)
+     done
+   with Exit -> ());
+  { ran = !ran; passed = !passed; skipped = !skipped; failure = !failure }
+
+let pp_outcome ppf o =
+  match o.failure with
+  | None ->
+    Format.fprintf ppf "%d case(s): %d passed, %d skipped, 0 failed" o.ran o.passed
+      o.skipped
+  | Some f ->
+    Format.fprintf ppf "@[<v>case %d (seed %d) FAILED [%s]: %s" f.case f.case_seed
+      f.finding.Oracle.oracle f.finding.Oracle.detail;
+    (match f.plan with
+    | Some p -> Format.fprintf ppf "@,minimal failing plan: %a" Gen.pp_plan p
+    | None -> ());
+    Format.fprintf ppf "@]"

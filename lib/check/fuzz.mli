@@ -1,0 +1,50 @@
+(** The fuzzing driver behind [rtsyn fuzz]: seeded case generation,
+    oracle dispatch, and plan shrinking.
+
+    Each case derives its own deterministic sub-seed from the campaign
+    seed, draws a case kind (bitset stream, simulator netlist, cactus
+    STG, library shape) and runs the matching differential oracle from
+    {!Oracle}.  The campaign stops at the first failure; if the failing
+    case was plan-based and shrinking is enabled, the plan is greedily
+    minimized while it keeps failing the same oracle, and the minimal
+    specification is rendered in [.g] syntax for reproduction. *)
+
+type config = {
+  seed : int;
+  cases : int;
+  max_places : int;  (** place budget for generated STG plans *)
+  shrink : bool;
+}
+
+val default : config
+(** [{ seed = 1; cases = 100; max_places = 14; shrink = true }] *)
+
+type failure = {
+  case : int;  (** 0-based index of the failing case *)
+  case_seed : int;  (** sub-seed; [rtsyn fuzz --seed] of a 1-case campaign *)
+  finding : Oracle.finding;
+  plan : Gen.plan option;  (** minimal failing plan, for plan-based oracles *)
+  g_text : string option;  (** the minimal plan's STG in [.g] syntax *)
+}
+
+type outcome = {
+  ran : int;
+  passed : int;
+  skipped : int;
+  failure : failure option;
+}
+
+val case_seed : config -> int -> int
+(** The deterministic sub-seed of case [i]. *)
+
+val run :
+  ?fast_sg:(Rtcad_stg.Stg.t -> Ref_sg.result) ->
+  ?log:(string -> unit) ->
+  config ->
+  outcome
+(** Run the campaign.  [fast_sg] replaces the optimized state-graph
+    summary fed to {!Oracle.diff_sg} — the test suite uses it to emulate
+    a buggy kernel and assert that the driver catches and shrinks it.
+    [log] receives one short progress line per milestone. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

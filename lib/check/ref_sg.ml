@@ -1,0 +1,144 @@
+module Stg = Rtcad_stg.Stg
+module Petri = Rtcad_stg.Petri
+module Sg = Rtcad_sg.Sg
+
+type summary = {
+  num_states : int;
+  num_edges : int;
+  initial_code : string;
+  codes : string list;
+  edges : string list;
+  deadlock_codes : string list;
+}
+
+type result =
+  | Summary of summary
+  | Inconsistent of string
+  | Unsafe of int
+  | Too_large
+
+exception Found of result
+
+let code_string code =
+  String.concat "" (List.map (fun v -> if v then "1" else "0") code)
+
+let edge_string src name dst = src ^ " -" ^ name ^ "-> " ^ dst
+
+(* A state is (marking, code): a sorted place list and a bool list over
+   signals.  Both are plain immutable lists, compared structurally. *)
+let explore ?(max_states = 200_000) stg =
+  let net = Stg.net stg in
+  let initial_marking =
+    List.sort Int.compare (Rtcad_util.Bitset.elements (Petri.initial_marking net))
+  in
+  let initial_code = List.map (Stg.initial_value stg) (Stg.signals stg) in
+  let enabled m t = List.for_all (fun p -> List.mem p m) (Petri.pre net t) in
+  let fire m t =
+    (* Remove the consumed tokens, then add the produced ones; a produced
+       place that still holds a token violates safety. *)
+    let m' = List.filter (fun p -> not (List.mem p (Petri.pre net t))) m in
+    List.iter (fun p -> if List.mem p m' then raise (Found (Unsafe p))) (Petri.post net t);
+    List.sort Int.compare (Petri.post net t @ m')
+  in
+  let next_code code t =
+    match Stg.label stg t with
+    | Stg.Dummy -> code
+    | Stg.Edge { signal; dir } ->
+      let v = List.nth code signal in
+      let v' = dir = Stg.Rise in
+      if v = v' then
+        raise
+          (Found
+             (Inconsistent
+                (Printf.sprintf "%s fires with the signal already at %b"
+                   (Petri.transition_name net t) v)));
+      List.mapi (fun i x -> if i = signal then v' else x) code
+  in
+  let code_of : (int list, bool list) Hashtbl.t = Hashtbl.create 64 in
+  let edges = ref [] and num_edges = ref 0 and deadlocks = ref [] in
+  let queue = Queue.create () in
+  Hashtbl.add code_of initial_marking initial_code;
+  Queue.add (initial_marking, initial_code) queue;
+  try
+    while not (Queue.is_empty queue) do
+      let m, code = Queue.take queue in
+      let moves = List.filter (enabled m) (List.init (Petri.num_transitions net) Fun.id) in
+      if moves = [] then deadlocks := code_string code :: !deadlocks;
+      List.iter
+        (fun t ->
+          let m' = fire m t in
+          let code' = next_code code t in
+          (match Hashtbl.find_opt code_of m' with
+          | Some known ->
+            if known <> code' then
+              raise (Found (Inconsistent "marking reached with two codes"))
+          | None ->
+            if Hashtbl.length code_of >= max_states then raise (Found Too_large);
+            Hashtbl.add code_of m' code';
+            Queue.add (m', code') queue);
+          incr num_edges;
+          edges :=
+            edge_string (code_string code) (Petri.transition_name net t)
+              (code_string code')
+            :: !edges)
+        moves
+    done;
+    Summary
+      {
+        num_states = Hashtbl.length code_of;
+        num_edges = !num_edges;
+        initial_code = code_string initial_code;
+        codes =
+          List.sort String.compare
+            (Hashtbl.fold (fun _ c acc -> code_string c :: acc) code_of []);
+        edges = List.sort String.compare !edges;
+        deadlock_codes = List.sort String.compare !deadlocks;
+      }
+  with Found r -> r
+
+let summary_of_fast sg =
+  let stg = Sg.stg sg in
+  let net = Stg.net stg in
+  let code_str s =
+    String.concat ""
+      (List.map
+         (fun sig_ -> if Sg.value sg s sig_ then "1" else "0")
+         (Stg.signals stg))
+  in
+  let codes = ref [] and edges = ref [] and num_edges = ref 0 in
+  Sg.iter_states
+    (fun s ->
+      codes := code_str s :: !codes;
+      Sg.iter_succs sg s (fun t s' ->
+          incr num_edges;
+          edges :=
+            edge_string (code_str s) (Petri.transition_name net t) (code_str s')
+            :: !edges))
+    sg;
+  {
+    num_states = Sg.num_states sg;
+    num_edges = !num_edges;
+    initial_code = code_str (Sg.initial sg);
+    codes = List.sort String.compare !codes;
+    edges = List.sort String.compare !edges;
+    deadlock_codes =
+      List.sort String.compare (List.map code_str (Sg.deadlocks sg));
+  }
+
+let equal_result a b =
+  match (a, b) with
+  | Summary x, Summary y -> x = y
+  | Inconsistent _, Inconsistent _ -> true
+  | Unsafe _, Unsafe _ -> true
+  | Too_large, Too_large -> true
+  | _ -> false
+
+let pp_result ppf = function
+  | Summary s ->
+    Format.fprintf ppf "%d states, %d edges, %d deadlocks, initial %s" s.num_states
+      s.num_edges
+      (List.length s.deadlock_codes)
+      s.initial_code
+  | Inconsistent msg -> Format.fprintf ppf "inconsistent (%s)" msg
+  | Unsafe p -> Format.fprintf ppf "unsafe (place %d)" p
+  | Too_large -> Format.fprintf ppf "too large"

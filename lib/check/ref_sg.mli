@@ -1,0 +1,39 @@
+(** Textbook BFS reachability over an STG, written for clarity.
+
+    Markings are sorted lists of marked places, codes are [bool list]s
+    over signals; exploration is a plain queue + hash table, with the
+    same safety and consistency rules as the optimized {!Rtcad_sg.Sg}
+    builder.  The result is reduced to a {e canonical summary} —
+    renumbering-independent fingerprints of states and edges — so that
+    two independent explorations can be diffed without agreeing on state
+    identifiers. *)
+
+type summary = {
+  num_states : int;
+  num_edges : int;
+  initial_code : string;  (** code of the initial state, e.g. ["0110"] *)
+  codes : string list;  (** sorted, with multiplicity (USC conflicts keep both) *)
+  edges : string list;  (** sorted ["code -name-> code'"] fingerprints *)
+  deadlock_codes : string list;  (** sorted codes of states with no successor *)
+}
+
+type result =
+  | Summary of summary
+  | Inconsistent of string
+      (** a signal fired against its current value, or one marking was
+          reached with two different codes (the carried message is
+          informational and not part of the diff) *)
+  | Unsafe of int  (** firing would put a second token into the place *)
+  | Too_large  (** exploration exceeded [max_states] *)
+
+val explore : ?max_states:int -> Rtcad_stg.Stg.t -> result
+(** Default bound: 200000 states, matching {!Rtcad_sg.Sg.build}. *)
+
+val summary_of_fast : Rtcad_sg.Sg.t -> summary
+(** The same canonical summary computed from an already-built fast state
+    graph. *)
+
+val equal_result : result -> result -> bool
+(** Equality up to the informational payloads of the error cases. *)
+
+val pp_result : Format.formatter -> result -> unit

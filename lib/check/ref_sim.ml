@@ -1,0 +1,132 @@
+module Netlist = Rtcad_netlist.Netlist
+module Gate = Rtcad_netlist.Gate
+
+let fs_of_ps ps = int_of_float (Float.round (ps *. 1000.0))
+let ps_of_fs fs = float_of_int fs /. 1000.0
+
+type item =
+  | Drive of Netlist.net * bool
+  | Eval of Netlist.net * bool * int  (* net, target, generation *)
+
+type t = {
+  nl : Netlist.t;
+  values : bool array;
+  pending : (int * bool) array;  (* (generation, target); 0 = none *)
+  mutable agenda : (int * int * item) list;  (* (at_fs, seq, item), sorted *)
+  mutable now_fs : int;
+  mutable seq : int;
+  mutable gen : int;
+  mutable committed : (int * Netlist.net * bool) list;  (* newest first *)
+}
+
+let value t net = t.values.(net)
+
+(* Insert keeping the agenda sorted by (time, insertion order). *)
+let push t at_fs item =
+  t.seq <- t.seq + 1;
+  let entry = (at_fs, t.seq, item) in
+  let rec ins = function
+    | [] -> [ entry ]
+    | ((at', seq', _) as e) :: rest ->
+      if (at', seq') <= (at_fs, t.seq) then e :: ins rest else entry :: e :: rest
+  in
+  t.agenda <- ins t.agenda
+
+let eval_gate t out =
+  match Netlist.driver t.nl out with
+  | None -> t.values.(out)
+  | Some (gate, ins) ->
+    let inputs = List.map (fun (i, neg) -> t.values.(i) <> neg) ins in
+    Gate.eval gate ~current:t.values.(out) inputs
+
+let delay_fs t out =
+  match Netlist.driver t.nl out with
+  | None -> 0
+  | Some (gate, _) -> fs_of_ps (Gate.delay_ps gate)
+
+(* Inertial scheduling: one pending event per gate output; re-evaluation
+   to the committed value cancels a pending contrary event. *)
+let schedule t net target ~at_fs =
+  let pgen, ptarget = t.pending.(net) in
+  if pgen <> 0 && ptarget = target then ()
+  else if target <> t.values.(net) then begin
+    t.gen <- t.gen + 1;
+    t.pending.(net) <- (t.gen, target);
+    push t at_fs (Eval (net, target, t.gen))
+  end
+  else if pgen <> 0 then t.pending.(net) <- (0, false)
+
+let rec commit t net v =
+  t.values.(net) <- v;
+  if List.mem net (Netlist.outputs t.nl) then
+    t.committed <- (t.now_fs, net, v) :: t.committed;
+  List.iter
+    (fun out -> schedule t out (eval_gate t out) ~at_fs:(t.now_fs + delay_fs t out))
+    (Netlist.fanout t.nl net)
+
+and step t =
+  match t.agenda with
+  | [] -> ()
+  | (at_fs, _, item) :: rest ->
+    t.agenda <- rest;
+    if at_fs > t.now_fs then t.now_fs <- at_fs;
+    (match item with
+    | Drive (net, v) -> if t.values.(net) <> v then commit t net v
+    | Eval (net, target, gen) ->
+      let pgen, _ = t.pending.(net) in
+      if pgen = gen then begin
+        t.pending.(net) <- (0, false);
+        if t.values.(net) <> target then commit t net target
+      end)
+
+let create nl =
+  let n = Netlist.num_nets nl in
+  let t =
+    {
+      nl;
+      values = Array.init n (Netlist.initial_value nl);
+      pending = Array.make n (0, false);
+      agenda = [];
+      now_fs = 0;
+      seq = 0;
+      gen = 0;
+      committed = [];
+    }
+  in
+  List.iter
+    (fun (out, _, _) ->
+      let target = eval_gate t out in
+      if target <> t.values.(out) then schedule t out target ~at_fs:(delay_fs t out))
+    (Netlist.gates nl);
+  t
+
+let drive t net v ~after =
+  if not (Netlist.is_input t.nl net) then invalid_arg "Ref_sim.drive: not a primary input";
+  push t (t.now_fs + fs_of_ps after) (Drive (net, v))
+
+let run ?(max_events = 2_000_000) t ~until =
+  let until_fs = fs_of_ps until in
+  let budget = ref max_events in
+  let due () = match t.agenda with (at, _, _) :: _ -> at <= until_fs | [] -> false in
+  while due () do
+    if !budget <= 0 then failwith "Ref_sim: event budget exhausted";
+    decr budget;
+    step t
+  done;
+  t.now_fs <- max t.now_fs until_fs
+
+let settle ?(max_events = 2_000_000) t =
+  let budget = ref max_events in
+  while t.agenda <> [] do
+    if !budget <= 0 then failwith "Ref_sim: event budget exhausted";
+    decr budget;
+    step t
+  done
+
+let trace t =
+  List.rev_map (fun (at, net, v) -> (ps_of_fs at, net, v)) t.committed
+
+let canonical_trace tr =
+  List.stable_sort
+    (fun (at1, n1, v1) (at2, n2, v2) -> compare (at1, n1, v1) (at2, n2, v2))
+    tr

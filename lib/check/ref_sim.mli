@@ -1,0 +1,38 @@
+(** Naive event-driven netlist simulator: a sorted-list agenda.
+
+    Mirrors the semantics of the allocation-free {!Rtcad_netlist.Sim}
+    kernel — inertial delay with one pending event per gate output,
+    direct input drives that bypass the inertial slot, femtosecond
+    integer time — but with the simplest possible mechanics: the agenda
+    is a sorted association list, gate inputs are gathered into plain
+    lists and evaluated with {!Rtcad_netlist.Gate.eval}.  Events that
+    carry the same timestamp may commit in a different order than the
+    fast kernel's heap; compare traces with {!canonical_trace}, which is
+    stable under same-instant permutations. *)
+
+type t
+
+val create : Rtcad_netlist.Netlist.t -> t
+(** All nets start at their netlist initial value; gates whose evaluation
+    disagrees with their initial value are scheduled, as in
+    {!Rtcad_netlist.Sim.create}. *)
+
+val value : t -> Rtcad_netlist.Netlist.net -> bool
+val drive : t -> Rtcad_netlist.Netlist.net -> bool -> after:float -> unit
+(** Schedule a primary-input change [after] ps from the current time. *)
+
+val run : ?max_events:int -> t -> until:float -> unit
+(** Process events up to the absolute time [until] (ps).  Raises
+    [Failure] when the event budget is exhausted (oscillation). *)
+
+val settle : ?max_events:int -> t -> unit
+
+val trace : t -> (float * Rtcad_netlist.Netlist.net * bool) list
+(** Committed changes of {e output-marked} nets, oldest first. *)
+
+val canonical_trace :
+  (float * Rtcad_netlist.Netlist.net * bool) list ->
+  (float * Rtcad_netlist.Netlist.net * bool) list
+(** Sort events sharing a timestamp by (net, value): the canonical form
+    for diffing two simulators that break same-instant ties
+    differently. *)

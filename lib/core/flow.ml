@@ -11,6 +11,7 @@ module Nextstate = Rtcad_synth.Nextstate
 module Implement = Rtcad_synth.Implement
 module Lazy_cover = Rtcad_synth.Lazy_cover
 module Emit = Rtcad_synth.Emit
+module Conformance = Rtcad_verify.Conformance
 
 type user_assumption = (string * Stg.dir) * (string * Stg.dir)
 
@@ -117,7 +118,7 @@ let synthesize ?(mode = rt_default) ?emit_style ?max_states spec_stg =
     | Si -> sg
     | Rt _ ->
       let stg = Sg.stg sg in
-      (Prune.apply sg (gather_assumptions ~fast:true ~mode stg sg)).Prune.pruned
+      (Prune.apply_consistent sg (gather_assumptions ~fast:true ~mode stg sg)).Prune.pruned
   in
   let stg, insertions =
     match Csc.resolve_all ~mode:csc_mode ~view ?max_states stg0 with
@@ -130,7 +131,7 @@ let synthesize ?(mode = rt_default) ?emit_style ?max_states spec_stg =
     match mode with
     | Si -> (sg_full, [])
     | Rt _ ->
-      let r = Prune.apply sg_full assumptions in
+      let r = Prune.apply_consistent sg_full assumptions in
       (r.Prune.pruned, r.Prune.used)
   in
   if Encoding.has_csc sg then fail "CSC conflicts remain after encoding";
@@ -168,6 +169,23 @@ let synthesize ?(mode = rt_default) ?emit_style ?max_states spec_stg =
     List.sort_uniq Assumption.compare
       (used @ List.concat_map (fun (_, (_, lc)) -> lc) chosen)
   in
+  (* Close the Figure-2 loop: the emitted netlist must conform to the
+     encoded specification — untimed in SI mode, under the generated
+     assumption set in RT mode.  Without this gate, specifications with
+     concurrency between unrelated cycles can yield covers whose
+     cross-cycle terms glitch in interleavings the assumption vocabulary
+     cannot forbid; refusing turns a silently hazardous circuit into an
+     explicit synthesis failure. *)
+  (match
+     Conformance.check
+       ~constraints:(match mode with Si -> [] | Rt _ -> assumptions)
+       ~circuit:netlist ~spec:stg ()
+   with
+  | exception Conformance.Bound_exceeded _ -> ()
+  | r ->
+    if not r.Conformance.ok then
+      fail "emitted netlist fails its conformance self-check (%d failure(s))"
+        (List.length r.Conformance.failures));
   { mode; stg; insertions; sg_full; sg; assumptions; constraints; signals; netlist }
 
 let pp_report ppf t =

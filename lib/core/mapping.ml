@@ -85,7 +85,7 @@ let emit_mapped ?(style = Emit.Static_cmos) ?(max_fanin = 3) stg impls =
   List.iter
     (fun s -> Netlist.set_initial nl nets.(s) (Stg.initial_value stg s))
     (Stg.signals stg);
-  Netlist.settle_initial nl;
+  Netlist.settle_initial ~frozen:(List.map net_of (Stg.signals stg)) nl;
   nl
 
 type inference = {

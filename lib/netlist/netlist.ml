@@ -103,8 +103,10 @@ let gate_count nl = List.length (gates nl)
 let initial_value nl n = nl.slots.(n).initial
 let set_initial nl n v = nl.slots.(n).initial <- v
 
-let settle_initial nl =
-  let instances = gates nl in
+let settle_initial ?(frozen = []) nl =
+  let instances =
+    List.filter (fun (out, _, _) -> not (List.mem out frozen)) (gates nl)
+  in
   let pass () =
     List.fold_left
       (fun changed (out, g, ins) ->

@@ -65,11 +65,15 @@ val initial_value : t -> net -> bool
 val set_initial : t -> net -> bool -> unit
 (** Initial value of a net at power-up (default [false]). *)
 
-val settle_initial : t -> unit
+val settle_initial : ?frozen:net list -> t -> unit
 (** Propagate initial values through the gates (bounded fixpoint) so that
     a simulation starts from a consistent quiescent state.  State-holding
     gates keep their assigned initial value when their inputs are
-    neutral. *)
+    neutral.  Nets in [frozen] keep their assigned initial value even if
+    their driver disagrees — synthesis pins specification signals this
+    way, because a specification whose initial marking enables an output
+    transition would otherwise be "settled" past its own reset state
+    (the disagreeing gate simply fires right after power-up). *)
 
 val pp : Format.formatter -> t -> unit
 

@@ -4,6 +4,8 @@ module Bitset = Rtcad_util.Bitset
 
 type result = { pruned : Sg.t; used : Assumption.t list; removed_edges : int }
 
+exception Deadlock
+
 let blocked_by assumptions sg s t =
   List.filter
     (fun a ->
@@ -44,12 +46,27 @@ let apply sg assumptions =
   done;
   let pruned = Sg.restrict sg ~allowed in
   if Rtcad_sg.Props.deadlock_free sg && not (Rtcad_sg.Props.deadlock_free pruned) then
-    failwith "Prune.apply: assumptions introduce a deadlock";
+    raise Deadlock;
   {
     pruned;
     used = List.sort Assumption.compare (Hashtbl.fold (fun _ a acc -> a :: acc) used []);
     removed_edges = !removed;
   }
+
+let apply_consistent sg assumptions =
+  match apply sg assumptions with
+  | r -> r
+  | exception Deadlock ->
+    let kept =
+      List.fold_left
+        (fun kept a ->
+          let candidate = kept @ [ a ] in
+          match apply sg candidate with
+          | _ -> candidate
+          | exception Deadlock -> kept)
+        [] assumptions
+    in
+    apply sg kept
 
 let codes_bdd sg =
   let stg = Sg.stg sg in

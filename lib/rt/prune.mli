@@ -13,9 +13,22 @@ type result = {
   removed_edges : int;  (** number of edges dropped from surviving states *)
 }
 
+exception Deadlock
+(** Pruning a deadlock-free graph left a reachable state with no
+    successors: the assumption set is contradictory for this
+    specification. *)
+
 val apply : Rtcad_sg.Sg.t -> Assumption.t list -> result
-(** Raises [Failure] if pruning introduces a deadlock (contradictory
+(** Raises {!Deadlock} if pruning introduces a deadlock (contradictory
     assumptions). *)
+
+val apply_consistent : Rtcad_sg.Sg.t -> Assumption.t list -> result
+(** Like {!apply}, but when the full set deadlocks, fall back to a
+    maximal consistent subset (greedy, in list order) instead of
+    raising.  Automatically generated assumption sets can be
+    contradictory on specifications with independent concurrent cycles —
+    the timed simulations that propose them consistently order
+    transitions that the unbounded-delay semantics does not. *)
 
 val pruned_codes : full:Rtcad_sg.Sg.t -> pruned:Rtcad_sg.Sg.t -> Rtcad_logic.Bdd.t
 (** Characteristic function (over signal variables) of the codes reachable

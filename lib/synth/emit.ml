@@ -139,5 +139,5 @@ let emit ?(style = Static_cmos) ?(decompose = false) stg impls =
   List.iter
     (fun s -> Netlist.set_initial nl nets.(s) (Stg.initial_value stg s))
     (Stg.signals stg);
-  Netlist.settle_initial nl;
+  Netlist.settle_initial ~frozen:(List.map net_of (Stg.signals stg)) nl;
   nl

@@ -1,0 +1,28 @@
+Analyzing a user-written .g file:
+
+  $ cat > buf.g <<'SPEC'
+  > .model buf
+  > .inputs a
+  > .outputs b
+  > .graph
+  > a+ b+
+  > b+ a-
+  > a- b-
+  > b- a+
+  > .marking { <b-,a+> }
+  > .end
+  > SPEC
+
+  $ rtsyn check buf.g
+  signals: a(in) b(out)
+  petri: 4 places, 4 transitions
+    a+: {<b-,a+>} -> {<a+,b+>}
+    b+: {<a+,b+>} -> {<b+,a->}
+    a-: {<b+,a->} -> {<a-,b->}
+    b-: {<a-,b->} -> {<b-,a+>}
+    initial: <b-,a+>
+  reachable states: 4
+  deadlock-free: true
+  all transitions live: true
+  output-persistent: true
+  CSC: satisfied

@@ -1,0 +1,19 @@
+A short differential fuzzing campaign must come out clean:
+
+  $ rtsyn fuzz --cases 5 --seed 1 --quiet
+  5 case(s): 5 passed, 0 skipped, 0 failed
+
+A malformed specification file is reported, not a backtrace:
+
+  $ echo "garbage line" > broken.g
+  $ rtsyn check broken.g
+  rtsyn: parse error on line 1: unexpected line outside .graph
+  [1]
+
+A bad timing-assumption argument is a usage error:
+
+  $ rtsyn synth fifo --assume "nonsense"
+  rtsyn: option '--assume': assumption "nonsense" must look like ri-<li+
+  Usage: rtsyn synth [OPTION]… SPEC
+  Try 'rtsyn synth --help' or 'rtsyn --help' for more information.
+  [124]

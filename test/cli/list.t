@@ -1,0 +1,11 @@
+The built-in specification catalogue:
+
+  $ rtsyn list
+  fifo       4 signals, 9 transitions
+  fifo_x     5 signals, 10 transitions
+  celement   3 signals, 6 transitions
+  pipeline   4 signals, 8 transitions
+  selector   3 signals, 8 transitions
+  toggle     3 signals, 8 transitions
+  call       6 signals, 16 transitions
+  ring3      6 signals, 12 transitions

@@ -1,0 +1,26 @@
+Pretty-printing a built-in specification in .g syntax:
+
+  $ rtsyn show toggle
+  .model stg
+  .inputs i
+  .outputs o1 o2
+  .graph
+  i+ o1+
+  o1+ i-
+  i- o2+
+  o2+ i+/2
+  i+/2 o1-
+  o1- i-/2
+  i-/2 o2-
+  o2- i+
+  .marking { <o2-,i+> }
+  .end
+
+An argument that is neither a file nor a built-in is a usage error:
+
+  $ rtsyn show no-such-spec
+  rtsyn: SPEC argument: no-such-spec is neither an existing file nor a built-in
+         specification (see `rtsyn list')
+  Usage: rtsyn show [--dot] [OPTION]… SPEC
+  Try 'rtsyn show --help' or 'rtsyn --help' for more information.
+  [124]

@@ -1,0 +1,130 @@
+(* Tests for the differential oracle & fuzzing subsystem itself:
+   the reference models must agree with the optimized kernels on the
+   whole library corpus and on generated inputs, and an emulated kernel
+   bug must be caught and shrunk to a tiny specification. *)
+
+module Rng = Rtcad_util.Rng
+module Library = Rtcad_stg.Library
+module Gen = Rtcad_check.Gen
+module Ref_sg = Rtcad_check.Ref_sg
+module Oracle = Rtcad_check.Oracle
+module Fuzz = Rtcad_check.Fuzz
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let verdict_str v = Format.asprintf "%a" Oracle.pp_verdict v
+let is_pass = function Oracle.Pass -> true | _ -> false
+
+let test_sg_diff_library () =
+  List.iter
+    (fun (name, stg) ->
+      let v = Oracle.diff_sg stg in
+      check (name ^ ": " ^ verdict_str v) true (is_pass v))
+    (Library.all_named ())
+
+let test_generated_plans_wellformed () =
+  let rng = Rng.create 7 in
+  for i = 1 to 40 do
+    let plan = Gen.gen_plan rng ~max_places:14 in
+    match Ref_sg.explore (Gen.stg_of_plan plan) with
+    | Ref_sg.Summary s ->
+      check
+        (Printf.sprintf "plan %d (%s) deadlock-free" i
+           (Format.asprintf "%a" Gen.pp_plan plan))
+        true
+        (s.Ref_sg.deadlock_codes = []);
+      check (Printf.sprintf "plan %d nonempty" i) true (s.Ref_sg.num_states > 0)
+    | r ->
+      Alcotest.failf "plan %d (%a) is malformed: %a" i Gen.pp_plan plan
+        Ref_sg.pp_result r
+  done
+
+let test_shrink_strictly_smaller () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 25 do
+    let plan = Gen.gen_plan rng ~max_places:14 in
+    let n = Gen.places_of_plan plan in
+    List.iter
+      (fun p -> check "shrunk plan smaller" true (Gen.places_of_plan p < n))
+      (Gen.shrink_plan plan)
+  done
+
+let test_bitset_oracle_passes () =
+  for seed = 1 to 20 do
+    let v = Oracle.diff_bitset (Rng.create seed) in
+    check (Printf.sprintf "seed %d: %s" seed (verdict_str v)) true (is_pass v)
+  done
+
+let test_sim_oracle_passes () =
+  for seed = 1 to 20 do
+    let v = Oracle.diff_sim (Rng.create seed) in
+    check (Printf.sprintf "seed %d: %s" seed (verdict_str v)) true (is_pass v)
+  done
+
+let test_flow_invariants_fifo () =
+  let v = Oracle.flow_invariants (Library.fifo ()) in
+  check (verdict_str v) true (is_pass v)
+
+(* Emulate a kernel bug of the "dropped carry in Bitset.union" family:
+   the state-graph summary silently loses a state.  The fuzzer must
+   catch it on a generated specification and shrink the witness to a
+   handful of places. *)
+let broken_fast_sg stg =
+  match Oracle.fast_sg_result stg with
+  | Ref_sg.Summary s ->
+    Ref_sg.Summary
+      {
+        s with
+        Ref_sg.num_states = s.Ref_sg.num_states - 1;
+        codes =
+          (match s.Ref_sg.codes with [] -> [] | _ :: rest -> rest);
+      }
+  | r -> r
+
+let test_fuzz_catches_and_shrinks () =
+  let config = { Fuzz.seed = 1; cases = 50; max_places = 14; shrink = true } in
+  let outcome = Fuzz.run ~fast_sg:broken_fast_sg config in
+  match outcome.Fuzz.failure with
+  | None -> Alcotest.fail "emulated kernel bug went undetected"
+  | Some f ->
+    Alcotest.(check string) "caught by the sg oracle" "sg-diff" f.Fuzz.finding.Oracle.oracle;
+    (match f.Fuzz.plan with
+    | None -> Alcotest.fail "no shrunk plan reported"
+    | Some p ->
+      check
+        (Printf.sprintf "shrunk to %d places" (Gen.places_of_plan p))
+        true
+        (Gen.places_of_plan p <= 6));
+    check "minimal .g text emitted" true (f.Fuzz.g_text <> None)
+
+let test_fuzz_deterministic () =
+  let config = { Fuzz.seed = 3; cases = 25; max_places = 10; shrink = true } in
+  let a = Fuzz.run config and b = Fuzz.run config in
+  check_int "ran" a.Fuzz.ran b.Fuzz.ran;
+  check_int "passed" a.Fuzz.passed b.Fuzz.passed;
+  check_int "skipped" a.Fuzz.skipped b.Fuzz.skipped;
+  check "no failure" true (a.Fuzz.failure = None && b.Fuzz.failure = None)
+
+let suite =
+  [
+    ( "check",
+      [
+        Alcotest.test_case "sg oracle agrees on the library corpus" `Quick
+          test_sg_diff_library;
+        Alcotest.test_case "generated plans are live and safe" `Quick
+          test_generated_plans_wellformed;
+        Alcotest.test_case "shrinking strictly reduces places" `Quick
+          test_shrink_strictly_smaller;
+        Alcotest.test_case "bitset oracle passes on the real kernel" `Quick
+          test_bitset_oracle_passes;
+        Alcotest.test_case "sim oracle passes on the real kernel" `Quick
+          test_sim_oracle_passes;
+        Alcotest.test_case "flow invariants hold on the FIFO" `Quick
+          test_flow_invariants_fifo;
+        Alcotest.test_case "emulated kernel bug is caught and shrunk" `Quick
+          test_fuzz_catches_and_shrinks;
+        Alcotest.test_case "fuzz campaigns are deterministic" `Quick
+          test_fuzz_deterministic;
+      ] );
+  ]

@@ -1,0 +1,77 @@
+(* Same seed, same stream: every stochastic component must be exactly
+   reproducible, or fuzzing seeds and benchmark workloads stop being
+   reproduction recipes. *)
+
+module Rng = Rtcad_util.Rng
+module Workload = Rtcad_rappid.Workload
+module Timed_sim = Rtcad_rt.Timed_sim
+module Transform = Rtcad_stg.Transform
+module Library = Rtcad_stg.Library
+module Gen = Rtcad_check.Gen
+
+let check = Alcotest.(check bool)
+
+let test_rng_stream () =
+  let draw seed =
+    let rng = Rng.create seed in
+    List.init 1_000 (fun i ->
+        if i mod 3 = 0 then Rng.int rng 1_000_000
+        else if i mod 3 = 1 then Bool.to_int (Rng.bool rng)
+        else int_of_float (Rng.float rng 1e6))
+  in
+  check "same seed, same stream" true (draw 42 = draw 42);
+  check "different seed, different stream" true (draw 42 <> draw 43)
+
+let test_rng_split_independent () =
+  let rng = Rng.create 5 in
+  let child = Rng.split rng in
+  let a = List.init 100 (fun _ -> Rng.int rng 1_000) in
+  let b = List.init 100 (fun _ -> Rng.int child 1_000) in
+  check "parent and child streams differ" true (a <> b)
+
+let test_workload_reproducible () =
+  List.iter
+    (fun profile ->
+      let s1 = Workload.generate ~seed:7 profile ~instructions:500 in
+      let s2 = Workload.generate ~seed:7 profile ~instructions:500 in
+      check (profile.Workload.name ^ " lengths") true
+        (s1.Workload.lengths = s2.Workload.lengths);
+      Alcotest.(check int)
+        (profile.Workload.name ^ " bytes")
+        s1.Workload.total_bytes s2.Workload.total_bytes)
+    Workload.all_profiles
+
+let test_timed_sim_reproducible () =
+  let stg = Transform.contract_dummies ~strict:false (Library.fifo ()) in
+  let run () = Timed_sim.run ~jitter:0.3 ~seed:5 ~steps:60 stg in
+  check "same seed, same trace" true (run () = run ());
+  let other = Timed_sim.run ~jitter:0.3 ~seed:6 ~steps:60 stg in
+  check "jittered run actually depends on the seed" true (run () <> other)
+
+let test_generators_reproducible () =
+  let plans seed =
+    let rng = Rng.create seed in
+    List.init 10 (fun _ ->
+        Format.asprintf "%a" Gen.pp_plan (Gen.gen_plan rng ~max_places:12))
+  in
+  check "same seed, same plans" true (plans 9 = plans 9);
+  let netlists seed =
+    let rng = Rng.create seed in
+    List.init 5 (fun _ ->
+        let nl = Gen.gen_netlist rng in
+        let stim = Gen.gen_stimuli rng nl in
+        Format.asprintf "%a|%d" Rtcad_netlist.Netlist.pp nl (List.length stim))
+  in
+  check "same seed, same netlists and stimuli" true (netlists 9 = netlists 9)
+
+let suite =
+  [
+    ( "determinism",
+      [
+        Alcotest.test_case "splitmix stream" `Quick test_rng_stream;
+        Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+        Alcotest.test_case "workload generation" `Quick test_workload_reproducible;
+        Alcotest.test_case "timed simulation" `Quick test_timed_sim_reproducible;
+        Alcotest.test_case "fuzz generators" `Quick test_generators_reproducible;
+      ] );
+  ]
