@@ -1,5 +1,12 @@
 # Convenience entry points; the source of truth is dune.
 
+# `make verify RTCAD_JOBS=2` runs the whole gate with the worker pool
+# enabled; every kernel is deterministic in the job count, so the
+# results must be identical to the RTCAD_JOBS=1 run.
+ifdef RTCAD_JOBS
+export RTCAD_JOBS
+endif
+
 .PHONY: all build test fuzz bench verify clean
 
 all: build

@@ -584,15 +584,16 @@ let () =
     Format.printf
       "@.(run `bench/main.exe perf' for kernel wall-times, `micro' for Bechamel)@."
   | "compare" :: rest ->
-    let strict =
-      match rest with
-      | [] -> false
-      | [ "--strict" ] -> true
-      | _ ->
-        Printf.eprintf "usage: compare [--strict]\n";
-        exit 2
-    in
-    Perf.run_compare ~strict ()
+    let strict = ref false and update_baseline = ref false in
+    List.iter
+      (function
+        | "--strict" -> strict := true
+        | "--update-baseline" -> update_baseline := true
+        | _ ->
+          Printf.eprintf "usage: compare [--strict] [--update-baseline]\n";
+          exit 2)
+      rest;
+    Perf.run_compare ~strict:!strict ~update_baseline:!update_baseline ()
   | names ->
     List.iter
       (fun name ->

@@ -3,12 +3,15 @@
      dune exec bench/main.exe -- perf              — run, write BENCH_perf.json
      dune exec bench/main.exe -- compare           — diff vs bench/baseline.json
      dune exec bench/main.exe -- compare --strict  — exit 1 on >15% regression
+     dune exec bench/main.exe -- compare --update-baseline
+                                    — adopt BENCH_perf.json as bench/baseline.json
 
    Each kernel is a closure timed [reps] times (RTCAD_BENCH_REPS, default
    5) after one untimed warm-up; the JSON records every run plus min /
    mean / max so later sessions can track the trajectory and the
    comparator can flag regressions against a committed baseline. *)
 
+module Par = Rtcad_par.Par
 module Stg = Rtcad_stg.Stg
 module Library = Rtcad_stg.Library
 module Transform = Rtcad_stg.Transform
@@ -99,9 +102,14 @@ let write_results ~reps timings =
   let oc = open_out result_file in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"schema\": \"rtcad-bench-perf/1\",\n";
+  p "  \"schema\": \"rtcad-bench-perf/2\",\n";
   p "  \"generated_at_unix\": %.0f,\n" (Unix.time ());
   p "  \"reps\": %d,\n" reps;
+  (* v2: the job count the kernels actually ran with, plus what the
+     machine would have picked, so recorded trajectories are
+     interpretable on other hardware. *)
+  p "  \"jobs\": %d,\n" (Par.jobs ());
+  p "  \"recommended_domain_count\": %d,\n" (Par.recommended ());
   p "  \"kernels\": {\n";
   List.iteri
     (fun i t ->
@@ -259,8 +267,18 @@ let load_json path =
 
 let member key = function Obj kvs -> List.assoc_opt key kvs | _ -> None
 
+(* v1 baselines predate the jobs fields but carry the same kernel
+   shape; both versions stay comparable. *)
+let known_schemas = [ "rtcad-bench-perf/1"; "rtcad-bench-perf/2" ]
+
 let kernel_stats path =
-  match member "kernels" (load_json path) with
+  let root = load_json path in
+  (match member "schema" root with
+  | Some (Str s) when List.mem s known_schemas -> ()
+  | Some (Str s) ->
+    raise (Parse_error (Printf.sprintf "%s: unsupported schema %S" path s))
+  | Some _ | None -> raise (Parse_error (path ^ ": no \"schema\" string")));
+  match member "kernels" root with
   | Some (Obj kernels) ->
     List.filter_map
       (fun (name, v) ->
@@ -269,6 +287,12 @@ let kernel_stats path =
         | _ -> None)
       kernels
   | Some _ | None -> raise (Parse_error (path ^ ": no \"kernels\" object"))
+
+(* v1 files predate the field and were always recorded serial. *)
+let recorded_jobs path =
+  match member "jobs" (load_json path) with
+  | Some (Num n) -> int_of_float n
+  | Some _ | None -> 1
 
 (* ------------------------------------------------------------------ *)
 (* Entry points                                                        *)
@@ -288,9 +312,20 @@ let run_perf () =
   Format.printf "@.wrote %s@." result_file;
   if Sys.file_exists baseline_file then Format.printf "(compare with `-- compare')@."
 
+(* Byte copy: the baseline must be exactly the JSON the run wrote, so a
+   later `compare` against it reports 0.0%% deltas for an identical rerun. *)
+let copy_file src dst =
+  let ic = open_in_bin src in
+  let n = in_channel_length ic in
+  let contents = really_input_string ic n in
+  close_in ic;
+  let oc = open_out_bin dst in
+  output_string oc contents;
+  close_out oc
+
 (* Regressions are judged on min_ms — the least noise-sensitive statistic
    for a wall-clock benchmark — but the table shows mean too. *)
-let run_compare ~strict () =
+let run_compare ~strict ~update_baseline () =
   let fail_usage msg =
     Printf.eprintf "compare: %s\n" msg;
     exit 2
@@ -298,9 +333,26 @@ let run_compare ~strict () =
   if not (Sys.file_exists result_file) then
     fail_usage (result_file ^ " not found; run `bench/main.exe -- perf' first");
   if not (Sys.file_exists baseline_file) then
-    fail_usage (baseline_file ^ " not found; commit a baseline first");
+    if update_baseline then begin
+      (* Nothing to diff against yet: seed the baseline and stop. *)
+      ignore (kernel_stats result_file);
+      copy_file result_file baseline_file;
+      Format.printf "wrote %s (no previous baseline to compare against)@." baseline_file;
+      exit 0
+    end
+    else fail_usage (baseline_file ^ " not found; commit a baseline first");
   let current = kernel_stats result_file in
   let baseline = kernel_stats baseline_file in
+  (* Wall-times at different job counts are not like-for-like (on a
+     small machine extra domains are pure overhead), so the strict gate
+     only fires when the run and the baseline used the same count. *)
+  let cur_jobs = recorded_jobs result_file in
+  let base_jobs = recorded_jobs baseline_file in
+  let comparable = cur_jobs = base_jobs in
+  if not comparable then
+    Format.printf
+      "(baseline recorded at jobs=%d, current run at jobs=%d: deltas are advisory only)@."
+      base_jobs cur_jobs;
   Format.printf "%-18s %12s %12s %9s  %s@." "kernel" "baseline ms" "current ms" "delta"
     "";
   let regressions = ref [] in
@@ -327,11 +379,20 @@ let run_compare ~strict () =
         Format.printf "%-18s %12s %12.1f %9s  new kernel (no baseline)@." name "-"
           cur_min "-")
     current;
-  match !regressions with
+  (match !regressions with
   | [] -> Format.printf "@.no regressions beyond %.0f%%@." (100.0 *. regression_threshold)
   | names ->
     Format.printf "@.%d kernel(s) regressed beyond %.0f%%: %s@." (List.length names)
       (100.0 *. regression_threshold)
       (String.concat ", " (List.rev names));
-    if strict then exit 1
-    else Format.printf "(warning only; pass --strict to fail the run)@."
+    if strict && comparable && not update_baseline then exit 1
+    else if not update_baseline then
+      if not comparable then
+        Format.printf "(advisory only: job counts differ, not failing the run)@."
+      else Format.printf "(warning only; pass --strict to fail the run)@.");
+  if update_baseline then begin
+    (* Adopting the current numbers is the point, so a delta beyond the
+       threshold is not a failure here — it is what gets recorded. *)
+    copy_file result_file baseline_file;
+    Format.printf "updated %s from %s@." baseline_file result_file
+  end

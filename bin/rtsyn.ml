@@ -17,6 +17,7 @@ module Encoding = Rtcad_sg.Encoding
 module Flow = Rtcad_core.Flow
 module Check = Rtcad_core.Check
 module Fuzz = Rtcad_check.Fuzz
+module Par = Rtcad_par.Par
 
 let load_spec = function
   | `File path ->
@@ -94,6 +95,34 @@ let assumption_conv =
   in
   Arg.conv ~docv:"A<B" (parse, print)
 
+(* Shared by every subcommand with a parallel kernel behind it.  The
+   value only selects how much hardware is used: results are identical
+   at any job count, so there is no determinism caveat to document per
+   subcommand. *)
+let jobs_conv =
+  let open Cmdliner in
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | Some _ | None ->
+      Error (`Msg (Printf.sprintf "job count %S must be a positive integer" s))
+  in
+  Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+
+let jobs_term =
+  let open Cmdliner in
+  let arg =
+    Arg.(
+      value
+      & opt (some jobs_conv) None
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Number of worker domains (default: $(b,RTCAD_JOBS), else the \
+             machine's recommended domain count).  Results do not depend on \
+             the job count.")
+  in
+  Term.(const (function None -> () | Some n -> Par.set_jobs n) $ arg)
+
 (* Friendly reporting for the failures a well-formed command line can
    still run into: unreadable or malformed specification files. *)
 let with_spec_errors f =
@@ -110,7 +139,7 @@ let with_spec_errors f =
 
 (* --- check --- *)
 
-let run_check spec =
+let run_check () spec =
   with_spec_errors @@ fun () ->
   let stg = Transform.contract_dummies (load_spec spec) in
   Format.printf "%a@." Stg.pp stg;
@@ -131,7 +160,7 @@ let run_check spec =
 
 (* --- synth --- *)
 
-let run_synth spec mode_name user input_first no_lazy style verify =
+let run_synth () spec mode_name user input_first no_lazy style verify =
   with_spec_errors @@ fun () ->
   let stg = load_spec spec in
   let mode =
@@ -201,7 +230,7 @@ let run_list () =
 
 (* --- fuzz --- *)
 
-let run_fuzz seed cases max_places shrink out quiet =
+let run_fuzz () seed cases max_places shrink out quiet =
   let config = { Fuzz.seed; cases; max_places; shrink } in
   let log = if quiet then ignore else fun msg -> Printf.eprintf "%s\n%!" msg in
   let outcome = Fuzz.run ~log config in
@@ -224,7 +253,7 @@ open Cmdliner
 
 let check_cmd =
   Cmd.v (Cmd.info "check" ~doc:"Analyze a specification (reachability, CSC)")
-    Term.(const run_check $ spec_arg)
+    Term.(const run_check $ jobs_term $ spec_arg)
 
 let synth_cmd =
   let mode =
@@ -256,7 +285,9 @@ let synth_cmd =
          ~doc:"Verify the netlist and print the minimal constraint set.")
   in
   Cmd.v (Cmd.info "synth" ~doc:"Run the relative-timing synthesis flow")
-    Term.(const run_synth $ spec_arg $ mode $ user $ input_first $ no_lazy $ style $ verify)
+    Term.(
+      const run_synth $ jobs_term $ spec_arg $ mode $ user $ input_first $ no_lazy $ style
+      $ verify)
 
 let sim_cmd =
   let steps =
@@ -314,7 +345,7 @@ let fuzz_cmd =
          "Differential fuzzing: random specifications, netlists and bitset \
           workloads run through both the optimized kernels and naive \
           reference models")
-    Term.(const run_fuzz $ seed $ cases $ max_places $ shrink $ out $ quiet)
+    Term.(const run_fuzz $ jobs_term $ seed $ cases $ max_places $ shrink $ out $ quiet)
 
 let main =
   Cmd.group

@@ -1,4 +1,5 @@
 module Rng = Rtcad_util.Rng
+module Par = Rtcad_par.Par
 module Stg = Rtcad_stg.Stg
 module Stg_io = Rtcad_stg.Stg_io
 
@@ -74,24 +75,75 @@ let run ?(fast_sg = fun stg -> Oracle.fast_sg_result stg) ?(log = ignore) config
       let g_text = Option.map (fun p -> Stg_io.to_string (Gen.stg_of_plan p)) plan in
       failure := Some { case; case_seed = seed; finding; plan; g_text }
   in
-  (try
-     for case = 0 to config.cases - 1 do
-       if !failure <> None then raise Exit;
-       incr ran;
-       let seed = case_seed config case in
-       let rng = Rng.create seed in
-       match Rng.weighted rng [ (2, `Bitset); (2, `Sim); (5, `Stg); (1, `Shape) ] with
-       | `Bitset ->
-         record ~case ~seed (guarded "bitset-diff" (fun () -> Oracle.diff_bitset rng))
-       | `Sim -> record ~case ~seed (guarded "sim-diff" (fun () -> Oracle.diff_sim rng))
-       | `Stg ->
-         let plan = Gen.gen_plan rng ~max_places:config.max_places in
-         record ~case ~seed ~plan (check plan)
-       | `Shape ->
-         let plan = Gen.gen_shape rng in
-         record ~case ~seed ~plan (check plan)
-     done
-   with Exit -> ());
+  (* Everything a case does is derived from its sub-seed, so cases can be
+     evaluated in any order — or concurrently — as long as the outcome is
+     read off in case order.  [record] (counting, logging, shrinking)
+     always runs serially on the initiating domain. *)
+  let eval case =
+    let seed = case_seed config case in
+    let rng = Rng.create seed in
+    match Rng.weighted rng [ (2, `Bitset); (2, `Sim); (5, `Stg); (1, `Shape) ] with
+    | `Bitset -> (seed, None, guarded "bitset-diff" (fun () -> Oracle.diff_bitset rng))
+    | `Sim -> (seed, None, guarded "sim-diff" (fun () -> Oracle.diff_sim rng))
+    | `Stg ->
+      let plan = Gen.gen_plan rng ~max_places:config.max_places in
+      (seed, Some plan, check plan)
+    | `Shape ->
+      let plan = Gen.gen_shape rng in
+      (seed, Some plan, check plan)
+  in
+  let record_result ~case (seed, plan, verdict) =
+    match plan with
+    | None -> record ~case ~seed verdict
+    | Some plan -> record ~case ~seed ~plan verdict
+  in
+  if Par.jobs () = 1 || Par.in_parallel_region () || config.cases <= 1 then
+    (try
+       for case = 0 to config.cases - 1 do
+         if !failure <> None then raise Exit;
+         incr ran;
+         record_result ~case (eval case)
+       done
+     with Exit -> ())
+  else begin
+    (* Cases are sharded across domains.  [min_fail] tracks the lowest
+       failing case seen so far: cases above it need not run (the serial
+       campaign would have stopped), while every case at or below it is
+       still evaluated, so the counts and logs for cases preceding the
+       first failure are exact.  The case-ordered replay below then
+       reproduces the serial campaign — same counters, same log order,
+       same (lowest-case) failure, shrinking done serially. *)
+    let min_fail = Atomic.make max_int in
+    let slots = Array.make config.cases None in
+    Par.parallel_for ~chunk:1 config.cases (fun case ->
+        if case <= Atomic.get min_fail then begin
+          let r =
+            try Ok (eval case) with e -> Error (e, Printexc.get_raw_backtrace ())
+          in
+          (match r with
+          | Ok (_, _, Oracle.Fail _) | Error _ ->
+            let rec lower () =
+              let cur = Atomic.get min_fail in
+              if case < cur && not (Atomic.compare_and_set min_fail cur case) then
+                lower ()
+            in
+            lower ()
+          | Ok _ -> ());
+          slots.(case) <- Some r
+        end);
+    try
+      for case = 0 to config.cases - 1 do
+        if !failure <> None then raise Exit;
+        incr ran;
+        match slots.(case) with
+        | None ->
+          (* Only cases past the first failure are ever skipped. *)
+          assert false
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | Some (Ok r) -> record_result ~case r
+      done
+    with Exit -> ()
+  end;
   { ran = !ran; passed = !passed; skipped = !skipped; failure = !failure }
 
 let pp_outcome ppf o =

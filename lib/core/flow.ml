@@ -1,3 +1,4 @@
+module Par = Rtcad_par.Par
 module Stg = Rtcad_stg.Stg
 module Transform = Rtcad_stg.Transform
 module Sg = Rtcad_sg.Sg
@@ -140,8 +141,20 @@ let synthesize ?(mode = rt_default) ?emit_style ?max_states spec_stg =
     if not (Props.is_output_persistent sg) then
       fail "specification is not output-persistent: no SI implementation"
   | Rt _ -> ());
-  let specs = Nextstate.all sg in
-  let chosen = List.map (fun spec -> (spec, choose_impl ~mode sg spec)) specs in
+  (* Per-signal synthesis is independent, so it fans out across domains.
+     The net's lazy reverse-flow tables are forced first ([Lazy_cover]
+     reads them through [Petri.producers]), and each task builds its own
+     [Nextstate] spec so the BDDs it manipulates stay domain-local: after
+     the join only the spec's signal index and the chosen cover-based
+     implementation are read, never the spec's BDD fields. *)
+  Rtcad_stg.Petri.prepare (Stg.net stg);
+  let chosen =
+    Par.map_list
+      (fun u ->
+        let spec = Nextstate.of_sg sg u in
+        (spec, choose_impl ~mode sg spec))
+      (Stg.non_input_signals (Sg.stg sg))
+  in
   let signals =
     List.map
       (fun (spec, (impl, lazy_constraints)) ->

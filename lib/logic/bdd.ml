@@ -1,5 +1,18 @@
-(* Hash-consed ROBDD with a global unique table and binary-op caches.
-   Complement edges are not used; negation is a cached recursive op. *)
+(* Hash-consed ROBDD with a per-domain unique table and binary-op caches.
+   Complement edges are not used; negation is a cached recursive op.
+
+   The tables live in domain-local storage so that independent tasks of a
+   parallel region (per-signal synthesis, CSC trial insertions, fuzz
+   cases) can build BDDs concurrently without sharing mutable state.  The
+   contract is that BDD values never migrate between domains: node ids
+   are only unique per domain, so a node built on one domain must not be
+   combined with (or compared to) nodes built on another.  All call sites
+   in this repository construct their BDDs from scratch inside the task
+   and ship only id-free data (cube covers, counts, bools) across the
+   join — exactly why cover extraction is structural (by variable order),
+   never id-ordered.  Each entry point fetches the domain state once and
+   threads it through the recursion, keeping the DLS lookup off the inner
+   loops. *)
 
 type t = Zero | One | Node of node
 and node = { var : int; lo : t; hi : t; nid : int }
@@ -17,39 +30,6 @@ end
 
 module Unique = Hashtbl.Make (Unique_key)
 
-let unique : t Unique.t = Unique.create 4096
-let next_id = ref 2
-
-let mk var lo hi =
-  if equal lo hi then lo
-  else
-    let key = (var, id lo, id hi) in
-    match Unique.find_opt unique key with
-    | Some n -> n
-    | None ->
-      let n = Node { var; lo; hi; nid = !next_id } in
-      incr next_id;
-      Unique.add unique key n;
-      n
-
-let zero = Zero
-let one = One
-
-let var i =
-  if i < 0 then invalid_arg "Bdd.var";
-  mk i Zero One
-
-let nvar i =
-  if i < 0 then invalid_arg "Bdd.nvar";
-  mk i One Zero
-
-let is_zero t = equal t Zero
-let is_one t = equal t One
-
-let top_var = function
-  | Zero | One -> invalid_arg "Bdd.top_var: constant"
-  | Node n -> n.var
-
 (* Operation caches. *)
 module Cache1 = Hashtbl.Make (struct
   type nonrec t = int
@@ -65,33 +45,82 @@ module Cache2 = Hashtbl.Make (struct
   let hash = Hashtbl.hash
 end)
 
-let not_cache : t Cache1.t = Cache1.create 1024
-let and_cache : t Cache2.t = Cache2.create 4096
-let xor_cache : t Cache2.t = Cache2.create 1024
+type state = {
+  unique : t Unique.t;
+  mutable next_id : int;
+  not_cache : t Cache1.t;
+  and_cache : t Cache2.t;
+  xor_cache : t Cache2.t;
+}
+
+let state_key =
+  Domain.DLS.new_key (fun () ->
+      {
+        unique = Unique.create 4096;
+        next_id = 2;
+        not_cache = Cache1.create 1024;
+        and_cache = Cache2.create 4096;
+        xor_cache = Cache2.create 1024;
+      })
+
+let state () = Domain.DLS.get state_key
 
 let clear_caches () =
-  Cache1.clear not_cache;
-  Cache2.clear and_cache;
-  Cache2.clear xor_cache
+  let st = state () in
+  Cache1.clear st.not_cache;
+  Cache2.clear st.and_cache;
+  Cache2.clear st.xor_cache
 
-let rec bnot t =
+let mk st var lo hi =
+  if equal lo hi then lo
+  else
+    let key = (var, id lo, id hi) in
+    match Unique.find_opt st.unique key with
+    | Some n -> n
+    | None ->
+      let n = Node { var; lo; hi; nid = st.next_id } in
+      st.next_id <- st.next_id + 1;
+      Unique.add st.unique key n;
+      n
+
+let zero = Zero
+let one = One
+
+let var i =
+  if i < 0 then invalid_arg "Bdd.var";
+  mk (state ()) i Zero One
+
+let nvar i =
+  if i < 0 then invalid_arg "Bdd.nvar";
+  mk (state ()) i One Zero
+
+let is_zero t = equal t Zero
+let is_one t = equal t One
+
+let top_var = function
+  | Zero | One -> invalid_arg "Bdd.top_var: constant"
+  | Node n -> n.var
+
+let rec bnot_st st t =
   match t with
   | Zero -> One
   | One -> Zero
   | Node n -> (
-    match Cache1.find_opt not_cache n.nid with
+    match Cache1.find_opt st.not_cache n.nid with
     | Some r -> r
     | None ->
-      let r = mk n.var (bnot n.lo) (bnot n.hi) in
-      Cache1.add not_cache n.nid r;
+      let r = mk st n.var (bnot_st st n.lo) (bnot_st st n.hi) in
+      Cache1.add st.not_cache n.nid r;
       r)
+
+let bnot t = bnot_st (state ()) t
 
 let split v t =
   match t with
   | Zero | One -> (t, t)
   | Node n -> if n.var = v then (n.lo, n.hi) else (t, t)
 
-let rec band a b =
+let rec band_st st a b =
   match (a, b) with
   | Zero, _ | _, Zero -> Zero
   | One, x | x, One -> x
@@ -99,49 +128,66 @@ let rec band a b =
     if na.nid = nb.nid then a
     else
       let key = if na.nid < nb.nid then (na.nid, nb.nid) else (nb.nid, na.nid) in
-      (match Cache2.find_opt and_cache key with
+      (match Cache2.find_opt st.and_cache key with
       | Some r -> r
       | None ->
         let v = min na.var nb.var in
         let a0, a1 = split v a and b0, b1 = split v b in
-        let r = mk v (band a0 b0) (band a1 b1) in
-        Cache2.add and_cache key r;
+        let r = mk st v (band_st st a0 b0) (band_st st a1 b1) in
+        Cache2.add st.and_cache key r;
         r)
 
-let bor a b = bnot (band (bnot a) (bnot b))
-let bimp a b = bor (bnot a) b
+let band a b = band_st (state ()) a b
 
-let rec bxor a b =
+let bor_st st a b = bnot_st st (band_st st (bnot_st st a) (bnot_st st b))
+let bor a b = bor_st (state ()) a b
+let bimp a b =
+  let st = state () in
+  bor_st st (bnot_st st a) b
+
+let rec bxor_st st a b =
   match (a, b) with
   | Zero, x | x, Zero -> x
-  | One, x | x, One -> bnot x
+  | One, x | x, One -> bnot_st st x
   | Node na, Node nb ->
     if na.nid = nb.nid then Zero
     else
       let key = if na.nid < nb.nid then (na.nid, nb.nid) else (nb.nid, na.nid) in
-      (match Cache2.find_opt xor_cache key with
+      (match Cache2.find_opt st.xor_cache key with
       | Some r -> r
       | None ->
         let v = min na.var nb.var in
         let a0, a1 = split v a and b0, b1 = split v b in
-        let r = mk v (bxor a0 b0) (bxor a1 b1) in
-        Cache2.add xor_cache key r;
+        let r = mk st v (bxor_st st a0 b0) (bxor_st st a1 b1) in
+        Cache2.add st.xor_cache key r;
         r)
 
-let ite f g h = bor (band f g) (band (bnot f) h)
+let bxor a b = bxor_st (state ()) a b
 
-let rec cofactor t v b =
+let ite f g h =
+  let st = state () in
+  bor_st st (band_st st f g) (band_st st (bnot_st st f) h)
+
+let rec cofactor_st st t v b =
   match t with
   | Zero | One -> t
   | Node n ->
     if n.var > v then t
     else if n.var = v then if b then n.hi else n.lo
-    else mk n.var (cofactor n.lo v b) (cofactor n.hi v b)
+    else mk st n.var (cofactor_st st n.lo v b) (cofactor_st st n.hi v b)
 
-let exists_one v t = bor (cofactor t v false) (cofactor t v true)
-let forall_one v t = band (cofactor t v false) (cofactor t v true)
-let exists vars t = List.fold_left (fun acc v -> exists_one v acc) t vars
-let forall vars t = List.fold_left (fun acc v -> forall_one v acc) t vars
+let cofactor t v b = cofactor_st (state ()) t v b
+
+let exists_one st v t = bor_st st (cofactor_st st t v false) (cofactor_st st t v true)
+let forall_one st v t = band_st st (cofactor_st st t v false) (cofactor_st st t v true)
+
+let exists vars t =
+  let st = state () in
+  List.fold_left (fun acc v -> exists_one st v acc) t vars
+
+let forall vars t =
+  let st = state () in
+  List.fold_left (fun acc v -> forall_one st v acc) t vars
 
 let support t =
   let seen = Hashtbl.create 64 in
@@ -195,11 +241,17 @@ let any_sat t =
   in
   go t []
 
-let subset f g = is_zero (band f (bnot g))
+let subset f g =
+  let st = state () in
+  is_zero (band_st st f (bnot_st st g))
 
 let of_minterm n values =
   if Array.length values < n then invalid_arg "Bdd.of_minterm";
-  let rec go i = if i >= n then One else mk i (if values.(i) then Zero else go (i + 1)) (if values.(i) then go (i + 1) else Zero) in
+  let st = state () in
+  let rec go i =
+    if i >= n then One
+    else mk st i (if values.(i) then Zero else go (i + 1)) (if values.(i) then go (i + 1) else Zero)
+  in
   go 0
 
 let node_count t =

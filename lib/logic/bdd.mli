@@ -1,12 +1,21 @@
 (** Reduced ordered binary decision diagrams (ROBDDs).
 
-    Nodes are hash-consed into a global table, so structural equality of
-    functions coincides with physical equality of their representations.
-    Variables are non-negative integers ordered by their numeric value
-    (variable 0 closest to the root).
+    Nodes are hash-consed into a per-domain table, so structural equality
+    of functions coincides with physical equality of their
+    representations {e within a domain}.  Variables are non-negative
+    integers ordered by their numeric value (variable 0 closest to the
+    root).
 
-    The global tables grow on demand; {!clear_caches} drops the operation
-    caches (the unique table is kept so existing nodes stay valid). *)
+    Concurrency contract: every domain hash-conses into its own table
+    (domain-local storage), so parallel tasks may build BDDs freely —
+    but a BDD value must never be combined with, or compared to, a BDD
+    built on another domain (node ids are only unique per domain).
+    Build BDDs from scratch inside a parallel task and ship only id-free
+    data (covers, counts, booleans) across the join.
+
+    The tables grow on demand; {!clear_caches} drops the current domain's
+    operation caches (the unique table is kept so existing nodes stay
+    valid). *)
 
 type t
 

@@ -1,6 +1,7 @@
 module Bitset = Rtcad_util.Bitset
 module Stg = Rtcad_stg.Stg
 module Petri = Rtcad_stg.Petri
+module Par = Rtcad_par.Par
 
 type mode = Speed_independent | Timing_aware
 
@@ -237,17 +238,28 @@ let resolve ?(mode = Timing_aware) ?(name = "x") ?(view = Fun.id) ?max_states
         | `All -> non_dummy_transitions stg)
     in
     let was_persistent = Props.is_output_persistent base_sg in
-    (* Phase 1: cheap structural validation, collecting scored survivors. *)
-    let survivors = ref [] in
+    (* Phase 1: cheap structural validation, collecting scored survivors.
+       Enumeration only records the first [max_candidates] insertions (the
+       budget the serial search would have spent); the trial builds — the
+       expensive part — are then scored across domains.  Folding the
+       per-candidate results back in enumeration order reproduces the
+       reversed accumulation the serial loop built, so the sorted order
+       (and therefore the chosen insertion) is identical at any job
+       count. *)
+    let recorded = ref [] in
     let consider ins =
       if !budget > 0 then begin
         decr budget;
-        match Sg.build ?max_states (apply_gen ~occ ~named:false stg ins) with
-        | exception (Sg.Inconsistent _ | Sg.Too_large _ | Petri.Unsafe _) -> ()
-        | sg ->
-          if Props.deadlock_free sg && Props.live_transitions sg then
-            survivors := (score ins (Sg.num_states sg), ins, sg) :: !survivors
+        recorded := ins :: !recorded
       end
+    in
+    let evaluate ins =
+      match Sg.build ?max_states (apply_gen ~occ ~named:false stg ins) with
+      | exception (Sg.Inconsistent _ | Sg.Too_large _ | Petri.Unsafe _) -> None
+      | sg ->
+        if Props.deadlock_free sg && Props.live_transitions sg then
+          Some (score ins (Sg.num_states sg), ins, sg)
+        else None
     in
     (* Enumerate in rounds of growing waiter complexity so the budget is
        spent on the cheapest shapes first (matching the score order). *)
@@ -293,10 +305,16 @@ let resolve ?(mode = Timing_aware) ?(name = "x") ?(view = Fun.id) ?max_states
               candidates_triggers)
           candidates_triggers)
       size_pairs;
+    let survivors =
+      Array.fold_left
+        (fun acc -> function None -> acc | Some s -> s :: acc)
+        []
+        (Par.map_array evaluate (Array.of_list (List.rev !recorded)))
+    in
     (* Phase 2: evaluate the expensive checks in score order; the first
        success is the minimum-score valid insertion. *)
     let ordered =
-      List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b) !survivors
+      List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b) survivors
     in
     let valid (_, ins, sg) =
       let ok_persist =

@@ -49,6 +49,11 @@ let flows net =
     let f = (Array.map Array.of_list producers, Array.map Array.of_list consumers) in
     net.flows <- Some f;
     f
+(* Forces the lazy reverse-flow tables.  Call before handing the net to
+   concurrent readers: [flows] publishes through an unsynchronized
+   mutable field, which is only safe while a single domain touches it. *)
+let prepare net = ignore (flows net)
+
 let place_name net p = net.place_names.(p)
 let transition_name net t = net.transition_names.(t)
 let pre net t = Array.to_list net.pre.(t)

@@ -40,6 +40,12 @@ val producers : t -> int -> int list
 val consumers : t -> int -> int list
 (** Transitions with an arc out of the given place. *)
 
+val prepare : t -> unit
+(** Force the lazily built reverse-flow tables behind {!producers} and
+    {!consumers}.  Must be called before the net is read from several
+    domains at once: the tables are cached through an unsynchronized
+    mutable field, which is only safe single-domain. *)
+
 val initial_marking : t -> Rtcad_util.Bitset.t
 
 val enabled : t -> Rtcad_util.Bitset.t -> int -> bool

@@ -3,6 +3,19 @@ A short differential fuzzing campaign must come out clean:
   $ rtsyn fuzz --cases 5 --seed 1 --quiet
   5 case(s): 5 passed, 0 skipped, 0 failed
 
+Sharding the campaign across worker domains must not change the verdict:
+
+  $ rtsyn fuzz --cases 5 --seed 1 --quiet --jobs 2
+  5 case(s): 5 passed, 0 skipped, 0 failed
+
+A non-positive job count is a usage error:
+
+  $ rtsyn fuzz --cases 5 --jobs 0
+  rtsyn: option '--jobs': job count "0" must be a positive integer
+  Usage: rtsyn fuzz [OPTION]…
+  Try 'rtsyn fuzz --help' or 'rtsyn --help' for more information.
+  [124]
+
 A malformed specification file is reported, not a backtrace:
 
   $ echo "garbage line" > broken.g
