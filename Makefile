@@ -7,7 +7,7 @@ ifdef RTCAD_JOBS
 export RTCAD_JOBS
 endif
 
-.PHONY: all build test fuzz bench verify clean
+.PHONY: all build test fuzz bench verify golden golden-update clean
 
 all: build
 
@@ -22,6 +22,18 @@ fuzz:
 
 bench:
 	dune exec bench/main.exe -- perf
+
+# Golden-trace regression corpus (test/golden): compare fresh VCD and
+# metric-summary output against the committed snapshots...
+golden:
+	dune exec test/test_rtcad.exe -- test golden
+
+# ...or re-bless the snapshots after an intentional behaviour change.
+# Writes into the source tree (not the dune sandbox); review the diff
+# like any other code change.
+golden-update:
+	RTCAD_UPDATE_GOLDEN=1 RTCAD_GOLDEN_DIR=$(CURDIR)/test/golden \
+	  dune exec test/test_rtcad.exe -- test golden
 
 # The full gate a change must pass: build, unit+cram tests, a 200-case
 # differential fuzzing campaign, and the kernel wall-time regression

@@ -18,6 +18,12 @@ module Flow = Rtcad_core.Flow
 module Check = Rtcad_core.Check
 module Fuzz = Rtcad_check.Fuzz
 module Par = Rtcad_par.Par
+module Obs = Rtcad_obs.Obs
+module Vcd = Rtcad_obs.Vcd
+module Harness = Rtcad_core.Harness
+module Table2 = Rtcad_core.Table2
+module Fifo_impls = Rtcad_core.Fifo_impls
+module Timed_sim = Rtcad_rt.Timed_sim
 
 let load_spec = function
   | `File path ->
@@ -123,6 +129,58 @@ let jobs_term =
   in
   Term.(const (function None -> () | Some n -> Par.set_jobs n) $ arg)
 
+(* --- observability sinks --- *)
+
+let obs_term =
+  let open Cmdliner in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record phase spans and metrics and write a Chrome trace_event \
+             JSON file (open in chrome://tracing or Perfetto).")
+  in
+  let summary =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "summary" ] ~docv:"FILE"
+          ~doc:
+            "Record metrics and write a JSON summary.  $(b,-) prints a \
+             human-readable table to standard error instead.")
+  in
+  Term.(const (fun t s -> (t, s)) $ trace $ summary)
+
+(* Sinks are emitted even when the command body fails — a trace of a
+   failing synthesis is exactly when one wants it.  A sink that cannot be
+   written turns a successful run into exit 1 with a clean message (and
+   [Obs.write_file] guarantees no partial file is left behind). *)
+let with_obs (trace, summary) f =
+  if trace = None && summary = None then f ()
+  else begin
+    Obs.set_enabled true;
+    let code = f () in
+    let snap = Obs.snapshot () in
+    let failed = ref false in
+    let write what path data =
+      match Obs.write_file ~path data with
+      | Ok () -> ()
+      | Error msg ->
+        failed := true;
+        Printf.eprintf "rtsyn: cannot write %s: %s\n" what msg
+    in
+    (match trace with
+    | Some path -> write "trace" path (Obs.trace_json snap)
+    | None -> ());
+    (match summary with
+    | Some "-" -> Format.eprintf "%a@." Obs.pp_summary snap
+    | Some path -> write "summary" path (Obs.summary_json snap)
+    | None -> ());
+    if !failed && code = 0 then 1 else code
+  end
+
 (* Friendly reporting for the failures a well-formed command line can
    still run into: unreadable or malformed specification files. *)
 let with_spec_errors f =
@@ -139,7 +197,8 @@ let with_spec_errors f =
 
 (* --- check --- *)
 
-let run_check () spec =
+let run_check () obs spec =
+  with_obs obs @@ fun () ->
   with_spec_errors @@ fun () ->
   let stg = Transform.contract_dummies (load_spec spec) in
   Format.printf "%a@." Stg.pp stg;
@@ -160,7 +219,8 @@ let run_check () spec =
 
 (* --- synth --- *)
 
-let run_synth () spec mode_name user input_first no_lazy style verify =
+let run_synth () obs spec mode_name user input_first no_lazy style verify =
+  with_obs obs @@ fun () ->
   with_spec_errors @@ fun () ->
   let stg = load_spec spec in
   let mode =
@@ -200,16 +260,57 @@ let run_synth () spec mode_name user input_first no_lazy style verify =
 
 (* --- sim --- *)
 
-let run_sim spec steps seed =
+let write_vcd path w =
+  match Obs.write_file ~path (Vcd.contents w) with
+  | Ok () -> 0
+  | Error msg ->
+    Printf.eprintf "rtsyn: cannot write VCD: %s\n" msg;
+    1
+
+let variant_of = function
+  | `Si -> Fifo_impls.speed_independent ()
+  | `Bm -> Fifo_impls.burst_mode ()
+  | `Rt -> Fifo_impls.relative_timing ()
+  | `Pulse -> Fifo_impls.pulse_mode ()
+
+(* Two simulation back ends share the subcommand: a SPEC argument runs
+   the eager timed STG execution; --circuit synthesizes one of the
+   Table-2 FIFO controllers and drives it through the measurement
+   harness.  Both can dump waveforms with --vcd. *)
+let run_sim () obs spec circuit cycles steps seed vcd =
+  with_obs obs @@ fun () ->
   with_spec_errors @@ fun () ->
-  let stg = Transform.contract_dummies ~strict:false (load_spec spec) in
-  let trace = Rtcad_rt.Timed_sim.run ~seed ~steps stg in
-  List.iter
-    (fun e ->
-      Format.printf "%8.2f  %a@." e.Rtcad_rt.Timed_sim.fired_at (Stg.pp_transition stg)
-        e.Rtcad_rt.Timed_sim.transition)
-    trace;
-  0
+  match (spec, circuit) with
+  | Some _, Some _ ->
+    prerr_endline "rtsyn: SPEC and --circuit are mutually exclusive";
+    1
+  | None, None ->
+    prerr_endline "rtsyn: a SPEC argument or --circuit is required";
+    1
+  | Some spec, None ->
+    let stg = Transform.contract_dummies ~strict:false (load_spec spec) in
+    let trace = Timed_sim.run ~seed ~steps stg in
+    List.iter
+      (fun e ->
+        Format.printf "%8.2f  %a@." e.Timed_sim.fired_at (Stg.pp_transition stg)
+          e.Timed_sim.transition)
+      trace;
+    (match vcd with
+    | None -> 0
+    | Some path -> write_vcd path (Timed_sim.vcd_of_trace stg trace))
+  | None, Some which -> (
+    let v = variant_of which in
+    let w = Option.map (fun _ -> Vcd.create ()) vcd in
+    let m =
+      if v.Fifo_impls.pulse then Harness.measure_pulse ?vcd:w ~cycles v.Fifo_impls.netlist
+      else
+        Harness.measure_fourphase ~env:(Table2.env_for v) ?vcd:w ~cycles
+          v.Fifo_impls.netlist
+    in
+    Format.printf "%s: %a@." v.Fifo_impls.name Harness.pp m;
+    match (vcd, w) with
+    | Some path, Some w -> write_vcd path w
+    | _ -> 0)
 
 (* --- show / list --- *)
 
@@ -230,7 +331,8 @@ let run_list () =
 
 (* --- fuzz --- *)
 
-let run_fuzz () seed cases max_places shrink out quiet =
+let run_fuzz () obs seed cases max_places shrink out quiet =
+  with_obs obs @@ fun () ->
   let config = { Fuzz.seed; cases; max_places; shrink } in
   let log = if quiet then ignore else fun msg -> Printf.eprintf "%s\n%!" msg in
   let outcome = Fuzz.run ~log config in
@@ -253,7 +355,7 @@ open Cmdliner
 
 let check_cmd =
   Cmd.v (Cmd.info "check" ~doc:"Analyze a specification (reachability, CSC)")
-    Term.(const run_check $ jobs_term $ spec_arg)
+    Term.(const run_check $ jobs_term $ obs_term $ spec_arg)
 
 let synth_cmd =
   let mode =
@@ -286,20 +388,59 @@ let synth_cmd =
   in
   Cmd.v (Cmd.info "synth" ~doc:"Run the relative-timing synthesis flow")
     Term.(
-      const run_synth $ jobs_term $ spec_arg $ mode $ user $ input_first $ no_lazy $ style
-      $ verify)
+      const run_synth $ jobs_term $ obs_term $ spec_arg $ mode $ user $ input_first
+      $ no_lazy $ style $ verify)
 
 let sim_cmd =
+  let spec_opt =
+    Arg.(
+      value
+      & pos 0 (some spec_conv) None
+      & info [] ~docv:"SPEC"
+          ~doc:
+            "Specification: a .g file path, or a built-in name (see $(b,rtsyn \
+             list)).  Mutually exclusive with $(b,--circuit).")
+  in
+  let circuit =
+    let variants =
+      [ ("si", `Si); ("rt-bm", `Bm); ("rt", `Rt); ("pulse", `Pulse) ]
+    in
+    Arg.(
+      value
+      & opt (some (enum variants)) None
+      & info [ "circuit" ] ~docv:"STYLE"
+          ~doc:
+            "Simulate one of the Table-2 FIFO controllers ($(b,si), \
+             $(b,rt-bm), $(b,rt) or $(b,pulse)) through the measurement \
+             harness instead of a specification.")
+  in
+  let cycles =
+    Arg.(
+      value & opt int 12
+      & info [ "cycles" ] ~docv:"N" ~doc:"Handshake cycles for --circuit runs.")
+  in
   let steps =
     Arg.(value & opt int 40 & info [ "steps" ] ~docv:"N" ~doc:"Number of firings.")
   in
   let seed =
     Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"Random seed (choice/jitter).")
   in
+  let vcd =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "vcd" ] ~docv:"FILE"
+          ~doc:"Dump the simulation as a VCD waveform (view with GTKWave).")
+  in
   Cmd.v
     (Cmd.info "sim"
-       ~doc:"Eager timed execution trace (gate delay 1, environment 2)")
-    Term.(const run_sim $ spec_arg $ steps $ seed)
+       ~doc:
+         "Timed execution: an eager STG trace (gate delay 1, environment 2), \
+          or a Table-2 FIFO circuit under the measurement harness with \
+          --circuit")
+    Term.(
+      const run_sim $ jobs_term $ obs_term $ spec_opt $ circuit $ cycles $ steps $ seed
+      $ vcd)
 
 let show_cmd =
   let dot =
@@ -345,7 +486,9 @@ let fuzz_cmd =
          "Differential fuzzing: random specifications, netlists and bitset \
           workloads run through both the optimized kernels and naive \
           reference models")
-    Term.(const run_fuzz $ jobs_term $ seed $ cases $ max_places $ shrink $ out $ quiet)
+    Term.(
+      const run_fuzz $ jobs_term $ obs_term $ seed $ cases $ max_places $ shrink $ out
+      $ quiet)
 
 let main =
   Cmd.group

@@ -1,5 +1,6 @@
 module Rng = Rtcad_util.Rng
 module Par = Rtcad_par.Par
+module Obs = Rtcad_obs.Obs
 module Stg = Rtcad_stg.Stg
 module Stg_io = Rtcad_stg.Stg_io
 
@@ -50,6 +51,8 @@ let rec shrink_plan check plan =
   | None -> plan
 
 let run ?(fast_sg = fun stg -> Oracle.fast_sg_result stg) ?(log = ignore) config =
+  Obs.span "fuzz.run" @@ fun () ->
+  let t0 = if Obs.enabled () then Obs.time_ms () else 0.0 in
   let check = check_plan ~fast_sg in
   let passed = ref 0 and skipped = ref 0 in
   let failure = ref None and ran = ref 0 in
@@ -143,6 +146,16 @@ let run ?(fast_sg = fun stg -> Oracle.fast_sg_result stg) ?(log = ignore) config
         | Some (Ok r) -> record_result ~case r
       done
     with Exit -> ()
+  end;
+  (* Recorded once, serially, after the campaign: the counts replayed in
+     case order are identical at any job count; only the throughput gauge
+     is wall-clock-dependent (and is normalised out of golden output). *)
+  if Obs.enabled () then begin
+    Obs.incr ~by:!ran "fuzz.cases_ran";
+    Obs.incr ~by:!passed "fuzz.cases_passed";
+    Obs.incr ~by:!skipped "fuzz.cases_skipped";
+    let dt = (Obs.time_ms () -. t0) /. 1000.0 in
+    if dt > 0.0 then Obs.set_gauge "fuzz.cases_per_sec" (float_of_int !ran /. dt)
   end;
   { ran = !ran; passed = !passed; skipped = !skipped; failure = !failure }
 

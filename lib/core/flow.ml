@@ -1,4 +1,5 @@
 module Par = Rtcad_par.Par
+module Obs = Rtcad_obs.Obs
 module Stg = Rtcad_stg.Stg
 module Transform = Rtcad_stg.Transform
 module Sg = Rtcad_sg.Sg
@@ -110,6 +111,7 @@ let choose_impl ~mode sg spec =
   | best :: _ -> best
 
 let synthesize ?(mode = rt_default) ?emit_style ?max_states spec_stg =
+  Obs.span "flow.synthesize" @@ fun () ->
   let stg0 = Transform.contract_dummies ~strict:false spec_stg in
   let csc_mode =
     match mode with Si -> Csc.Speed_independent | Rt _ -> Csc.Timing_aware
@@ -122,19 +124,26 @@ let synthesize ?(mode = rt_default) ?emit_style ?max_states spec_stg =
       (Prune.apply_consistent sg (gather_assumptions ~fast:true ~mode stg sg)).Prune.pruned
   in
   let stg, insertions =
-    match Csc.resolve_all ~mode:csc_mode ~view ?max_states stg0 with
+    match Obs.span "flow.encode" (fun () -> Csc.resolve_all ~mode:csc_mode ~view ?max_states stg0) with
     | Some (stg, ins) -> (stg, ins)
     | None -> fail "state encoding failed: CSC conflicts could not be resolved"
   in
-  let sg_full = Sg.build ?max_states stg in
-  let assumptions = gather_assumptions ~mode stg sg_full in
+  let sg_full = Obs.span "flow.reach" (fun () -> Sg.build ?max_states stg) in
+  Obs.set_gauge "flow.sg_states_full" (float_of_int (Sg.num_states sg_full));
+  let assumptions =
+    Obs.span "flow.assume" (fun () -> gather_assumptions ~mode stg sg_full)
+  in
   let sg, used =
     match mode with
     | Si -> (sg_full, [])
     | Rt _ ->
-      let r = Prune.apply_consistent sg_full assumptions in
+      let r =
+        Obs.span "flow.prune" (fun () -> Prune.apply_consistent sg_full assumptions)
+      in
       (r.Prune.pruned, r.Prune.used)
   in
+  Obs.set_gauge "flow.sg_states_used" (float_of_int (Sg.num_states sg));
+  Obs.set_gauge "flow.assumptions" (float_of_int (List.length assumptions));
   if Encoding.has_csc sg then fail "CSC conflicts remain after encoding";
   (match mode with
   | Si ->
@@ -149,9 +158,17 @@ let synthesize ?(mode = rt_default) ?emit_style ?max_states spec_stg =
      implementation are read, never the spec's BDD fields. *)
   Rtcad_stg.Petri.prepare (Stg.net stg);
   let chosen =
+    Obs.span "flow.synth" @@ fun () ->
     Par.map_list
       (fun u ->
         let spec = Nextstate.of_sg sg u in
+        (* BDD sizes are recorded inside the task — the spec's BDDs are
+           domain-local and must not be read after the join.  The counts
+           are structural (per signal), so their sum is jobs-invariant. *)
+        Obs.incr ~by:(Rtcad_logic.Bdd.node_count spec.Nextstate.on_set)
+          "synth.bdd_nodes.on_set";
+        Obs.incr ~by:(Rtcad_logic.Bdd.node_count spec.Nextstate.off_set)
+          "synth.bdd_nodes.off_set";
         (spec, choose_impl ~mode sg spec))
       (Stg.non_input_signals (Sg.stg sg))
   in
@@ -175,8 +192,9 @@ let synthesize ?(mode = rt_default) ?emit_style ?max_states spec_stg =
       | Rt _ -> Emit.Domino_cmos { footed = true })
   in
   let netlist =
-    Emit.emit ~style:emit_style stg
-      (List.map (fun (spec, (impl, _)) -> (spec.Nextstate.signal, impl)) chosen)
+    Obs.span "flow.emit" (fun () ->
+        Emit.emit ~style:emit_style stg
+          (List.map (fun (spec, (impl, _)) -> (spec.Nextstate.signal, impl)) chosen))
   in
   let constraints =
     List.sort_uniq Assumption.compare
@@ -190,9 +208,10 @@ let synthesize ?(mode = rt_default) ?emit_style ?max_states spec_stg =
      cannot forbid; refusing turns a silently hazardous circuit into an
      explicit synthesis failure. *)
   (match
-     Conformance.check
-       ~constraints:(match mode with Si -> [] | Rt _ -> assumptions)
-       ~circuit:netlist ~spec:stg ()
+     Obs.span "flow.verify" (fun () ->
+         Conformance.check
+           ~constraints:(match mode with Si -> [] | Rt _ -> assumptions)
+           ~circuit:netlist ~spec:stg ())
    with
   | exception Conformance.Bound_exceeded _ -> ()
   | r ->

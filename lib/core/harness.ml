@@ -65,8 +65,11 @@ let summarize ~warmup starts forwards energy glitches =
     glitches;
   }
 
-let measure_fourphase ?(env = zero_env) ~cycles nl =
+(* [vcd] is attached before power-up settling so the dump captures the
+   whole history the simulator saw, not just the steady state. *)
+let measure_fourphase ?(env = zero_env) ?vcd ~cycles nl =
   let sim = Sim.create nl in
+  (match vcd with Some w -> Sim.attach_vcd sim w | None -> ());
   Sim.settle sim ();
   let starts = ref [] in
   let forwards = ref [] in
@@ -97,8 +100,9 @@ let install_pulse ?(period_ps = 2000.0) ?(width_ps = 200.0) ~cycles sim =
     Sim.drive sim li false ~after:(t +. width_ps)
   done
 
-let measure_pulse ?(period_ps = 2000.0) ?(width_ps = 200.0) ~cycles nl =
+let measure_pulse ?(period_ps = 2000.0) ?(width_ps = 200.0) ?vcd ~cycles nl =
   let sim = Sim.create nl in
+  (match vcd with Some w -> Sim.attach_vcd sim w | None -> ());
   Sim.settle sim ();
   let li = Netlist.find_net nl "li" in
   let ro = Netlist.find_net nl "ro" in

@@ -34,13 +34,21 @@ type env = {
 val zero_env : env
 (** Instantaneous environment: measures pure circuit delay. *)
 
-val measure_fourphase : ?env:env -> cycles:int -> Rtcad_netlist.Netlist.t -> measurement
+val measure_fourphase :
+  ?env:env ->
+  ?vcd:Rtcad_obs.Vcd.writer ->
+  cycles:int ->
+  Rtcad_netlist.Netlist.t ->
+  measurement
 (** Drive [cycles] four-phase handshakes.  Raises [Failure] if the
-    circuit stalls (no complete cycle within a generous timeout). *)
+    circuit stalls (no complete cycle within a generous timeout).
+    [vcd] captures every net of the run as a waveform, attached before
+    power-up settling so the dump holds the complete history. *)
 
 val measure_pulse :
   ?period_ps:float ->
   ?width_ps:float ->
+  ?vcd:Rtcad_obs.Vcd.writer ->
   cycles:int ->
   Rtcad_netlist.Netlist.t ->
   measurement

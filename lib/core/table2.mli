@@ -10,6 +10,12 @@ type row = {
   constraints : int;
 }
 
+val env_for : Fifo_impls.variant -> Harness.env
+(** The fastest environment each implementation style's contract allows —
+    the environment {!measure} uses, exposed so observation runs
+    ([rtsyn sim --circuit], the golden corpus) reproduce the same
+    stimulus. *)
+
 val measure : ?cycles:int -> Fifo_impls.variant -> row
 (** Four-phase (or pulse) measurement with a moderately jittered
     environment, plus stuck-at coverage under the same stimulus. *)

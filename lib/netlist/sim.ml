@@ -1,5 +1,7 @@
 module Iheap = Rtcad_util.Iheap
 module Vec = Rtcad_util.Vec
+module Obs = Rtcad_obs.Obs
+module Vcd = Rtcad_obs.Vcd
 
 exception Oscillation of string
 
@@ -116,20 +118,26 @@ let rec fire_callbacks t v = function
     fire_callbacks t v rest;
     f t v
 
+(* Change-only is enforced HERE, not at call sites: observers (and the
+   VCD writer built on them) rely on one notification per actual value
+   change, so the guard lives at the single point every path funnels
+   through rather than being re-implemented by each caller. *)
 let commit t net v ~cause =
-  t.values.(net) <- v;
-  t.transitions.(net) <- t.transitions.(net) + 1;
-  t.energy.(0) <- t.energy.(0) +. Array.unsafe_get t.energy_pj_of net;
-  if t.is_output.(net) then begin
-    Vec.push t.tr_word ((net lsl 1) lor if v then 1 else 0);
-    Vec.push t.tr_at t.now_fs
-  end;
-  let id = Vec.length t.ev_word in
-  Vec.push t.ev_word ((net lsl 1) lor if v then 1 else 0);
-  Vec.push t.ev_at t.now_fs;
-  Vec.push t.ev_cause (cause + 1);
-  react t net ~cause:id;
-  fire_callbacks t v t.callbacks.(net)
+  if t.values.(net) <> v then begin
+    t.values.(net) <- v;
+    t.transitions.(net) <- t.transitions.(net) + 1;
+    t.energy.(0) <- t.energy.(0) +. Array.unsafe_get t.energy_pj_of net;
+    if t.is_output.(net) then begin
+      Vec.push t.tr_word ((net lsl 1) lor if v then 1 else 0);
+      Vec.push t.tr_at t.now_fs
+    end;
+    let id = Vec.length t.ev_word in
+    Vec.push t.ev_word ((net lsl 1) lor if v then 1 else 0);
+    Vec.push t.ev_at t.now_fs;
+    Vec.push t.ev_cause (cause + 1);
+    react t net ~cause:id;
+    fire_callbacks t v t.callbacks.(net)
+  end
 
 let create ?(delay = fun _ g -> Gate.delay_ps g) ?(forced = []) nl =
   let n = Netlist.num_nets nl in
@@ -225,6 +233,18 @@ let last_event t =
 
 let on_change t net f = t.callbacks.(net) <- f :: t.callbacks.(net)
 
+(* VCD capture rides the ordinary observer mechanism: one callback per
+   net, each emitting one change at the simulator's femtosecond clock.
+   Because [commit] is change-only, the resulting stream is a legal
+   change-only dump by construction, and a simulator with no writer
+   attached pays nothing. *)
+let attach_vcd t w =
+  let n = Array.length t.values in
+  for net = 0 to n - 1 do
+    let s = Vcd.add_signal w ~initial:t.values.(net) (Netlist.net_name t.nl net) in
+    on_change t net (fun t v -> Vcd.change w ~time:t.now_fs s v)
+  done
+
 let step t =
   if Iheap.is_empty t.queue then false
   else begin
@@ -233,22 +253,31 @@ let step t =
     if at_fs > t.now_fs then t.now_fs <- at_fs;
     let net = (pl lsr 2) land 0x3fffff in
     let target = pl land 2 <> 0 in
-    if pl land 1 = 1 then begin
-      if t.values.(net) <> target then commit t net target ~cause:((pl lsr 24) - 1)
-    end
+    if pl land 1 = 1 then commit t net target ~cause:((pl lsr 24) - 1)
     else begin
       let gen = pl lsr 24 in
       if t.pending_gen.(net) = gen then begin
         t.pending_gen.(net) <- 0;
-        if t.values.(net) <> target then
-          commit t net target ~cause:((t.pending_info.(net) lsr 1) - 1)
+        commit t net target ~cause:((t.pending_info.(net) lsr 1) - 1)
       end
       (* otherwise cancelled or superseded *)
     end;
     true
   end
 
+(* Observability records at run granularity (deltas after the loop),
+   never inside the event loop, so the kernel itself is untouched. *)
+let record_run t ~events ~commits0 ~glitches0 ~depth0 =
+  Obs.incr "netlist.sim.runs";
+  Obs.incr ~by:events "netlist.sim.events";
+  Obs.incr ~by:(Vec.length t.ev_word - commits0) "netlist.sim.transitions";
+  Obs.incr ~by:(t.glitch_count - glitches0) "netlist.sim.glitches";
+  Obs.observe "netlist.sim.queue_depth" (float_of_int depth0)
+
 let run ?(max_events = 2_000_000) t ~until =
+  let commits0 = Vec.length t.ev_word
+  and glitches0 = t.glitch_count
+  and depth0 = Iheap.length t.queue in
   let until_fs = fs_of_ps until in
   let budget = ref max_events in
   let continue = ref true in
@@ -262,15 +291,22 @@ let run ?(max_events = 2_000_000) t ~until =
       decr budget;
       ignore (step t)
     end
-  done
+  done;
+  if Obs.enabled () then
+    record_run t ~events:(max_events - !budget) ~commits0 ~glitches0 ~depth0
 
 let settle ?(max_events = 2_000_000) t () =
+  let commits0 = Vec.length t.ev_word
+  and glitches0 = t.glitch_count
+  and depth0 = Iheap.length t.queue in
   let budget = ref max_events in
   while not (Iheap.is_empty t.queue) do
     if !budget <= 0 then raise (Oscillation "event budget exhausted");
     decr budget;
     ignore (step t)
-  done
+  done;
+  if Obs.enabled () then
+    record_run t ~events:(max_events - !budget) ~commits0 ~glitches0 ~depth0
 
 let transition_count t net = t.transitions.(net)
 let total_transitions t = Array.fold_left ( + ) 0 t.transitions

@@ -42,7 +42,16 @@ val drive : ?cause:int -> t -> Netlist.net -> bool -> after:float -> unit
 
 val on_change : t -> Netlist.net -> (t -> bool -> unit) -> unit
 (** Register a callback invoked after the net commits a new value.
+    Change-only: the commit path drops writes of the value a net already
+    holds, so a callback fires exactly once per actual transition.
     Multiple callbacks stack. *)
+
+val attach_vcd : t -> Rtcad_obs.Vcd.writer -> unit
+(** Declare every net of the netlist as a VCD signal (with its current
+    value as the initial value) and stream each committed change into
+    the writer via {!on_change} observers.  Attach before driving the
+    simulator; times are the simulator's femtosecond clock, matching the
+    writer's default [1 fs] timescale. *)
 
 val run : ?max_events:int -> t -> until:float -> unit
 (** Process events with timestamps [<= until] (absolute ps). *)

@@ -1,0 +1,97 @@
+(** Structured tracing and metrics, zero-cost when disabled.
+
+    {2 Contract}
+
+    Every recording entry point ({!incr}, {!set_gauge}, {!observe},
+    {!span}) opens with a single load-and-branch on the enabled flag and
+    does nothing else when recording is off — no allocation, no clock
+    read, no thread-local lookup.  Instrumented kernels therefore show
+    no measurable regression with observability disabled (enforced by
+    [bench compare --strict]).
+
+    {2 Determinism}
+
+    Under {!Rtcad_par.Par} each domain records into a store keyed by its
+    worker {e index} (not its domain id), and {!snapshot} merges stores
+    in ascending index order: counters and histograms sum (associative,
+    commutative — totals depend only on what work ran), gauges resolve
+    lowest-index-first.  Since the pool's work distribution is itself
+    deterministic, merged {e counter} totals are identical at any job
+    count, which is what the golden corpus relies on. *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+(** Enabling from a disabled state implicitly {!reset}s, so a recording
+    session starts empty with its clock origin at the enable point. *)
+
+val reset : unit -> unit
+(** Discard all recorded metrics and spans and restart the clock. *)
+
+(** {2 Recording} *)
+
+val incr : ?by:int -> string -> unit
+(** Bump a named counter (created on first use) in the calling worker's
+    store.  Raises [Invalid_argument] if the name is already a gauge or
+    histogram in that store. *)
+
+val set_gauge : string -> float -> unit
+
+val observe : string -> float -> unit
+(** Record one observation into a named histogram (1-2-5 decade buckets
+    from 1 to 1e9, plus overflow). *)
+
+val span : ?args:(unit -> (string * string) list) -> string -> (unit -> 'a) -> 'a
+(** [span name f] times [f ()] and records a completed-span event
+    (surviving exceptions, which are re-raised).  When disabled this is
+    exactly [f ()].  [args] is only evaluated when enabled, so callers
+    may compute labels lazily. *)
+
+val time_ms : unit -> float
+(** Wall clock in milliseconds (monotonic enough for span math). *)
+
+(** {2 Snapshots} *)
+
+type value =
+  | Count of int
+  | Gauge_v of float
+  | Hist_v of { count : int; sum : float; buckets : (float * int) list }
+
+type span_agg = { name : string; calls : int; wall_ms : float }
+
+type span_ev = {
+  sp_name : string;
+  sp_ts_ms : float;
+  sp_dur_ms : float;
+  sp_args : (string * string) list;
+}
+
+type snapshot = {
+  jobs : int;
+  metrics : (string * value) list;  (** sorted by name *)
+  span_aggs : span_agg list;  (** sorted by name *)
+  events : (int * span_ev) list;  (** (worker index, event) *)
+}
+
+val snapshot : unit -> snapshot
+(** Merge all worker stores (ascending worker index).  Safe to call with
+    recording still enabled, e.g. at the end of a CLI run. *)
+
+(** {2 Sinks} *)
+
+val pp_summary : Format.formatter -> snapshot -> unit
+(** Human-readable table: span wall-clock totals, then metrics. *)
+
+val summary_json : ?normalised:bool -> snapshot -> string
+(** Stable-order JSON object.  With [~normalised:true] the
+    job-count and every wall-clock field are written as [0], making the
+    output reproducible across machines and job counts — the form the
+    golden corpus stores. *)
+
+val trace_json : snapshot -> string
+(** Chrome [trace_event] JSON array (load in [chrome://tracing] or
+    Perfetto): one ["ph": "X"] event per span with [tid] = worker index,
+    plus one ["ph": "C"] counter sample per counter metric. *)
+
+val write_file : path:string -> string -> (unit, string) result
+(** Write [data] to [path] in one shot.  On failure returns a clean
+    [Error message] and leaves no partial file behind. *)

@@ -1,0 +1,209 @@
+(* Value-change-dump writer and a minimal reader.
+
+   The writer buffers everything in memory (declarations first, then the
+   change stream) so a dump can be assembled during a simulation and
+   written atomically at the end — an unwritable output path must not
+   leave a partial file behind.  It enforces the two properties a VCD
+   consumer relies on: timestamps never decrease, and a signal only
+   appears in the stream when its value actually changed (change-only
+   semantics; redundant changes are dropped silently).
+
+   The reader is deliberately small — just enough to round-trip our own
+   output and to let tests validate golden dumps structurally.  It is not
+   a general VCD parser (no vectors, no reals, no nested scopes). *)
+
+type writer = {
+  timescale : string;
+  version : string;
+  mutable names : string list; (* reversed declaration order *)
+  mutable nsig : int;
+  mutable values : bool array; (* current value per signal *)
+  mutable initials : bool array;
+  mutable sealed : bool; (* first change emitted; no more signals *)
+  changes : Buffer.t;
+  mutable now : int; (* time of the open #-section; -1 = none yet *)
+  mutable nchanges : int;
+}
+
+let create ?(timescale = "1 fs") ?(version = "rtcad_obs") () =
+  {
+    timescale;
+    version;
+    names = [];
+    nsig = 0;
+    values = Array.make 8 false;
+    initials = Array.make 8 false;
+    sealed = false;
+    changes = Buffer.create 256;
+    now = -1;
+    nchanges = 0;
+  }
+
+(* Identifier codes use the printable ASCII range 33..126 as base-94
+   digits, the standard VCD convention. *)
+let id_code i =
+  let b = Buffer.create 2 in
+  let rec go i =
+    Buffer.add_char b (Char.chr (33 + (i mod 94)));
+    if i >= 94 then go ((i / 94) - 1)
+  in
+  go i;
+  Buffer.contents b
+
+(* VCD reference names cannot contain whitespace; anything else is left
+   alone (GTKWave copes with punctuation). *)
+let sanitize name =
+  String.map (fun c -> if c = ' ' || c = '\t' || c = '\n' then '_' else c)
+    (if name = "" then "_" else name)
+
+let add_signal w ?(initial = false) name =
+  if w.sealed then invalid_arg "Vcd.add_signal: change stream already started";
+  let i = w.nsig in
+  if i >= Array.length w.values then begin
+    let grow a = Array.append a (Array.make (Array.length a) false) in
+    w.values <- grow w.values;
+    w.initials <- grow w.initials
+  end;
+  w.names <- sanitize name :: w.names;
+  w.nsig <- i + 1;
+  w.values.(i) <- initial;
+  w.initials.(i) <- initial;
+  i
+
+let change w ~time signal value =
+  if signal < 0 || signal >= w.nsig then invalid_arg "Vcd.change: unknown signal";
+  if time < 0 then invalid_arg "Vcd.change: negative time";
+  if time < w.now then invalid_arg "Vcd.change: time not monotone";
+  if w.values.(signal) <> value then begin
+    w.sealed <- true;
+    if time > w.now then begin
+      Buffer.add_char w.changes '#';
+      Buffer.add_string w.changes (string_of_int time);
+      Buffer.add_char w.changes '\n';
+      w.now <- time
+    end;
+    Buffer.add_char w.changes (if value then '1' else '0');
+    Buffer.add_string w.changes (id_code signal);
+    Buffer.add_char w.changes '\n';
+    w.values.(signal) <- value;
+    w.nchanges <- w.nchanges + 1
+  end
+
+let num_changes w = w.nchanges
+
+let contents w =
+  let b = Buffer.create (512 + Buffer.length w.changes) in
+  Buffer.add_string b "$date (none) $end\n";
+  Buffer.add_string b ("$version " ^ w.version ^ " $end\n");
+  Buffer.add_string b ("$timescale " ^ w.timescale ^ " $end\n");
+  Buffer.add_string b "$scope module top $end\n";
+  List.iteri
+    (fun i name ->
+      Buffer.add_string b
+        (Printf.sprintf "$var wire 1 %s %s $end\n" (id_code i) name))
+    (List.rev w.names);
+  Buffer.add_string b "$upscope $end\n";
+  Buffer.add_string b "$enddefinitions $end\n";
+  Buffer.add_string b "$dumpvars\n";
+  for i = 0 to w.nsig - 1 do
+    Buffer.add_string b
+      (Printf.sprintf "%c%s\n" (if w.initials.(i) then '1' else '0') (id_code i))
+  done;
+  Buffer.add_string b "$end\n";
+  Buffer.add_buffer b w.changes;
+  Buffer.contents b
+
+(* --- reader --- *)
+
+type t = {
+  r_timescale : string;
+  vars : (string * string) list; (* id code -> reference name *)
+  initial : (string * bool) list;
+  steps : (int * (string * bool) list) list; (* per #-section, in order *)
+}
+
+let tokens s =
+  String.split_on_char '\n' s
+  |> List.concat_map (String.split_on_char ' ')
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun t -> t <> "")
+
+exception Malformed of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Malformed m)) fmt
+
+let parse text =
+  let toks = tokens text in
+  (* Header: consume $-sections up to $enddefinitions, recording
+     timescale and $var declarations. *)
+  let rec skip_to_end acc = function
+    | "$end" :: rest -> (List.rev acc, rest)
+    | t :: rest -> skip_to_end (t :: acc) rest
+    | [] -> fail "unterminated $-section in header"
+  in
+  let rec header vars timescale = function
+    | "$enddefinitions" :: rest ->
+      let _, rest = skip_to_end [] rest in
+      (List.rev vars, timescale, rest)
+    | "$var" :: rest -> (
+      match skip_to_end [] rest with
+      | [ _type; "1"; id; name ], rest -> header ((id, name) :: vars) timescale rest
+      | decl, _ -> fail "unsupported $var declaration: %s" (String.concat " " decl))
+    | "$timescale" :: rest ->
+      let ts, rest = skip_to_end [] rest in
+      header vars (String.concat " " ts) rest
+    | t :: rest when String.length t > 0 && t.[0] = '$' ->
+      let _, rest = skip_to_end [] rest in
+      header vars timescale rest
+    | t :: _ -> fail "unexpected token %S before $enddefinitions" t
+    | [] -> fail "missing $enddefinitions"
+  in
+  let vars, timescale, rest = header [] "" toks in
+  let value_change t =
+    if String.length t >= 2 && (t.[0] = '0' || t.[0] = '1') then
+      Some (String.sub t 1 (String.length t - 1), t.[0] = '1')
+    else None
+  in
+  (* Body: $dumpvars initial block, then #-stamped sections. *)
+  let rec dumpvars init = function
+    | "$end" :: rest -> (List.rev init, rest)
+    | t :: rest -> (
+      match value_change t with
+      | Some c -> dumpvars (c :: init) rest
+      | None -> fail "non-scalar token %S in $dumpvars" t)
+    | [] -> fail "unterminated $dumpvars"
+  in
+  let initial, rest =
+    match rest with
+    | "$dumpvars" :: rest -> dumpvars [] rest
+    | _ -> ([], rest)
+  in
+  let rec body steps current = function
+    | [] -> (
+      match current with
+      | None -> List.rev steps
+      | Some (t, cs) -> List.rev ((t, List.rev cs) :: steps))
+    | tok :: rest when String.length tok > 1 && tok.[0] = '#' -> (
+      let time =
+        match int_of_string_opt (String.sub tok 1 (String.length tok - 1)) with
+        | Some t -> t
+        | None -> fail "malformed timestamp %S" tok
+      in
+      let steps =
+        match current with
+        | None -> steps
+        | Some (t, cs) -> (t, List.rev cs) :: steps
+      in
+      body steps (Some (time, [])) rest)
+    | tok :: rest -> (
+      match value_change tok with
+      | None -> fail "unexpected token %S in change stream" tok
+      | Some c -> (
+        match current with
+        | None -> fail "value change %S before any timestamp" tok
+        | Some (t, cs) -> body steps (Some (t, c :: cs)) rest))
+  in
+  { r_timescale = timescale; vars; initial; steps = body [] None rest }
+
+let changes t =
+  List.concat_map (fun (time, cs) -> List.map (fun (id, v) -> (time, id, v)) cs) t.steps

@@ -1,0 +1,60 @@
+(** Value-change dumps (IEEE 1364 VCD, scalar signals only).
+
+    {2 Writing}
+
+    A {!writer} buffers the whole dump in memory: declare every signal
+    first, then stream changes, then take {!contents} and write it out in
+    one shot (see {!Obs.write_file}).  The writer enforces what waveform
+    viewers assume: timestamps are monotone non-decreasing
+    ([Invalid_argument] otherwise) and a signal appears in the stream only
+    when its value actually changed — redundant changes are dropped, so
+    feeding it one callback per committed simulator event yields a legal
+    change-only dump by construction.
+
+    {2 Reading}
+
+    {!parse} is a minimal reader for exactly the dialect the writer
+    produces (one scope, scalar wires): enough for round-trip property
+    tests and structural golden comparisons, not a general VCD parser. *)
+
+type writer
+
+val create : ?timescale:string -> ?version:string -> unit -> writer
+(** Default timescale ["1 fs"] — the simulator's internal unit, so dumped
+    times are exact integers. *)
+
+val add_signal : writer -> ?initial:bool -> string -> int
+(** Declare a scalar signal; returns its handle.  Whitespace in the name
+    is replaced by [_].  Raises [Invalid_argument] after the first
+    change has been emitted. *)
+
+val change : writer -> time:int -> int -> bool -> unit
+(** [change w ~time s v]: signal [s] takes value [v] at [time] (in
+    timescale units).  Dropped silently if [v] is the signal's current
+    value; raises [Invalid_argument] if [time] decreases or [s] is
+    unknown. *)
+
+val num_changes : writer -> int
+(** Changes actually emitted (after change-only deduplication). *)
+
+val contents : writer -> string
+(** The complete dump: header, [$dumpvars] initial block, change
+    stream. *)
+
+(** {2 Reader} *)
+
+type t = {
+  r_timescale : string;
+  vars : (string * string) list;  (** id code -> reference name *)
+  initial : (string * bool) list;  (** the [$dumpvars] block *)
+  steps : (int * (string * bool) list) list;
+      (** one entry per [#]-section, in stream order *)
+}
+
+exception Malformed of string
+
+val parse : string -> t
+(** Raises {!Malformed} on input outside the supported dialect. *)
+
+val changes : t -> (int * string * bool) list
+(** {!steps} flattened to [(time, id, value)] triples in stream order. *)

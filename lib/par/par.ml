@@ -31,6 +31,14 @@ let busy_key = Domain.DLS.new_key (fun () -> ref false)
 let busy () = Domain.DLS.get busy_key
 let in_parallel_region () = !(busy ())
 
+(* Worker identity of the current domain inside a region: 0 for the
+   initiating domain (and outside any region), i for pool worker i.
+   Observability keys its per-worker accumulators on this index, so
+   merged metrics depend only on how many participants there were — not
+   on which OS thread or domain happened to run which chunk. *)
+let index_key = Domain.DLS.new_key (fun () -> ref 0)
+let worker_index () = !(Domain.DLS.get index_key)
+
 (* --- the pool --- *)
 
 type worker = {
@@ -120,10 +128,16 @@ let run_workers f =
     (* First exception wins (nondeterministic across runs; documented). *)
     let failed = Atomic.make None in
     let task index () =
-      try f ~index ~count:n
-      with e ->
-        let bt = Printexc.get_raw_backtrace () in
-        ignore (Atomic.compare_and_set failed None (Some (e, bt)))
+      let wi = Domain.DLS.get index_key in
+      let saved = !wi in
+      wi := index;
+      Fun.protect
+        ~finally:(fun () -> wi := saved)
+        (fun () ->
+          try f ~index ~count:n
+          with e ->
+            let bt = Printexc.get_raw_backtrace () in
+            ignore (Atomic.compare_and_set failed None (Some (e, bt))))
     in
     Array.iteri (fun i w -> submit w (task (i + 1))) p.workers;
     let flag = busy () in

@@ -38,6 +38,13 @@ val in_parallel_region : unit -> bool
 (** True on a domain currently executing inside a parallel region —
     where every [Par] entry point runs serially. *)
 
+val worker_index : unit -> int
+(** Worker identity of the calling domain inside a {!run_workers} region:
+    0 for the initiating domain (and outside any region), [i] for pool
+    worker [i].  [Rtcad_obs] keys its per-worker metric stores on this
+    index so that merged metrics depend only on the participant count,
+    never on which domain ran which chunk. *)
+
 val run_workers : (index:int -> count:int -> unit) -> unit
 (** [run_workers f] runs [f ~index ~count] concurrently on [count]
     participants ([count = jobs ()], the caller being participant 0),

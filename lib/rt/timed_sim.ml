@@ -54,7 +54,30 @@ let run ?(env_delay = 2.0) ?(gate_delay = 1.0) ?(jitter = 0.0) ?(seed = 1) ~step
     end
   in
   step 0;
+  Rtcad_obs.Obs.incr ~by:steps "rt.timed_sim.steps";
   List.rev !trace
+
+(* Render a timed trace as signal waveforms.  Trace times are in delay
+   units (the [gate_delay]/[env_delay] scale, nominally ps); they are
+   scaled by 1000 to femtoseconds so fractional fire times survive the
+   integer timestamps VCD requires. *)
+let vcd_of_trace stg trace =
+  let w = Rtcad_obs.Vcd.create () in
+  let n = Stg.num_signals stg in
+  let sigs =
+    Array.init n (fun s ->
+        Rtcad_obs.Vcd.add_signal w ~initial:(Stg.initial_value stg s)
+          (Stg.signal_name stg s))
+  in
+  List.iter
+    (fun e ->
+      match Stg.label stg e.transition with
+      | Stg.Dummy -> ()
+      | Stg.Edge { signal; dir } ->
+        let time = int_of_float (Float.round (e.fired_at *. 1000.0)) in
+        Rtcad_obs.Vcd.change w ~time sigs.(signal) (dir = Stg.Rise))
+    trace;
+  w
 
 let concurrent_pairs sg =
   let pairs = Hashtbl.create 64 in

@@ -31,6 +31,12 @@ val run :
     1.0.  Raises [Invalid_argument] on deadlock before [steps] firings
     (the controllers simulated here are all live). *)
 
+val vcd_of_trace : Rtcad_stg.Stg.t -> trace -> Rtcad_obs.Vcd.writer
+(** Render a trace as one waveform per STG signal (dummy transitions are
+    skipped).  Fire times are scaled by 1000 — delay units are nominally
+    picoseconds, so dumped timestamps are femtoseconds, matching the
+    writer's default timescale. *)
+
 val concurrent_pairs : Rtcad_sg.Sg.t -> (int * int) list
 (** Ordered pairs of distinct transitions that are simultaneously enabled
     in some reachable state of the (untimed) state graph. *)

@@ -2,6 +2,7 @@ module Bitset = Rtcad_util.Bitset
 module Stg = Rtcad_stg.Stg
 module Petri = Rtcad_stg.Petri
 module Par = Rtcad_par.Par
+module Obs = Rtcad_obs.Obs
 
 type mode = Speed_independent | Timing_aware
 
@@ -228,7 +229,9 @@ let resolve ?(mode = Timing_aware) ?(name = "x") ?(view = Fun.id) ?max_states
     ?(trigger_space = `Non_input) ?(max_candidates = 25_000) stg =
   let base_sg = Sg.build ?max_states stg in
   if not (Encoding.has_csc (view base_sg)) then None
-  else begin
+  else
+    Obs.span "csc.resolve" ~args:(fun () -> [ ("signal", name) ]) @@ fun () ->
+    begin
     let budget = ref max_candidates in
     let occ = first_occurrences stg in
     let candidates_triggers =
@@ -311,6 +314,11 @@ let resolve ?(mode = Timing_aware) ?(name = "x") ?(view = Fun.id) ?max_states
         []
         (Par.map_array evaluate (Array.of_list (List.rev !recorded)))
     in
+    (* Recorded counts, not per-trial increments: the trial-build loop is
+       the hot path; these totals are jobs-invariant because enumeration
+       order and the candidate budget are. *)
+    Obs.incr ~by:(max_candidates - !budget) "csc.candidates";
+    Obs.incr ~by:(List.length survivors) "csc.survivors";
     (* Phase 2: evaluate the expensive checks in score order; the first
        success is the minimum-score valid insertion. *)
     let ordered =

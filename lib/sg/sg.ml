@@ -3,6 +3,7 @@ module Vec = Rtcad_util.Vec
 module Stg = Rtcad_stg.Stg
 module Petri = Rtcad_stg.Petri
 module Par = Rtcad_par.Par
+module Obs = Rtcad_obs.Obs
 
 (* Open-addressed map from marking to state id: slots hold [id + 1]
    (0 = empty) and keys are read back from the state vector, so the
@@ -518,14 +519,22 @@ let build_parallel ~max_states ~threshold stg =
   end
 
 let build ?(max_states = 200_000) ?(par_threshold = default_par_threshold) stg =
-  if Par.jobs () = 1 || Par.in_parallel_region () then build_serial ~max_states stg
-  else
-    try build_parallel ~max_states ~threshold:par_threshold stg
-    with Inconsistent _ | Too_large _ | Petri.Unsafe _ ->
-      (* Which offending edge a parallel exploration trips over first is
-         scheduling-dependent; rerun serially so callers (and the
-         differential oracle) always see the serial failure. *)
-      build_serial ~max_states stg
+  Obs.span "sg.build" (fun () ->
+      let sg =
+        if Par.jobs () = 1 || Par.in_parallel_region () then build_serial ~max_states stg
+        else
+          try build_parallel ~max_states ~threshold:par_threshold stg
+          with Inconsistent _ | Too_large _ | Petri.Unsafe _ ->
+            (* Which offending edge a parallel exploration trips over first is
+               scheduling-dependent; rerun serially so callers (and the
+               differential oracle) always see the serial failure. *)
+            build_serial ~max_states stg
+      in
+      (* Post-loop deltas only: the exploration kernels stay untouched. *)
+      Obs.incr "sg.builds";
+      Obs.incr ~by:(Array.length sg.markings) "sg.states";
+      Obs.incr ~by:(Vec.length sg.edges / 3) "sg.edges";
+      sg)
 
 let stg sg = sg.stg
 let num_states sg = Array.length sg.markings

@@ -1,0 +1,49 @@
+The timed STG simulation can dump its trace as a VCD waveform:
+
+  $ rtsyn sim fifo --steps 8 --vcd fifo.vcd
+      2.00  li+
+      3.00  lo+
+      4.00  ro+
+      5.00  li-
+      6.00  ri+
+      6.00  lo-
+      7.00  ro-
+      8.00  li+
+
+  $ head -9 fifo.vcd
+  $date (none) $end
+  $version rtcad_obs $end
+  $timescale 1 fs $end
+  $scope module top $end
+  $var wire 1 ! li $end
+  $var wire 1 " ri $end
+  $var wire 1 # lo $end
+  $var wire 1 $ ro $end
+  $upscope $end
+
+The Table-2 FIFO controllers run through the measurement harness; the
+simulator is serial and femtosecond-exact, so the measurement and the
+waveform are reproducible at any job count:
+
+  $ rtsyn sim --circuit rt --cycles 12 --vcd rt.vcd
+  RT: 6 cycles: worst 1223 ps, avg 1108 ps, 33.0 pJ/cycle
+
+  $ grep -c '^\$var' rt.vcd
+  5
+
+A SPEC argument and --circuit are mutually exclusive, and one of them is
+required:
+
+  $ rtsyn sim fifo --circuit rt
+  rtsyn: SPEC and --circuit are mutually exclusive
+  [1]
+
+  $ rtsyn sim
+  rtsyn: a SPEC argument or --circuit is required
+  [1]
+
+An unwritable VCD path is a clean failure, leaving no partial file:
+
+  $ rtsyn sim fifo --steps 4 --vcd /nonexistent-dir/out.vcd > /dev/null
+  rtsyn: cannot write VCD: /nonexistent-dir/out.vcd: No such file or directory
+  [1]

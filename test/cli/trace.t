@@ -1,0 +1,30 @@
+Every heavy subcommand accepts --trace (Chrome trace_event JSON) and
+--summary (JSON metrics) sinks.  Span timings vary run to run, so these
+tests check structure, not values:
+
+  $ rtsyn synth fifo --trace trace.json --summary summary.json > /dev/null
+  $ head -c 2 trace.json
+  [
+  $ grep -c '"name": "flow.synthesize"' trace.json
+  1
+  $ grep -c '"jobs"' summary.json
+  1
+  $ grep -c '"sg.builds"' summary.json
+  1
+
+--summary - prints a human-readable table to standard error:
+
+  $ rtsyn check fifo --summary - > /dev/null 2> summary.txt
+  $ grep -c 'observability summary' summary.txt
+  1
+  $ grep -c 'sg.build' summary.txt
+  2
+
+A summary sink that cannot be written fails cleanly after the command's
+own output, with a non-zero exit and no partial file:
+
+  $ rtsyn check fifo --summary /nonexistent-dir/out.json > /dev/null
+  rtsyn: cannot write summary: /nonexistent-dir/out.json: No such file or directory
+  [1]
+  $ test -e /nonexistent-dir; echo $?
+  1

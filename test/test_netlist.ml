@@ -241,6 +241,65 @@ let test_sim_callbacks () =
   Sim.run sim ~until:1000.0;
   Alcotest.(check (list bool)) "callback saw the fall" [ false ] !seen
 
+let test_sim_callbacks_change_only () =
+  (* Regression: observers must fire exactly once per actual value change
+     on EVERY path into the commit logic — including direct input drives
+     that re-assert the current value and inertial re-schedules.  The VCD
+     layer depends on this. *)
+  let nl = build_and_or () in
+  Netlist.settle_initial nl;
+  let sim = Sim.create nl in
+  Sim.settle sim ();
+  let n = Netlist.num_nets nl in
+  let last = Array.init n (fun net -> Sim.value sim net) in
+  let violations = ref 0 and fired = ref 0 in
+  for net = 0 to n - 1 do
+    Sim.on_change sim net (fun _ v ->
+        incr fired;
+        if last.(net) = v then incr violations;
+        last.(net) <- v)
+  done;
+  let a = Netlist.find_net nl "a"
+  and b = Netlist.find_net nl "b"
+  and c = Netlist.find_net nl "c" in
+  (* Redundant drives: a is pushed to true twice, c to its initial value. *)
+  Sim.drive sim a true ~after:5.0;
+  Sim.drive sim a true ~after:7.0;
+  Sim.drive sim c (Sim.value sim c) ~after:9.0;
+  Sim.drive sim b true ~after:11.0;
+  Sim.drive sim b false ~after:13.0;
+  Sim.run sim ~until:1000.0;
+  check "some changes observed" true (!fired > 0);
+  check_int "no duplicate notifications" 0 !violations
+
+let test_sim_vcd_capture () =
+  let nl = build_and_or () in
+  Netlist.settle_initial nl;
+  let sim = Sim.create nl in
+  let w = Rtcad_obs.Vcd.create () in
+  Sim.attach_vcd sim w;
+  Sim.settle sim ();
+  Sim.drive sim (Netlist.find_net nl "a") true ~after:5.0;
+  Sim.drive sim (Netlist.find_net nl "b") true ~after:5.0;
+  Sim.run sim ~until:1000.0;
+  let r = Rtcad_obs.Vcd.parse (Rtcad_obs.Vcd.contents w) in
+  check_int "one VCD signal per net" (Netlist.num_nets nl)
+    (List.length r.Rtcad_obs.Vcd.vars);
+  (* The dump replays to the simulator's final state. *)
+  let state = Hashtbl.create 8 in
+  List.iter (fun (id, v) -> Hashtbl.replace state id v) r.Rtcad_obs.Vcd.initial;
+  List.iter
+    (fun (_, id, v) -> Hashtbl.replace state id v)
+    (Rtcad_obs.Vcd.changes r);
+  let ids = List.sort compare r.Rtcad_obs.Vcd.vars in
+  List.iteri
+    (fun net (id, name) ->
+      check
+        (Printf.sprintf "net %s replays to its final value" name)
+        true
+        (Hashtbl.find state id = Sim.value sim net))
+    ids
+
 let test_sim_drive_negative () =
   let nl = build_and_or () in
   let sim = Sim.create nl in
@@ -352,6 +411,9 @@ let suite =
         Alcotest.test_case "forced nets" `Quick test_sim_forced;
         Alcotest.test_case "energy and causality" `Quick test_sim_energy_and_events;
         Alcotest.test_case "callbacks" `Quick test_sim_callbacks;
+        Alcotest.test_case "callbacks are change-only" `Quick
+          test_sim_callbacks_change_only;
+        Alcotest.test_case "vcd capture" `Quick test_sim_vcd_capture;
         Alcotest.test_case "negative drive delay" `Quick test_sim_drive_negative;
         Alcotest.test_case "event-trace determinism" `Quick test_sim_deterministic;
       ] );

@@ -220,6 +220,77 @@ let test_fuzz_failure_equivalence () =
       check (Printf.sprintf "same witness at jobs=%d" jobs) true (run jobs = reference))
     job_counts
 
+(* --- observability under parallelism --- *)
+
+module Obs = Rtcad_obs.Obs
+
+(* Run [work] with recording enabled at job count [n] and return the
+   merged snapshot's metrics. *)
+let metrics_at_jobs n work =
+  with_jobs n (fun () ->
+      Obs.set_enabled true;
+      Fun.protect
+        ~finally:(fun () -> Obs.set_enabled false)
+        (fun () ->
+          work ();
+          (Obs.snapshot ()).Obs.metrics))
+
+let test_obs_merge_deterministic () =
+  (* Synthetic fan-out: each index contributes known counter and
+     histogram increments from whichever domain claims it.  The merged
+     totals must be the closed-form sums at every job count — per-worker
+     stores merged in index order, counters and histograms summing. *)
+  let work () =
+    Par.parallel_for ~chunk:1 64 (fun i ->
+        Obs.incr "merge.count";
+        Obs.incr ~by:i "merge.weighted";
+        Obs.observe "merge.hist" (float_of_int (i mod 7)))
+  in
+  let expect =
+    [ ("merge.count", 64); ("merge.weighted", 64 * 63 / 2) ]
+  in
+  List.iter
+    (fun n ->
+      let ms = metrics_at_jobs n work in
+      List.iter
+        (fun (name, total) ->
+          check
+            (Printf.sprintf "%s sums to %d at jobs %d" name total n)
+            true
+            (List.assoc name ms = Obs.Count total))
+        expect;
+      match List.assoc "merge.hist" ms with
+      | Obs.Hist_v { count = 64; _ } -> ()
+      | _ -> Alcotest.fail "histogram count must be 64 at any job count")
+    job_counts
+
+let test_obs_snapshots_equal_across_jobs () =
+  (* End to end: instrumented kernels (Sg.build counters, fuzz counters)
+     must merge to identical metric lists at jobs 1, 2 and 4.  Gauges and
+     histograms participate; only wall-clock span durations may differ,
+     and those are not in [metrics]. *)
+  let work () =
+    let stg = Transform.contract_dummies (Library.fifo ()) in
+    ignore (Sg.build ~par_threshold:2 stg);
+    ignore
+      (Fuzz.run ~log:ignore { Fuzz.default with Fuzz.cases = 16; seed = 5 })
+  in
+  let deterministic ms =
+    (* Throughput gauges are wall-clock-derived; everything else must be
+       bit-identical across job counts. *)
+    List.filter (fun (_, v) -> match v with Obs.Gauge_v _ -> false | _ -> true) ms
+  in
+  match List.map (fun n -> deterministic (metrics_at_jobs n work)) job_counts with
+  | [] -> assert false
+  | reference :: rest ->
+    check "metrics exist" true (reference <> []);
+    List.iteri
+      (fun i ms ->
+        check
+          (Printf.sprintf "metrics at jobs %d match jobs 1" (List.nth job_counts (i + 1)))
+          true (ms = reference))
+      rest
+
 let suite =
   [
     ( "par",
@@ -236,5 +307,9 @@ let suite =
         Alcotest.test_case "fuzz verdicts are jobs-invariant" `Quick test_fuzz_equivalence;
         Alcotest.test_case "fuzz failure witness is jobs-invariant" `Quick
           test_fuzz_failure_equivalence;
+        Alcotest.test_case "obs merge is deterministic" `Quick
+          test_obs_merge_deterministic;
+        Alcotest.test_case "obs snapshots are jobs-invariant" `Quick
+          test_obs_snapshots_equal_across_jobs;
       ] );
   ]
