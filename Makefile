@@ -7,7 +7,7 @@ ifdef RTCAD_JOBS
 export RTCAD_JOBS
 endif
 
-.PHONY: all build test fuzz bench verify golden golden-update clean
+.PHONY: all build test fuzz bench verify golden golden-update smoke-symbolic clean
 
 all: build
 
@@ -22,6 +22,12 @@ fuzz:
 
 bench:
 	dune exec bench/main.exe -- perf
+
+# Symbolic-engine smoke: ring-10 (393 660 states) is past the explicit
+# 200 000-state bound, so this exercises the BDD fixpoint, the CSC
+# check and the auto engine selection end to end in a few hundred ms.
+smoke-symbolic:
+	dune exec bin/rtsyn.exe -- check ring10 --engine symbolic
 
 # Golden-trace regression corpus (test/golden): compare fresh VCD and
 # metric-summary output against the committed snapshots...

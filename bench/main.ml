@@ -583,6 +583,21 @@ let () =
     List.iter (fun (_, f) -> f ()) experiments;
     Format.printf
       "@.(run `bench/main.exe perf' for kernel wall-times, `micro' for Bechamel)@."
+  | "perf" :: rest ->
+    (* `perf --only KERNEL [--only KERNEL…]` runs a subset in one warmed
+       process — the iteration loop while tuning a single kernel. *)
+    let only = ref [] in
+    let rec parse = function
+      | [] -> ()
+      | "--only" :: name :: rest ->
+        only := name :: !only;
+        parse rest
+      | _ ->
+        Printf.eprintf "usage: perf [--only KERNEL]...\n";
+        exit 2
+    in
+    parse rest;
+    Perf.run_perf ~only:(List.rev !only) ()
   | "compare" :: rest ->
     let strict = ref false and update_baseline = ref false in
     List.iter

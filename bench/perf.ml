@@ -16,6 +16,8 @@ module Stg = Rtcad_stg.Stg
 module Library = Rtcad_stg.Library
 module Transform = Rtcad_stg.Transform
 module Sg = Rtcad_sg.Sg
+module Symbolic = Rtcad_sg.Symbolic
+module Bdd = Rtcad_logic.Bdd
 module Flow = Rtcad_core.Flow
 module Table2 = Rtcad_core.Table2
 module W = Rtcad_rappid.Workload
@@ -47,6 +49,9 @@ let kernels () =
     @ List.map (fun n -> (Printf.sprintf "ring%d" n, Library.ring n)) [ 6; 7; 8 ]
   in
   let stream = W.generate ~seed:7 W.typical ~instructions:200_000 in
+  let sym_rings =
+    List.map (fun n -> Library.ring n) [ 6; 7; 8; 9; 10; 11; 12 ]
+  in
   [
     ( "sg_reachability",
       "Sg.build over every library STG (dummies contracted) plus rings 6-8",
@@ -61,6 +66,16 @@ let kernels () =
     ( "rt_flow",
       "Full relative-timing synthesis flow on the FIFO spec",
       fun () -> ignore (Flow.synthesize ~mode:Flow.rt_default (Library.fifo ())) );
+    ( "sg_symbolic",
+      "Symbolic (BDD) reachability + CSC check over rings 6-12 (rings 10-12 \
+       are beyond the explicit engine)",
+      fun () ->
+        List.iter
+          (fun stg ->
+            let sym = Symbolic.analyze stg in
+            ignore (Symbolic.has_csc sym);
+            ignore (Symbolic.deadlock_count sym))
+          sym_rings );
   ]
 
 type timing = { name : string; descr : string; runs_ms : float list }
@@ -71,8 +86,16 @@ let time_one f =
   (Unix.gettimeofday () -. t0) *. 1000.0
 
 let measure ~reps (name, descr, f) =
+  (* The BDD operation caches persist across calls within a process;
+     dropping them before every rep keeps cache warm-up from one rep
+     (or one kernel) from flattering the next. *)
+  Bdd.clear_caches ();
   ignore (time_one f) (* warm-up *);
-  let runs_ms = List.init reps (fun _ -> time_one f) in
+  let runs_ms =
+    List.init reps (fun _ ->
+        Bdd.clear_caches ();
+        time_one f)
+  in
   Format.printf "%-18s %s@." name
     (String.concat " " (List.map (Printf.sprintf "%.1fms") runs_ms));
   { name; descr; runs_ms }
@@ -82,6 +105,14 @@ let max_ms t = List.fold_left max 0.0 t.runs_ms
 
 let mean_ms t =
   List.fold_left ( +. ) 0.0 t.runs_ms /. float_of_int (List.length t.runs_ms)
+
+(* Median: the midpoint of the sorted runs (average of the middle pair
+   for an even count).  Less noise-sensitive than the mean, more honest
+   than the min. *)
+let p50_ms t =
+  let sorted = List.sort Float.compare t.runs_ms in
+  let n = List.length sorted in
+  (List.nth sorted ((n - 1) / 2) +. List.nth sorted (n / 2)) /. 2.0
 
 (* ------------------------------------------------------------------ *)
 (* JSON emission                                                       *)
@@ -102,7 +133,7 @@ let write_results ~reps timings =
   let oc = open_out result_file in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"schema\": \"rtcad-bench-perf/2\",\n";
+  p "  \"schema\": \"rtcad-bench-perf/3\",\n";
   p "  \"generated_at_unix\": %.0f,\n" (Unix.time ());
   p "  \"reps\": %d,\n" reps;
   (* v2: the job count the kernels actually ran with, plus what the
@@ -118,6 +149,7 @@ let write_results ~reps timings =
       p "      \"runs_ms\": [%s],\n"
         (String.concat ", " (List.map (Printf.sprintf "%.3f") t.runs_ms));
       p "      \"min_ms\": %.3f,\n" (min_ms t);
+      p "      \"p50_ms\": %.3f,\n" (p50_ms t);
       p "      \"mean_ms\": %.3f,\n" (mean_ms t);
       p "      \"max_ms\": %.3f\n" (max_ms t);
       p "    }%s\n" (if i = List.length timings - 1 then "" else ","))
@@ -267,9 +299,10 @@ let load_json path =
 
 let member key = function Obj kvs -> List.assoc_opt key kvs | _ -> None
 
-(* v1 baselines predate the jobs fields but carry the same kernel
-   shape; both versions stay comparable. *)
-let known_schemas = [ "rtcad-bench-perf/1"; "rtcad-bench-perf/2" ]
+(* v1 baselines predate the jobs fields, v2 the p50_ms statistic; all
+   carry the same kernel shape, so every version stays comparable. *)
+let known_schemas =
+  [ "rtcad-bench-perf/1"; "rtcad-bench-perf/2"; "rtcad-bench-perf/3" ]
 
 let kernel_stats path =
   let root = load_json path in
@@ -298,18 +331,36 @@ let recorded_jobs path =
 (* Entry points                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let run_perf () =
+let run_perf ?(only = []) () =
   let reps = reps () in
+  let all = kernels () in
+  let selected =
+    match only with
+    | [] -> all
+    | names ->
+      List.iter
+        (fun n ->
+          if not (List.exists (fun (k, _, _) -> k = n) all) then begin
+            Printf.eprintf "perf: unknown kernel %s; available: %s\n" n
+              (String.concat " " (List.map (fun (k, _, _) -> k) all));
+            exit 2
+          end)
+        names;
+      List.filter (fun (k, _, _) -> List.mem k names) all
+  in
   Format.printf "kernel wall-time benchmarks (%d reps; RTCAD_BENCH_REPS to tune)@." reps;
-  let timings = List.map (measure ~reps) (kernels ()) in
+  let timings = List.map (measure ~reps) selected in
   write_results ~reps timings;
-  Format.printf "@.%-18s %10s %10s %10s@." "kernel" "min ms" "mean ms" "max ms";
+  Format.printf "@.%-18s %10s %10s %10s %10s@." "kernel" "min ms" "p50 ms"
+    "mean ms" "max ms";
   List.iter
     (fun t ->
-      Format.printf "%-18s %10.1f %10.1f %10.1f@." t.name (min_ms t) (mean_ms t)
-        (max_ms t))
+      Format.printf "%-18s %10.1f %10.1f %10.1f %10.1f@." t.name (min_ms t)
+        (p50_ms t) (mean_ms t) (max_ms t))
     timings;
   Format.printf "@.wrote %s@." result_file;
+  if only <> [] then
+    Format.printf "(subset run: %s holds only the selected kernels)@." result_file;
   if Sys.file_exists baseline_file then Format.printf "(compare with `-- compare')@."
 
 (* Byte copy: the baseline must be exactly the JSON the run wrote, so a

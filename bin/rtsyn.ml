@@ -10,8 +10,11 @@
 module Stg = Rtcad_stg.Stg
 module Stg_io = Rtcad_stg.Stg_io
 module Library = Rtcad_stg.Library
+module Petri = Rtcad_stg.Petri
 module Transform = Rtcad_stg.Transform
 module Sg = Rtcad_sg.Sg
+module Symbolic = Rtcad_sg.Symbolic
+module Engine = Rtcad_sg.Engine
 module Props = Rtcad_sg.Props
 module Encoding = Rtcad_sg.Encoding
 module Flow = Rtcad_core.Flow
@@ -24,6 +27,15 @@ module Harness = Rtcad_core.Harness
 module Table2 = Rtcad_core.Table2
 module Fifo_impls = Rtcad_core.Fifo_impls
 module Timed_sim = Rtcad_rt.Timed_sim
+
+(* "ring10" → Some 10; the library exposes [ring n] as a family, not a
+   fixed list, so the CLI accepts any member by name. *)
+let parse_ring name =
+  if String.length name > 4 && String.sub name 0 4 = "ring" then
+    match int_of_string_opt (String.sub name 4 (String.length name - 4)) with
+    | Some n when n >= 2 && n <= 64 -> Some n
+    | _ -> None
+  else None
 
 let load_spec = function
   | `File path ->
@@ -39,7 +51,10 @@ let load_spec = function
   | `Builtin name -> (
     match List.assoc_opt name (Library.all_named ()) with
     | Some stg -> stg
-    | None -> assert false (* ruled out by [spec_conv] *))
+    | None -> (
+      match parse_ring name with
+      | Some n -> Library.ring n
+      | None -> assert false (* ruled out by [spec_conv] *)))
 
 (* --- argument converters --- *)
 
@@ -47,7 +62,8 @@ let spec_conv =
   let open Cmdliner in
   let parse s =
     if Sys.file_exists s then Ok (`File s)
-    else if List.mem_assoc s (Library.all_named ()) then Ok (`Builtin s)
+    else if List.mem_assoc s (Library.all_named ()) || parse_ring s <> None then
+      Ok (`Builtin s)
     else
       Error
         (`Msg
@@ -114,6 +130,22 @@ let jobs_conv =
       Error (`Msg (Printf.sprintf "job count %S must be a positive integer" s))
   in
   Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+
+let engine_term =
+  let open Cmdliner in
+  let engines =
+    [ ("auto", Engine.Auto); ("explicit", Engine.Explicit);
+      ("symbolic", Engine.Symbolic) ]
+  in
+  Arg.(
+    value
+    & opt (enum engines) Engine.Auto
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Reachability engine: $(b,explicit) (BFS state enumeration), \
+           $(b,symbolic) (BDD fixpoint; handles state spaces the explicit \
+           engine cannot enumerate) or $(b,auto) (symbolic past a structural \
+           concurrency estimate).  Both engines compute identical verdicts.")
 
 let jobs_term =
   let open Cmdliner in
@@ -182,7 +214,8 @@ let with_obs (trace, summary) f =
   end
 
 (* Friendly reporting for the failures a well-formed command line can
-   still run into: unreadable or malformed specification files. *)
+   still run into: unreadable or malformed specification files, and
+   specifications whose state graphs are broken or too large to hold. *)
 let with_spec_errors f =
   try f () with
   | Stg_io.Parse_error (line, msg) ->
@@ -194,32 +227,62 @@ let with_spec_errors f =
   | Failure msg ->
     Printf.eprintf "rtsyn: %s\n" msg;
     1
+  | Sg.Inconsistent msg ->
+    Printf.eprintf "rtsyn: specification is inconsistent: %s\n" msg;
+    1
+  | Sg.Too_large bound ->
+    Printf.eprintf
+      "rtsyn: state graph exceeds %d states; try --engine symbolic\n" bound;
+    1
+  | Petri.Unsafe p ->
+    Printf.eprintf
+      "rtsyn: specification is unsafe: place %d can hold two tokens\n" p;
+    1
 
 (* --- check --- *)
 
-let run_check () obs spec =
+let run_check () obs engine spec =
   with_obs obs @@ fun () ->
   with_spec_errors @@ fun () ->
   let stg = Transform.contract_dummies (load_spec spec) in
   Format.printf "%a@." Stg.pp stg;
-  let sg = Sg.build stg in
-  Format.printf "reachable states: %d@." (Sg.num_states sg);
-  Format.printf "deadlock-free: %b@." (Props.deadlock_free sg);
-  Format.printf "all transitions live: %b@." (Props.live_transitions sg);
-  Format.printf "output-persistent: %b@." (Props.is_output_persistent sg);
-  let conflicts = Encoding.csc_conflicts sg in
-  if conflicts = [] then Format.printf "CSC: satisfied@."
-  else begin
-    Format.printf "CSC conflicts: %d@." (List.length conflicts);
-    List.iter
-      (fun c -> Format.printf "  %a@." (Encoding.pp_conflict sg) c)
-      conflicts
-  end;
+  (match Engine.select engine stg with
+  | `Explicit ->
+    let sg = Sg.build stg in
+    Format.printf "reachable states: %d@." (Sg.num_states sg);
+    Format.printf "deadlock-free: %b@." (Props.deadlock_free sg);
+    Format.printf "all transitions live: %b@." (Props.live_transitions sg);
+    Format.printf "output-persistent: %b@." (Props.is_output_persistent sg);
+    let conflicts = Encoding.csc_conflicts sg in
+    if conflicts = [] then Format.printf "CSC: satisfied@."
+    else begin
+      Format.printf "CSC conflicts: %d@." (List.length conflicts);
+      List.iter
+        (fun c -> Format.printf "  %a@." (Encoding.pp_conflict sg) c)
+        conflicts
+    end
+  | `Symbolic ->
+    (* Every verdict is computed on the BDD — no state is ever
+       enumerated, so specifications far beyond the explicit engine's
+       reach still check in milliseconds. *)
+    let sym = Symbolic.analyze stg in
+    Format.printf "reachable states: %d@." (Symbolic.num_states sym);
+    Format.printf "deadlock-free: %b@." (Symbolic.deadlock_count sym = 0);
+    Format.printf "all transitions live: %b@."
+      (Symbolic.live_transitions sym);
+    Format.printf "output-persistent: %b@."
+      (Symbolic.is_output_persistent sym);
+    (match Symbolic.csc_conflict_signals sym with
+    | [] -> Format.printf "CSC: satisfied@."
+    | us ->
+      Format.printf "CSC conflicts on %d signal(s): %s@." (List.length us)
+        (String.concat " " (List.map (Stg.signal_name stg) us)));
+    Format.printf "%a@." Symbolic.pp_stats sym);
   0
 
 (* --- synth --- *)
 
-let run_synth () obs spec mode_name user input_first no_lazy style verify =
+let run_synth () obs engine spec mode_name user input_first no_lazy style verify =
   with_obs obs @@ fun () ->
   with_spec_errors @@ fun () ->
   let stg = load_spec spec in
@@ -231,7 +294,7 @@ let run_synth () obs spec mode_name user input_first no_lazy style verify =
     | `Rt ->
       Flow.Rt { user; allow_input_first = input_first; allow_lazy = not no_lazy }
   in
-  match Flow.synthesize ~mode ?emit_style:style stg with
+  match Flow.synthesize ~mode ~engine ?emit_style:style stg with
   | exception Flow.Synthesis_failure msg ->
     Printf.eprintf "synthesis failed: %s\n" msg;
     1
@@ -355,7 +418,7 @@ open Cmdliner
 
 let check_cmd =
   Cmd.v (Cmd.info "check" ~doc:"Analyze a specification (reachability, CSC)")
-    Term.(const run_check $ jobs_term $ obs_term $ spec_arg)
+    Term.(const run_check $ jobs_term $ obs_term $ engine_term $ spec_arg)
 
 let synth_cmd =
   let mode =
@@ -388,8 +451,8 @@ let synth_cmd =
   in
   Cmd.v (Cmd.info "synth" ~doc:"Run the relative-timing synthesis flow")
     Term.(
-      const run_synth $ jobs_term $ obs_term $ spec_arg $ mode $ user $ input_first
-      $ no_lazy $ style $ verify)
+      const run_synth $ jobs_term $ obs_term $ engine_term $ spec_arg $ mode
+      $ user $ input_first $ no_lazy $ style $ verify)
 
 let sim_cmd =
   let spec_opt =

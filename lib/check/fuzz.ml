@@ -1,4 +1,5 @@
 module Rng = Rtcad_util.Rng
+module Bdd = Rtcad_logic.Bdd
 module Par = Rtcad_par.Par
 module Obs = Rtcad_obs.Obs
 module Stg = Rtcad_stg.Stg
@@ -83,6 +84,11 @@ let run ?(fast_sg = fun stg -> Oracle.fast_sg_result stg) ?(log = ignore) config
      read off in case order.  [record] (counting, logging, shrinking)
      always runs serially on the initiating domain. *)
   let eval case =
+    (* Each case starts with cold BDD operation caches (on whichever
+       domain runs it): op-cache growth from one case must not speed up
+       — or slow down, via collisions — the cases after it, or the
+       campaign's behaviour would depend on the evaluation order. *)
+    Bdd.clear_caches ();
     let seed = case_seed config case in
     let rng = Rng.create seed in
     match Rng.weighted rng [ (2, `Bitset); (2, `Sim); (5, `Stg); (1, `Shape) ] with

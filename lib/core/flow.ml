@@ -3,6 +3,7 @@ module Obs = Rtcad_obs.Obs
 module Stg = Rtcad_stg.Stg
 module Transform = Rtcad_stg.Transform
 module Sg = Rtcad_sg.Sg
+module Engine = Rtcad_sg.Engine
 module Encoding = Rtcad_sg.Encoding
 module Csc = Rtcad_sg.Csc
 module Props = Rtcad_sg.Props
@@ -110,25 +111,38 @@ let choose_impl ~mode sg spec =
       (Stg.signal_name (Sg.stg sg) spec.Nextstate.signal)
   | best :: _ -> best
 
-let synthesize ?(mode = rt_default) ?emit_style ?max_states spec_stg =
+let synthesize ?(mode = rt_default) ?(engine = Engine.Auto) ?emit_style ?max_states
+    spec_stg =
   Obs.span "flow.synthesize" @@ fun () ->
   let stg0 = Transform.contract_dummies ~strict:false spec_stg in
   let csc_mode =
     match mode with Si -> Csc.Speed_independent | Rt _ -> Csc.Timing_aware
   in
-  let view sg =
+  (* SI mode checks CSC on the unpruned graph: leaving [view] unset lets
+     the encoding search use the symbolic conflict check when [engine]
+     selects it.  RT mode checks conflicts on the pruned graph, which
+     only the explicit engine can produce. *)
+  let view =
     match mode with
-    | Si -> sg
+    | Si -> None
     | Rt _ ->
-      let stg = Sg.stg sg in
-      (Prune.apply_consistent sg (gather_assumptions ~fast:true ~mode stg sg)).Prune.pruned
+      Some
+        (fun sg ->
+          let stg = Sg.stg sg in
+          (Prune.apply_consistent sg (gather_assumptions ~fast:true ~mode stg sg))
+            .Prune.pruned)
   in
   let stg, insertions =
-    match Obs.span "flow.encode" (fun () -> Csc.resolve_all ~mode:csc_mode ~view ?max_states stg0) with
+    match
+      Obs.span "flow.encode" (fun () ->
+          Csc.resolve_all ~mode:csc_mode ~engine ?view ?max_states stg0)
+    with
     | Some (stg, ins) -> (stg, ins)
     | None -> fail "state encoding failed: CSC conflicts could not be resolved"
   in
-  let sg_full = Obs.span "flow.reach" (fun () -> Sg.build ?max_states stg) in
+  let sg_full =
+    Obs.span "flow.reach" (fun () -> Engine.build ~engine ?max_states stg)
+  in
   Obs.set_gauge "flow.sg_states_full" (float_of_int (Sg.num_states sg_full));
   let assumptions =
     Obs.span "flow.assume" (fun () -> gather_assumptions ~mode stg sg_full)

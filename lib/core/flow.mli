@@ -55,6 +55,7 @@ exception Synthesis_failure of string
 
 val synthesize :
   ?mode:mode ->
+  ?engine:Rtcad_sg.Engine.t ->
   ?emit_style:Rtcad_synth.Emit.style ->
   ?max_states:int ->
   Rtcad_stg.Stg.t ->
@@ -63,7 +64,13 @@ val synthesize :
     is static CMOS for {!Si} and footed domino for {!Rt}.  Raises
     {!Synthesis_failure} when state encoding cannot be completed or a
     cover violates its correctness check, and the STG/state-graph
-    exceptions on malformed input. *)
+    exceptions on malformed input.
+
+    [engine] (default [Auto]) chooses the reachability engine for the
+    CSC conflict checks (SI mode) and the full state-graph build; the
+    synthesis passes themselves need per-state access, so the symbolic
+    path materializes an explicit graph — bit-identical to the explicit
+    build — before they run. *)
 
 val pp_report : Format.formatter -> t -> unit
 (** Human-readable synthesis report: state counts, per-signal equations,

@@ -45,12 +45,28 @@ module Cache2 = Hashtbl.Make (struct
   let hash = Hashtbl.hash
 end)
 
+module Cache3 = Hashtbl.Make (struct
+  type nonrec t = int * int * int
+
+  let equal (a1, a2, a3) (b1, b2, b3) = a1 = b1 && a2 = b2 && a3 = b3
+  let hash = Hashtbl.hash
+end)
+
 type state = {
   unique : t Unique.t;
   mutable next_id : int;
   not_cache : t Cache1.t;
   and_cache : t Cache2.t;
   xor_cache : t Cache2.t;
+  (* Quantification caches are persistent (cleared only by
+     [clear_caches]) and keyed on the hash-consed id of the quantified
+     variable set, represented as a positive cube: the fixpoints of the
+     symbolic reachability engine quantify the same per-transition cubes
+     against BDDs that share most of their structure level after level,
+     and per-call caches would rediscover all of it each time. *)
+  exists_cache : t Cache2.t; (* (cube id, node id) *)
+  forall_cache : t Cache2.t;
+  andex_cache : t Cache3.t; (* (cube id, f id, g id), f <= g *)
 }
 
 let state_key =
@@ -61,6 +77,9 @@ let state_key =
         not_cache = Cache1.create 1024;
         and_cache = Cache2.create 4096;
         xor_cache = Cache2.create 1024;
+        exists_cache = Cache2.create 1024;
+        forall_cache = Cache2.create 256;
+        andex_cache = Cache3.create 4096;
       })
 
 let state () = Domain.DLS.get state_key
@@ -69,7 +88,22 @@ let clear_caches () =
   let st = state () in
   Cache1.clear st.not_cache;
   Cache2.clear st.and_cache;
-  Cache2.clear st.xor_cache
+  Cache2.clear st.xor_cache;
+  Cache2.clear st.exists_cache;
+  Cache2.clear st.forall_cache;
+  Cache3.clear st.andex_cache
+
+type table_stats = { unique_nodes : int; op_cache_entries : int }
+
+let table_stats () =
+  let st = state () in
+  {
+    unique_nodes = Unique.length st.unique;
+    op_cache_entries =
+      Cache1.length st.not_cache + Cache2.length st.and_cache
+      + Cache2.length st.xor_cache + Cache2.length st.exists_cache
+      + Cache2.length st.forall_cache + Cache3.length st.andex_cache;
+  }
 
 let mk st var lo hi =
   if equal lo hi then lo
@@ -178,16 +212,123 @@ let rec cofactor_st st t v b =
 
 let cofactor t v b = cofactor_st (state ()) t v b
 
-let exists_one st v t = bor_st st (cofactor_st st t v false) (cofactor_st st t v true)
-let forall_one st v t = band_st st (cofactor_st st t v false) (cofactor_st st t v true)
+(* The quantified variable set is represented as a positive cube BDD
+   (v1 ∧ v2 ∧ …): hash-consing gives the set a canonical id to key the
+   persistent caches on, and dropping already-passed variables is one
+   pointer chase.  [cube_drop_below v c] strips the cube's variables
+   below [v]; since the residual cube is a pure function of (cube, v),
+   caching on (residual cube id, node id) is sound across calls. *)
+let mk_cube st vars =
+  List.fold_left
+    (fun acc v -> mk st v Zero acc)
+    One
+    (List.sort_uniq (fun a b -> Int.compare b a) vars)
+
+let rec cube_drop_below v cube =
+  match cube with
+  | Node n when n.var < v -> cube_drop_below v n.hi
+  | _ -> cube
+
+let rec exists_cb st cube t =
+  match t with
+  | Zero | One -> t
+  | Node n -> (
+    let cube = cube_drop_below n.var cube in
+    if is_one cube then t
+    else
+      let key = (id cube, n.nid) in
+      match Cache2.find_opt st.exists_cache key with
+      | Some r -> r
+      | None ->
+        let r =
+          match cube with
+          | Node c when c.var = n.var ->
+            let lo = exists_cb st c.hi n.lo in
+            if is_one lo then One else bor_st st lo (exists_cb st c.hi n.hi)
+          | _ -> mk st n.var (exists_cb st cube n.lo) (exists_cb st cube n.hi)
+        in
+        Cache2.add st.exists_cache key r;
+        r)
+
+let rec forall_cb st cube t =
+  match t with
+  | Zero | One -> t
+  | Node n -> (
+    let cube = cube_drop_below n.var cube in
+    if is_one cube then t
+    else
+      let key = (id cube, n.nid) in
+      match Cache2.find_opt st.forall_cache key with
+      | Some r -> r
+      | None ->
+        let r =
+          match cube with
+          | Node c when c.var = n.var ->
+            let lo = forall_cb st c.hi n.lo in
+            if is_zero lo then Zero else band_st st lo (forall_cb st c.hi n.hi)
+          | _ -> mk st n.var (forall_cb st cube n.lo) (forall_cb st cube n.hi)
+        in
+        Cache2.add st.forall_cache key r;
+        r)
 
 let exists vars t =
   let st = state () in
-  List.fold_left (fun acc v -> exists_one st v acc) t vars
+  exists_cb st (mk_cube st vars) t
 
 let forall vars t =
   let st = state () in
-  List.fold_left (fun acc v -> forall_one st v acc) t vars
+  forall_cb st (mk_cube st vars) t
+
+(* Fused and-exists: [rel_product vars f g = exists vars (band f g)]
+   without building the conjunction first.  This is the image operator of
+   the symbolic reachability engine, where [f] is the current state set
+   and [g] a transition's enabling relation; fusing keeps intermediate
+   conjunctions (which can be much larger than the result) out of the
+   unique table, and the persistent (cube, f, g) cache carries shared
+   work across the transitions of a level and across levels. *)
+let rec andex_st st cube f g =
+  match (f, g) with
+  | Zero, _ | _, Zero -> Zero
+  | One, One -> One
+  | One, t | t, One -> exists_cb st cube t
+  | Node nf, Node ng ->
+    if nf.nid = ng.nid then exists_cb st cube f
+    else begin
+      let v = min nf.var ng.var in
+      let cube = cube_drop_below v cube in
+      if is_one cube then band_st st f g
+      else
+        let key =
+          if nf.nid < ng.nid then (id cube, nf.nid, ng.nid)
+          else (id cube, ng.nid, nf.nid)
+        in
+        match Cache3.find_opt st.andex_cache key with
+        | Some r -> r
+        | None ->
+          let f0, f1 = split v f and g0, g1 = split v g in
+          let r =
+            match cube with
+            | Node c when c.var = v ->
+              let lo = andex_st st c.hi f0 g0 in
+              if is_one lo then One else bor_st st lo (andex_st st c.hi f1 g1)
+            | _ -> mk st v (andex_st st cube f0 g0) (andex_st st cube f1 g1)
+          in
+          Cache3.add st.andex_cache key r;
+          r
+    end
+
+let rel_product vars f g =
+  let st = state () in
+  andex_st st (mk_cube st vars) f g
+
+(* Functional composition f[v := g], as ite(g, f|v=1, f|v=0).  The two
+   cofactors and the boolean connectives all run through the persistent
+   per-domain caches, so repeated compositions against the same [g]
+   share work. *)
+let compose f v g =
+  let st = state () in
+  let f1 = cofactor_st st f v true and f0 = cofactor_st st f v false in
+  bor_st st (band_st st g f1) (band_st st (bnot_st st g) f0)
 
 let support t =
   let seen = Hashtbl.create 64 in

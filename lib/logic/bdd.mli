@@ -49,9 +49,19 @@ val cofactor : t -> int -> bool -> t
 (** [cofactor f v b] substitutes constant [b] for variable [v]. *)
 
 val exists : int list -> t -> t
-(** Existential quantification over the given variables. *)
+(** Existential quantification over the given variables (single cached
+    descent; the list need not be sorted). *)
 
 val forall : int list -> t -> t
+
+val rel_product : int list -> t -> t -> t
+(** [rel_product vars f g] is [exists vars (band f g)] computed as one
+    fused and-exists pass — the relational-product image operator.  The
+    intermediate conjunction is never materialised. *)
+
+val compose : t -> int -> t -> t
+(** [compose f v g] substitutes the function [g] for variable [v] in [f]:
+    [ite g (cofactor f v true) (cofactor f v false)]. *)
 
 val top_var : t -> int
 (** Root variable.  Raises [Invalid_argument] on constants. *)
@@ -81,5 +91,14 @@ val node_count : t -> int
 (** Number of distinct internal nodes (size of the DAG). *)
 
 val clear_caches : unit -> unit
+
+type table_stats = { unique_nodes : int; op_cache_entries : int }
+
+val table_stats : unit -> table_stats
+(** Size of the current domain's unique table and the sum of its
+    persistent operation-cache populations.  Feed these to the metrics
+    registry (gauges) to watch hash-consing growth; {!clear_caches}
+    resets the op-cache component but never the unique table. *)
+
 val pp : Format.formatter -> t -> unit
 (** Debug printer (shows the DAG shape, not a formula). *)

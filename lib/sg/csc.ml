@@ -225,13 +225,32 @@ let score ins n_states =
   + (10 * (List.length ins.rise_triggers + List.length ins.fall_triggers))
   + (n_states / 64)
 
-let resolve ?(mode = Timing_aware) ?(name = "x") ?(view = Fun.id) ?max_states
-    ?(trigger_space = `Non_input) ?(max_candidates = 25_000) stg =
-  let base_sg = Sg.build ?max_states stg in
-  if not (Encoding.has_csc (view base_sg)) then None
+(* Does the (possibly viewed) state graph have CSC conflicts?  When no
+   view is installed and the engine selection picks symbolic, the check
+   runs as one BDD fixpoint instead of an explicit enumeration — this is
+   the fast path that lets the encoding search skip explicit builds on
+   specifications whose state spaces the explicit engine cannot hold.
+   A pruning view removes edges and can therefore *create* conflicts, so
+   any view forces the explicit engine. *)
+let has_conflicts ~engine ~view ?max_states stg =
+  match view with
+  | None when Engine.select engine stg = `Symbolic ->
+    Symbolic.has_csc (Symbolic.analyze ?max_states stg)
+  | _ ->
+    let view = Option.value view ~default:Fun.id in
+    Encoding.has_csc (view (Sg.build ?max_states stg))
+
+let resolve ?(mode = Timing_aware) ?(name = "x") ?(engine = Engine.Auto) ?view
+    ?max_states ?(trigger_space = `Non_input) ?(max_candidates = 25_000) stg =
+  if not (has_conflicts ~engine ~view ?max_states stg) then None
   else
     Obs.span "csc.resolve" ~args:(fun () -> [ ("signal", name) ]) @@ fun () ->
     begin
+    (* Conflicts exist, so the trial-insertion search is explicit from
+       here on: it needs per-state access to thousands of candidate
+       graphs, which is exactly what the explicit engine is for. *)
+    let view = Option.value view ~default:Fun.id in
+    let base_sg = Sg.build ?max_states stg in
     let budget = ref max_candidates in
     let occ = first_occurrences stg in
     let candidates_triggers =
@@ -342,28 +361,31 @@ let resolve ?(mode = Timing_aware) ?(name = "x") ?(view = Fun.id) ?max_states
     | Some ins -> Some (apply stg ins, ins)
   end
 
-let resolve_all ?(mode = Timing_aware) ?(view = Fun.id) ?max_states ?(max_signals = 3)
-    ?max_candidates stg =
+let resolve_all ?(mode = Timing_aware) ?(engine = Engine.Auto) ?view ?max_states
+    ?(max_signals = 3) ?max_candidates stg =
   (* Try the cheaper non-input trigger space first, then fall back to
      triggering on input edges as well (a state signal set by an input
      literal is perfectly implementable). *)
   let resolve_any name stg =
     match
-      resolve ~mode ~name ~view ?max_states ?max_candidates ~trigger_space:`Non_input stg
+      resolve ~mode ~name ~engine ?view ?max_states ?max_candidates
+        ~trigger_space:`Non_input stg
     with
     | Some r -> Some r
-    | None -> resolve ~mode ~name ~view ?max_states ?max_candidates ~trigger_space:`All stg
+    | None ->
+      resolve ~mode ~name ~engine ?view ?max_states ?max_candidates
+        ~trigger_space:`All stg
   in
   let rec go stg acc k =
     if k >= max_signals then None
     else
       match resolve_any (Printf.sprintf "x%d" k) stg with
       | None ->
-        if Encoding.has_csc (view (Sg.build ?max_states stg)) then None
+        if has_conflicts ~engine ~view ?max_states stg then None
         else Some (stg, List.rev acc)
       | Some (stg', ins) -> go stg' (ins :: acc) (k + 1)
   in
-  if not (Encoding.has_csc (view (Sg.build ?max_states stg))) then Some (stg, [])
+  if not (has_conflicts ~engine ~view ?max_states stg) then Some (stg, [])
   else go stg [] 0
 
 let pp_insertion stg ppf ins =

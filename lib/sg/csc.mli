@@ -42,6 +42,7 @@ val apply : Rtcad_stg.Stg.t -> insertion -> Rtcad_stg.Stg.t
 val resolve :
   ?mode:mode ->
   ?name:string ->
+  ?engine:Engine.t ->
   ?view:(Sg.t -> Sg.t) ->
   ?max_states:int ->
   ?trigger_space:[ `Non_input | `All ] ->
@@ -51,11 +52,20 @@ val resolve :
 (** Search for an insertion that makes the (viewed) state graph satisfy
     CSC while remaining safe, consistent, live and deadlock-free.  Returns
     the extended STG.  [view] post-processes the state graph before the
-    CSC check (identity by default).  Returns [None] if the graph already
-    satisfies CSC in the viewed graph or no candidate works. *)
+    CSC check (identity when omitted).  Returns [None] if the graph
+    already satisfies CSC in the viewed graph or no candidate works.
+
+    When no [view] is supplied and [engine] (default [Auto]) selects
+    symbolic for this STG, the initial conflict check runs as a symbolic
+    fixpoint — no explicit state graph is built on the conflict-free
+    path.  Supplying a [view] forces the explicit engine: pruning views
+    drop edges and can create conflicts the unpruned graph does not
+    have, so a symbolic precheck on the full graph would be unsound.
+    The trial-insertion search itself is always explicit. *)
 
 val resolve_all :
   ?mode:mode ->
+  ?engine:Engine.t ->
   ?view:(Sg.t -> Sg.t) ->
   ?max_states:int ->
   ?max_signals:int ->

@@ -536,6 +536,23 @@ let build ?(max_states = 200_000) ?(par_threshold = default_par_threshold) stg =
       Obs.incr ~by:(Vec.length sg.edges / 3) "sg.edges";
       sg)
 
+(* Package a finished exploration that is already in canonical serial-BFS
+   order (state 0 = initial, successors discovered in per-state
+   [Petri.iter_enabled] order).  Used by [Symbolic.materialize], which
+   replays the serial BFS against the symbolic reachable set: reusing the
+   exact packing code here is what makes its output bit-identical to
+   [build_serial]. *)
+let of_exploration ~stg ~markings ~codes ~edges =
+  let n = Array.length markings in
+  let succ_off, succ_dat =
+    pack_edges ~n ~key:(fun s _ -> s) ~value:(fun _ s' -> s') edges
+  in
+  let by_marking = mt_create () in
+  Array.iteri
+    (fun i m -> mt_add by_marking ~get:(fun id -> markings.(id)) i m)
+    markings;
+  { stg; markings; codes; succ_off; succ_dat; edges; preds = None; initial = 0; by_marking }
+
 let stg sg = sg.stg
 let num_states sg = Array.length sg.markings
 let initial sg = sg.initial

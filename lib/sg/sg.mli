@@ -27,6 +27,41 @@ val build : ?max_states:int -> ?par_threshold:int -> Rtcad_stg.Stg.t -> t
     falls back to a full serial rerun.  [par_threshold] exists so tests
     can force the parallel path on small graphs. *)
 
+(**/**)
+
+val of_exploration :
+  stg:Rtcad_stg.Stg.t ->
+  markings:Rtcad_util.Bitset.t array ->
+  codes:Rtcad_util.Bitset.t array ->
+  edges:int Rtcad_util.Vec.t ->
+  t
+(** Internal: package a finished exploration into a state graph.  The
+    states must already be in canonical serial-BFS order (state 0 is the
+    initial state) and [edges] must hold the raw
+    (source, transition, target) triples in discovery order.  Used by
+    {!Symbolic.materialize}; not part of the stable API. *)
+
+val initial_code : Rtcad_stg.Stg.t -> Rtcad_util.Bitset.t
+(** Internal: the code of the initial state (signals at their declared
+    initial values).  Shared with the symbolic engine. *)
+
+val inconsistent_msg : Rtcad_stg.Stg.t -> int -> Rtcad_stg.Stg.dir -> string -> string
+(** Internal: the exact message an {!Inconsistent} label check produces,
+    so the symbolic engine raises byte-identical failures. *)
+
+val check_label : Rtcad_stg.Stg.t -> Rtcad_util.Bitset.t -> int -> unit
+(** Internal: raise {!Inconsistent} if the transition fires against the
+    current value of its signal. *)
+
+val apply_label : Rtcad_stg.Stg.t -> Rtcad_util.Bitset.t -> int -> Rtcad_util.Bitset.t
+(** Internal: {!check_label} then flip the signal. *)
+
+val code_matches : Rtcad_stg.Stg.t -> Rtcad_util.Bitset.t -> int -> Rtcad_util.Bitset.t -> bool
+(** Internal: does code followed by the transition land on exactly the
+    second code? *)
+
+(**/**)
+
 val stg : t -> Rtcad_stg.Stg.t
 val num_states : t -> int
 val initial : t -> int

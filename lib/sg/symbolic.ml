@@ -1,0 +1,481 @@
+(* Symbolic BDD-based reachability for STGs.
+
+   One BDD variable per place and one per signal encodes a state
+   (marking, code) as a minterm; each transition is compiled into a
+   relational-product image operator and the reachable set is computed by
+   a frontier-based fixpoint.  The engine is exact: it enforces the same
+   safety and consistency rules as the explicit [Sg.build] (raising the
+   same exceptions), and every analysis it offers — state counting,
+   deadlocks, transition liveness, CSC conflicts, output persistency —
+   agrees with the explicit engine verdict for verdict.
+
+   Variable order.  Places and signals are interleaved: each signal
+   variable is positioned immediately after the lowest-indexed place its
+   transitions touch.  On pipeline-shaped specifications (the token-ring
+   family) this keeps each stage's places and handshake signals adjacent,
+   so the reachable set stays near-linear in ring size where a
+   places-then-signals order can blow up exponentially.
+
+   Image computation.  For a transition t with preset P, postset Q and
+   label u+/u-, the operator is
+
+     img_t(S) = rel_product (P ∪ Q ∪ {u})
+                            (S ∧ enab_t)
+                            ∧ update_t
+
+   where enab_t is the conjunction of the preset variables and the
+   required polarity of u, and update_t fixes the post-firing values
+   (Q set, P∖Q cleared, u flipped).  Variables outside P ∪ Q ∪ {u} are
+   untouched, which is exactly the frame condition of [Petri.fire] +
+   [Sg.apply_label].  Safety (a token produced into a marked place) and
+   consistency (an edge firing against the signal's current value, or
+   one marking reached with two codes) are checked level by level
+   before the image is taken, so failures surface as [Petri.Unsafe] and
+   [Sg.Inconsistent] just as in the explicit BFS.
+
+   Everything here runs on the calling domain: BDDs are domain-local
+   (see [Bdd]), so a [t] value must not be shared across domains.  Ship
+   only counts, bools and bitsets across joins. *)
+
+module Bitset = Rtcad_util.Bitset
+module Vec = Rtcad_util.Vec
+module Stg = Rtcad_stg.Stg
+module Petri = Rtcad_stg.Petri
+module Bdd = Rtcad_logic.Bdd
+module Obs = Rtcad_obs.Obs
+
+type trans_op = {
+  tr : int;
+  signal : int; (* -1 for dummies *)
+  place_enab : Bdd.t; (* preset variables conjoined *)
+  enab : Bdd.t; (* place_enab ∧ required signal polarity *)
+  wrong : Bdd.t; (* place_enab ∧ opposite polarity; Zero for dummies *)
+  wrong_msg : string;
+  changed : int list; (* quantified by the image: preset ∪ postset ∪ signal *)
+  update : Bdd.t; (* post-firing cube over [changed] *)
+  fresh_places : int list; (* postset ∖ preset, in [Petri.post] order *)
+}
+
+type t = {
+  stg : Stg.t;
+  nvars : int;
+  place_var : int array;
+  signal_var : int array;
+  place_vars : int list; (* ascending *)
+  signal_vars : int list; (* ascending *)
+  ops : trans_op array;
+  reached : Bdd.t;
+  num_states : int;
+  levels : int;
+  image_ops : int;
+  peak_nodes : int;
+}
+
+(* --- variable order --------------------------------------------------- *)
+
+let variable_order stg =
+  let net = Stg.net stg in
+  let np = Petri.num_places net and ns = Stg.num_signals stg in
+  let nt = Petri.num_transitions net in
+  (* Anchor of a signal: the lowest place index any of its transitions
+     consumes or produces. *)
+  let anchor = Array.make ns np in
+  for t = 0 to nt - 1 do
+    match Stg.label stg t with
+    | Stg.Dummy -> ()
+    | Stg.Edge { signal; _ } ->
+      List.iter
+        (fun p -> if p < anchor.(signal) then anchor.(signal) <- p)
+        (Petri.pre net t @ Petri.post net t)
+  done;
+  let items =
+    Array.init (np + ns) (fun i ->
+        if i < np then (i, 0, i) (* place i, sorted by own index *)
+        else
+          let u = i - np in
+          (anchor.(u), 1, u) (* signal u, right after its anchor place *))
+  in
+  Array.sort compare items;
+  let place_var = Array.make np 0 and signal_var = Array.make ns 0 in
+  Array.iteri
+    (fun v (_, kind, idx) ->
+      if kind = 0 then place_var.(idx) <- v else signal_var.(idx) <- v)
+    items;
+  (place_var, signal_var)
+
+(* --- transition compilation ------------------------------------------- *)
+
+let cube_of_list vars =
+  List.fold_left (fun acc v -> Bdd.band acc (Bdd.var v)) Bdd.one vars
+
+let compile_op stg ~place_var ~signal_var t =
+  let net = Stg.net stg in
+  let pre = Petri.pre net t and post = Petri.post net t in
+  let place_enab = cube_of_list (List.map (fun p -> place_var.(p)) pre) in
+  let enab, wrong, wrong_msg, sig_update, signal =
+    match Stg.label stg t with
+    | Stg.Dummy -> (place_enab, Bdd.zero, "", Bdd.one, -1)
+    | Stg.Edge { signal; dir } ->
+      let sv = signal_var.(signal) in
+      let need, opp, how, upd =
+        match dir with
+        | Stg.Rise -> (Bdd.nvar sv, Bdd.var sv, " already high", Bdd.var sv)
+        | Stg.Fall -> (Bdd.var sv, Bdd.nvar sv, " already low", Bdd.nvar sv)
+      in
+      ( Bdd.band place_enab need,
+        Bdd.band place_enab opp,
+        Sg.inconsistent_msg stg signal dir how,
+        upd,
+        signal )
+  in
+  let update =
+    List.fold_left
+      (fun acc p ->
+        if List.mem p post then acc else Bdd.band acc (Bdd.nvar place_var.(p)))
+      (Bdd.band sig_update
+         (cube_of_list (List.map (fun p -> place_var.(p)) post)))
+      pre
+  in
+  let changed =
+    List.sort_uniq Int.compare
+      ((if signal >= 0 then [ signal_var.(signal) ] else [])
+      @ List.map (fun p -> place_var.(p)) (pre @ post))
+  in
+  let fresh_places = List.filter (fun p -> not (List.mem p pre)) post in
+  { tr = t; signal; place_enab; enab; wrong; wrong_msg; changed; update; fresh_places }
+
+(* --- reachability fixpoint -------------------------------------------- *)
+
+let state_minterm ~nvars ~place_var ~signal_var marking code =
+  let values = Array.make nvars false in
+  Array.iteri (fun p v -> values.(v) <- Bitset.mem marking p) place_var;
+  Array.iteri (fun u v -> values.(v) <- Bitset.mem code u) signal_var;
+  Bdd.of_minterm nvars values
+
+(* [set] must be independent of all signal variables; each marking then
+   accounts for exactly [2^num_signals] assignments. *)
+let count_markings ~nvars ~num_signals set =
+  if num_signals >= Sys.int_size - 2 then invalid_arg "Symbolic: too many signals";
+  Bdd.sat_count set nvars / (1 lsl num_signals)
+
+let analyze ?max_states stg =
+  Obs.span "sg.symbolic" @@ fun () ->
+  let net = Stg.net stg in
+  let ns = Stg.num_signals stg in
+  let np = Petri.num_places net in
+  let nvars = np + ns in
+  let place_var, signal_var = variable_order stg in
+  let ops =
+    Array.init (Petri.num_transitions net) (compile_op stg ~place_var ~signal_var)
+  in
+  let place_vars = List.sort Int.compare (Array.to_list place_var) in
+  let signal_vars = List.sort Int.compare (Array.to_list signal_var) in
+  let init =
+    state_minterm ~nvars ~place_var ~signal_var (Petri.initial_marking net)
+      (Sg.initial_code stg)
+  in
+  let reached = ref init and frontier = ref init in
+  let levels = ref 0 and image_ops = ref 0 in
+  let peak = ref (Bdd.node_count init) in
+  let num_markings = ref 1 in
+  (* The explicit BFS fires every enabled transition of every state, so a
+     safety or consistency offence anywhere in the reachable space is an
+     offence here too: check each frontier before expanding it.  [fire]
+     raises before [check_label] runs, hence the unsafe check first. *)
+  let check_frontier f =
+    Array.iter
+      (fun op ->
+        let en = Bdd.band f op.place_enab in
+        if not (Bdd.is_zero en) then begin
+          List.iter
+            (fun p ->
+              if not (Bdd.is_zero (Bdd.band en (Bdd.var place_var.(p)))) then
+                raise (Petri.Unsafe p))
+            op.fresh_places;
+          if not (Bdd.is_zero (Bdd.band en op.wrong)) then
+            raise (Sg.Inconsistent op.wrong_msg)
+        end)
+      ops
+  in
+  (* Chained (Gauss-Seidel) sweeps: within one sweep, states discovered
+     by earlier transitions feed the images of later ones, so a token can
+     ripple down a whole pipeline in a single pass — on ring-shaped
+     specifications this collapses the BFS depth (~4N levels) to a
+     near-constant number of sweeps.  Exactness is unaffected: every
+     state enters [frontier] exactly once and is checked by
+     [check_frontier] before any result is reported (a state expanded
+     mid-sweep before its check still raises at the head of the next
+     sweep, before the fixpoint can complete). *)
+  while not (Bdd.is_zero !frontier) do
+    incr levels;
+    check_frontier !frontier;
+    let expand = ref !frontier and fresh_sweep = ref Bdd.zero in
+    Array.iter
+      (fun op ->
+        incr image_ops;
+        let img =
+          Bdd.band (Bdd.rel_product op.changed !expand op.enab) op.update
+        in
+        let fresh = Bdd.band img (Bdd.bnot !reached) in
+        if not (Bdd.is_zero fresh) then begin
+          reached := Bdd.bor !reached fresh;
+          expand := Bdd.bor !expand fresh;
+          fresh_sweep := Bdd.bor !fresh_sweep fresh
+        end)
+      ops;
+    frontier := !fresh_sweep;
+    let nodes = Bdd.node_count !reached in
+    if nodes > !peak then peak := nodes;
+    let states = Bdd.sat_count !reached nvars in
+    let markings =
+      count_markings ~nvars ~num_signals:ns (Bdd.exists signal_vars !reached)
+    in
+    (* Two states sharing a marking must share a code: any surplus means
+       the explicit build would have merged the marking and failed. *)
+    if states > markings then
+      raise (Sg.Inconsistent "same marking reached with two different codes");
+    (match max_states with
+    | Some bound when markings > bound -> raise (Sg.Too_large bound)
+    | _ -> ());
+    num_markings := markings
+  done;
+  if Obs.enabled () then begin
+    Obs.incr ~by:!levels "sg.symbolic.levels";
+    Obs.incr ~by:!image_ops "sg.symbolic.image_ops";
+    Obs.set_gauge "sg.symbolic.states" (float_of_int !num_markings);
+    Obs.set_gauge "sg.symbolic.reached_nodes"
+      (float_of_int (Bdd.node_count !reached));
+    Obs.set_gauge "sg.symbolic.peak_nodes" (float_of_int !peak);
+    let ts = Bdd.table_stats () in
+    Obs.set_gauge "bdd.unique_nodes" (float_of_int ts.Bdd.unique_nodes);
+    Obs.set_gauge "bdd.op_cache_entries" (float_of_int ts.Bdd.op_cache_entries)
+  end;
+  {
+    stg;
+    nvars;
+    place_var;
+    signal_var;
+    place_vars;
+    signal_vars;
+    ops;
+    reached = !reached;
+    num_states = !num_markings;
+    levels = !levels;
+    image_ops = !image_ops;
+    peak_nodes = !peak;
+  }
+
+let stg sym = sym.stg
+let num_states sym = sym.num_states
+let num_levels sym = sym.levels
+let num_image_ops sym = sym.image_ops
+let peak_nodes sym = sym.peak_nodes
+let reachable_nodes sym = Bdd.node_count sym.reached
+
+(* --- per-signal excitation, deadlocks, CSC ---------------------------- *)
+
+(* In a reachable state of a successfully analysed STG, every
+   place-enabled transition also produced an explicit edge (its label
+   check passed — [check_frontier] proved there are no offenders), so
+   "some transition of u is place-enabled" coincides with the explicit
+   engine's [Sg.excited]. *)
+let excited_set sym u =
+  Array.fold_left
+    (fun acc op -> if op.signal = u then Bdd.bor acc op.place_enab else acc)
+    Bdd.zero sym.ops
+
+let any_enabled sym =
+  Array.fold_left (fun acc op -> Bdd.bor acc op.place_enab) Bdd.zero sym.ops
+
+let deadlock_set sym = Bdd.band sym.reached (Bdd.bnot (any_enabled sym))
+
+(* Reachable states are in bijection with their BDD minterms (one code
+   per marking), so counting assignments counts states. *)
+let deadlock_count sym = Bdd.sat_count (deadlock_set sym) sym.nvars
+
+(* kind.(v) = place index, or num_places + signal index. *)
+let var_kinds sym =
+  let np = Petri.num_places (Stg.net sym.stg) in
+  let kind = Array.make sym.nvars (-1) in
+  Array.iteri (fun p v -> kind.(v) <- p) sym.place_var;
+  Array.iteri (fun u v -> kind.(v) <- np + u) sym.signal_var;
+  kind
+
+(* Enumerate the full assignments of [set], expanding variables absent
+   from a path both ways (a skipped variable satisfies the path with
+   either value).  Returns (marking, code) pairs in lexicographic
+   variable-assignment order. *)
+let enum_states sym set =
+  let np = Petri.num_places (Stg.net sym.stg) in
+  let ns = Stg.num_signals sym.stg in
+  let kind = var_kinds sym in
+  let acc = ref [] in
+  let rec go bdd v m c =
+    if Bdd.is_zero bdd then ()
+    else if v >= sym.nvars then acc := (m, c) :: !acc
+    else begin
+      let lo, hi =
+        if (not (Bdd.is_one bdd)) && Bdd.top_var bdd = v then
+          (Bdd.cofactor bdd v false, Bdd.cofactor bdd v true)
+        else (bdd, bdd)
+      in
+      go lo (v + 1) m c;
+      let k = kind.(v) in
+      let m', c' =
+        if k < np then (Bitset.add m k, c) else (m, Bitset.add c (k - np))
+      in
+      go hi (v + 1) m' c'
+    end
+  in
+  go set 0 (Bitset.create np) (Bitset.create ns);
+  List.rev !acc
+
+let deadlock_states sym = enum_states sym (deadlock_set sym)
+let deadlock_markings sym = List.map fst (deadlock_states sym)
+
+let live_transitions sym =
+  Array.for_all
+    (fun op -> not (Bdd.is_zero (Bdd.band sym.reached op.place_enab)))
+    sym.ops
+
+(* CSC: signal u is in conflict iff some code is shared by a reachable
+   state where u is excited and one where it is not — quantifying the
+   places out of both sides leaves two sets of codes whose intersection
+   is exactly the conflicting codes.  This matches the explicit
+   [Encoding.csc_conflicts] pair scan without ever forming pairs. *)
+let csc_conflict_signals sym =
+  List.filter
+    (fun u ->
+      let ex = excited_set sym u in
+      let a = Bdd.exists sym.place_vars (Bdd.band sym.reached ex) in
+      let b =
+        Bdd.exists sym.place_vars (Bdd.band sym.reached (Bdd.bnot ex))
+      in
+      not (Bdd.is_zero (Bdd.band a b)))
+    (Stg.non_input_signals sym.stg)
+
+let has_csc sym = csc_conflict_signals sym <> []
+
+(* --- output persistency ----------------------------------------------- *)
+
+(* Mirror of [Props.persistency_violations]: firing [by] from a state
+   where a non-input transition [t] (of a different signal) is also
+   enabled must leave some transition of [t]'s signal enabled.  Only
+   [by] that consume a token [t] needs — pre(t) ∩ (pre(by) ∖ post(by))
+   non-empty — can disable [t], so all other pairs are skipped without
+   an image computation (on marked-graph-like specs this prunes every
+   pair). *)
+let is_output_persistent sym =
+  let stg = sym.stg in
+  let net = Stg.net stg in
+  let signal_of t =
+    match Stg.label stg t with
+    | Stg.Edge { signal; _ } -> Some signal
+    | Stg.Dummy -> None
+  in
+  let is_input t =
+    match signal_of t with Some u -> Stg.is_input stg u | None -> false
+  in
+  let same_signal_enab t =
+    let s = signal_of t in
+    Array.fold_left
+      (fun acc op ->
+        if signal_of op.tr = s then Bdd.bor acc op.place_enab else acc)
+      Bdd.zero sym.ops
+  in
+  let image op set =
+    Bdd.band (Bdd.rel_product op.changed set op.enab) op.update
+  in
+  let can_disable ~t ~by =
+    let taken =
+      List.filter (fun p -> not (List.mem p (Petri.post net by))) (Petri.pre net by)
+    in
+    List.exists (fun p -> List.mem p taken) (Petri.pre net t)
+  in
+  Array.for_all
+    (fun opt ->
+      is_input opt.tr
+      || Array.for_all
+           (fun opby ->
+             opt.tr = opby.tr
+             || signal_of opt.tr = signal_of opby.tr
+             || (not (can_disable ~t:opt.tr ~by:opby.tr))
+             ||
+             let both = Bdd.band sym.reached (Bdd.band opt.place_enab opby.enab) in
+             Bdd.is_zero both
+             || Bdd.is_zero
+                  (Bdd.band (image opby both) (Bdd.bnot (same_signal_enab opt.tr))))
+           sym.ops)
+    sym.ops
+
+(* --- materialization --------------------------------------------------- *)
+
+(* Replay the serial explicit BFS ([Sg.build_serial]'s exact discovery
+   and numbering), asserting every state against the symbolic reachable
+   set as it is found.  The result is bit-identical to [Sg.build] — same
+   ids, same packed arrays — and the membership check makes every
+   materialization a differential test of the two engines. *)
+let materialize ?(max_states = 200_000) sym =
+  Obs.span "sg.symbolic.materialize" @@ fun () ->
+  let stg = sym.stg in
+  let net = Stg.net stg in
+  let np = Petri.num_places net in
+  let kind = var_kinds sym in
+  let member marking code =
+    Bdd.eval sym.reached (fun v ->
+        let k = kind.(v) in
+        if k < np then Bitset.mem marking k else Bitset.mem code (k - np))
+  in
+  let tbl = Hashtbl.create 256 in
+  let empty = Bitset.create 0 in
+  let markings = Vec.create ~capacity:32 ~dummy:empty () in
+  let codes = Vec.create ~capacity:32 ~dummy:empty () in
+  let add marking code =
+    let id = Vec.length markings in
+    Vec.push markings marking;
+    Vec.push codes code;
+    Hashtbl.add tbl marking id;
+    id
+  in
+  let m0 = Petri.initial_marking net in
+  let c0 = Sg.initial_code stg in
+  if not (member m0 c0) then
+    failwith "Symbolic.materialize: initial state missing from reachable set";
+  ignore (add m0 c0);
+  let edges = Vec.create ~capacity:64 ~dummy:0 () in
+  let cursor = ref 0 in
+  while !cursor < Vec.length markings do
+    let s = !cursor in
+    incr cursor;
+    let m = Vec.get markings s and c = Vec.get codes s in
+    Petri.iter_enabled net m (fun t ->
+        let m' = Petri.fire net m t in
+        Sg.check_label stg c t;
+        let s' =
+          match Hashtbl.find_opt tbl m' with
+          | Some s' ->
+            if not (Sg.code_matches stg c t (Vec.get codes s')) then
+              raise (Sg.Inconsistent "same marking reached with two different codes");
+            s'
+          | None ->
+            if Vec.length markings >= max_states then
+              raise (Sg.Too_large max_states);
+            let c' = Sg.apply_label stg c t in
+            if not (member m' c') then
+              failwith
+                "Symbolic.materialize: explicit successor missing from reachable set";
+            add m' c'
+        in
+        Vec.push edges s;
+        Vec.push edges t;
+        Vec.push edges s')
+  done;
+  if Vec.length markings <> sym.num_states then
+    failwith "Symbolic.materialize: explicit and symbolic state counts differ";
+  Sg.of_exploration ~stg ~markings:(Vec.to_array markings)
+    ~codes:(Vec.to_array codes) ~edges
+
+let pp_stats ppf sym =
+  Format.fprintf ppf
+    "symbolic: %d state(s) in %d level(s), %d image op(s), peak %d BDD node(s)"
+    sym.num_states sym.levels sym.image_ops sym.peak_nodes

@@ -1,0 +1,73 @@
+(** Symbolic BDD-based reachability and analysis of STGs.
+
+    States (marking, code) are encoded as minterms over one BDD variable
+    per place and one per signal; each transition becomes a
+    relational-product image operator, and the reachable set is computed
+    by a frontier-based fixpoint.  The engine is exact with respect to
+    the explicit {!Sg.build}: same state space, same deadlocks, same CSC
+    verdicts, and the same failures ({!Sg.Inconsistent},
+    {!Rtcad_stg.Petri.Unsafe}, {!Sg.Too_large} when a bound is given).
+
+    Variables are ordered by interleaving each signal with the
+    lowest-indexed place its transitions touch, which keeps
+    pipeline-shaped specifications (token rings) compact.
+
+    Concurrency contract: a {!t} wraps BDDs, which are domain-local —
+    analyse and query on one domain, ship only counts/booleans/bitsets
+    across parallel joins. *)
+
+type t
+
+val analyze : ?max_states:int -> Rtcad_stg.Stg.t -> t
+(** Run the symbolic fixpoint.  Unbounded by default — the point of the
+    engine is state spaces the explicit builder cannot enumerate; pass
+    [max_states] to replicate the explicit bound ({!Sg.Too_large} is
+    raised when the marking count exceeds it).  Raises
+    {!Sg.Inconsistent} or {!Rtcad_stg.Petri.Unsafe} exactly when
+    {!Sg.build} would. *)
+
+val stg : t -> Rtcad_stg.Stg.t
+
+val num_states : t -> int
+(** Number of reachable states, by BDD model counting. *)
+
+val num_levels : t -> int
+(** Chained sweeps the fixpoint took to converge (each sweep covers at
+    least one BFS level, usually many). *)
+
+val num_image_ops : t -> int
+val peak_nodes : t -> int
+(** Largest node count of the reachable-set BDD across levels. *)
+
+val reachable_nodes : t -> int
+(** Node count of the final reachable-set BDD. *)
+
+val deadlock_count : t -> int
+
+val deadlock_markings : t -> Rtcad_util.Bitset.t list
+(** Markings of the reachable deadlocked states. *)
+
+val deadlock_states : t -> (Rtcad_util.Bitset.t * Rtcad_util.Bitset.t) list
+(** Deadlocked (marking, code) pairs. *)
+
+val live_transitions : t -> bool
+(** Every transition enabled in at least one reachable state. *)
+
+val csc_conflict_signals : t -> int list
+(** Non-input signals whose excitation differs between two reachable
+    states sharing a code — the signals the explicit
+    [Encoding.csc_conflicts] would report, ascending. *)
+
+val has_csc : t -> bool
+
+val is_output_persistent : t -> bool
+(** Symbolic mirror of [Props.is_output_persistent]. *)
+
+val materialize : ?max_states:int -> t -> Sg.t
+(** Extract an explicit state graph, bit-identical to [Sg.build] on the
+    same STG: the serial BFS is replayed (canonical ids, packed arrays)
+    with every discovered state asserted against the symbolic reachable
+    set, so a divergence between the engines fails loudly.  Default
+    bound 200000 states, like {!Sg.build}. *)
+
+val pp_stats : Format.formatter -> t -> unit

@@ -156,6 +156,93 @@ let prop_sat_count =
       let brute = List.length (List.filter (fun env -> Bdd.eval f env) (all_envs nvars)) in
       Bdd.sat_count f nvars = brute)
 
+(* Quantification and relational operators, cross-checked against full
+   truth-table enumeration on 10 variables (1024 environments). *)
+
+let qnvars = 10
+
+let gen_expr10 =
+  QCheck.Gen.(
+    sized
+    @@ fix (fun self n ->
+           if n <= 0 then map (fun i -> V i) (0 -- (qnvars - 1))
+           else
+             frequency
+               [
+                 (1, map (fun i -> V i) (0 -- (qnvars - 1)));
+                 (2, map (fun e -> Not e) (self (n - 1)));
+                 (2, map2 (fun a b -> And (a, b)) (self (n / 2)) (self (n / 2)));
+                 (2, map2 (fun a b -> Or (a, b)) (self (n / 2)) (self (n / 2)));
+                 (1, map2 (fun a b -> Xor (a, b)) (self (n / 2)) (self (n / 2)));
+               ]))
+
+let arb_expr10 = QCheck.make ~print:show_expr gen_expr10
+
+let arb_vars10 =
+  QCheck.list_of_size QCheck.Gen.(1 -- 4) (QCheck.int_range 0 (qnvars - 1))
+
+(* Every assignment to [vs] layered over [env]. *)
+let overrides vs env =
+  let vs = List.sort_uniq Int.compare vs in
+  List.init (1 lsl List.length vs) (fun bits ->
+      let tab = List.mapi (fun i v -> (v, (bits lsr i) land 1 = 1)) vs in
+      fun v -> match List.assoc_opt v tab with Some b -> b | None -> env v)
+
+let prop_exists_enum =
+  QCheck.Test.make ~name:"exists matches enumeration (10 vars)" ~count:50
+    (QCheck.pair arb_expr10 arb_vars10)
+    (fun (e, vs) ->
+      let f = Bdd.exists vs (bdd_of_expr e) in
+      List.for_all
+        (fun env ->
+          Bdd.eval f env
+          = List.exists (fun env' -> eval_expr env' e) (overrides vs env))
+        (all_envs qnvars))
+
+let prop_forall_enum =
+  QCheck.Test.make ~name:"forall matches enumeration (10 vars)" ~count:50
+    (QCheck.pair arb_expr10 arb_vars10)
+    (fun (e, vs) ->
+      let f = Bdd.forall vs (bdd_of_expr e) in
+      List.for_all
+        (fun env ->
+          Bdd.eval f env
+          = List.for_all (fun env' -> eval_expr env' e) (overrides vs env))
+        (all_envs qnvars))
+
+let prop_rel_product_enum =
+  QCheck.Test.make ~name:"rel_product = exists of conjunction (10 vars)" ~count:50
+    (QCheck.triple arb_expr10 arb_expr10 arb_vars10)
+    (fun (ea, eb, vs) ->
+      let fa = bdd_of_expr ea and fb = bdd_of_expr eb in
+      let fused = Bdd.rel_product vs fa fb in
+      Bdd.equal fused (Bdd.exists vs (Bdd.band fa fb))
+      && List.for_all
+           (fun env ->
+             Bdd.eval fused env
+             = List.exists
+                 (fun env' -> eval_expr env' ea && eval_expr env' eb)
+                 (overrides vs env))
+           (all_envs qnvars))
+
+let prop_compose_enum =
+  QCheck.Test.make ~name:"compose substitutes (10 vars)" ~count:50
+    (QCheck.triple arb_expr10 (QCheck.int_range 0 (qnvars - 1)) arb_expr10)
+    (fun (ef, v, eg) ->
+      let h = Bdd.compose (bdd_of_expr ef) v (bdd_of_expr eg) in
+      List.for_all
+        (fun env ->
+          let env' u = if u = v then eval_expr env eg else env u in
+          Bdd.eval h env = eval_expr env' ef)
+        (all_envs qnvars))
+
+let prop_sat_count_enum =
+  QCheck.Test.make ~name:"sat_count matches enumeration (10 vars)" ~count:50
+    arb_expr10 (fun e ->
+      let f = bdd_of_expr e in
+      Bdd.sat_count f qnvars
+      = List.length (List.filter (fun env -> Bdd.eval f env) (all_envs qnvars)))
+
 (* Cube / cover tests. *)
 
 let test_cube_basics () =
@@ -282,6 +369,11 @@ let suite =
         QCheck_alcotest.to_alcotest prop_shannon;
         QCheck_alcotest.to_alcotest prop_ite;
         QCheck_alcotest.to_alcotest prop_sat_count;
+        QCheck_alcotest.to_alcotest prop_exists_enum;
+        QCheck_alcotest.to_alcotest prop_forall_enum;
+        QCheck_alcotest.to_alcotest prop_rel_product_enum;
+        QCheck_alcotest.to_alcotest prop_compose_enum;
+        QCheck_alcotest.to_alcotest prop_sat_count_enum;
       ] );
     ( "cover",
       [

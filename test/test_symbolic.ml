@@ -1,0 +1,117 @@
+(* Cross-engine golden tests: the symbolic BDD engine (Rtcad_sg.Symbolic)
+   must agree exactly with the explicit builder (Rtcad_sg.Sg) — state
+   counts, deadlock sets, CSC verdicts, liveness, persistency — and
+   [Symbolic.materialize] must reproduce the explicit graph bit for bit.
+   Everything is run at both 1 and 2 worker domains, since the explicit
+   builder shards its BFS levels across domains. *)
+
+module Bitset = Rtcad_util.Bitset
+module Par = Rtcad_par.Par
+module Library = Rtcad_stg.Library
+module Sg = Rtcad_sg.Sg
+module Symbolic = Rtcad_sg.Symbolic
+module Encoding = Rtcad_sg.Encoding
+module Props = Rtcad_sg.Props
+module Engine = Rtcad_sg.Engine
+
+let with_jobs n f =
+  let prev = Par.jobs () in
+  Par.set_jobs n;
+  Fun.protect ~finally:(fun () -> Par.set_jobs prev) f
+
+(* The markings of a state set, as a canonically ordered list of element
+   lists, so two engines' answers compare as sets. *)
+let marking_set sg states = List.sort compare (List.map (fun s -> Bitset.elements (Sg.marking sg s)) states)
+
+let same_graph name a b =
+  Alcotest.(check int) (name ^ ": materialized states") (Sg.num_states a) (Sg.num_states b);
+  for s = 0 to Sg.num_states a - 1 do
+    if not (Bitset.equal (Sg.marking a s) (Sg.marking b s)) then
+      Alcotest.failf "%s: marking of state %d differs" name s;
+    if not (Bitset.equal (Sg.code a s) (Sg.code b s)) then
+      Alcotest.failf "%s: code of state %d differs" name s;
+    if Sg.succs a s <> Sg.succs b s then
+      Alcotest.failf "%s: successors of state %d differ" name s
+  done
+
+let check_spec name stg =
+  let sg = Sg.build stg in
+  let sym = Symbolic.analyze stg in
+  Alcotest.(check int) (name ^ ": num_states") (Sg.num_states sg)
+    (Symbolic.num_states sym);
+  Alcotest.(check (list (list int)))
+    (name ^ ": deadlock markings")
+    (marking_set sg (Sg.deadlocks sg))
+    (List.sort compare (List.map Bitset.elements (Symbolic.deadlock_markings sym)));
+  Alcotest.(check bool) (name ^ ": has_csc") (Encoding.has_csc sg)
+    (Symbolic.has_csc sym);
+  let explicit_csc_signals =
+    Encoding.csc_conflicts sg
+    |> List.concat_map (fun c -> c.Encoding.signals)
+    |> List.sort_uniq Int.compare
+  in
+  Alcotest.(check (list int))
+    (name ^ ": csc conflict signals")
+    explicit_csc_signals
+    (Symbolic.csc_conflict_signals sym);
+  Alcotest.(check bool) (name ^ ": live_transitions")
+    (Props.live_transitions sg)
+    (Symbolic.live_transitions sym);
+  Alcotest.(check bool)
+    (name ^ ": output persistency")
+    (Props.is_output_persistent sg)
+    (Symbolic.is_output_persistent sym);
+  same_graph name sg (Symbolic.materialize sym)
+
+let check_all () =
+  List.iter (fun (name, stg) -> check_spec name stg) (Library.all_named ());
+  List.iter
+    (fun n -> check_spec (Printf.sprintf "ring%d" n) (Library.ring n))
+    [ 6; 7; 8; 9 ]
+
+let test_agree_jobs1 () = with_jobs 1 check_all
+let test_agree_jobs2 () = with_jobs 2 check_all
+
+let test_engine_select () =
+  let toggle = Library.toggle () in
+  let ring10 = Library.ring 10 in
+  Alcotest.(check bool) "toggle under Auto is explicit" true
+    (Engine.select Engine.Auto toggle = `Explicit);
+  Alcotest.(check bool) "ring10 under Auto is symbolic" true
+    (Engine.select Engine.Auto ring10 = `Symbolic);
+  Alcotest.(check bool) "Symbolic forces" true
+    (Engine.select Engine.Symbolic toggle = `Symbolic);
+  Alcotest.(check bool) "Explicit forces" true
+    (Engine.select Engine.Explicit ring10 = `Explicit);
+  Alcotest.(check int) "ring10 concurrency estimate" 10
+    (Engine.concurrency_estimate ring10);
+  List.iter
+    (fun e ->
+      Alcotest.(check bool)
+        ("to_string/of_string roundtrip: " ^ Engine.to_string e)
+        true
+        (Engine.of_string (Engine.to_string e) = Some e))
+    [ Engine.Auto; Engine.Explicit; Engine.Symbolic ];
+  Alcotest.(check bool) "unknown engine name" true (Engine.of_string "magic" = None)
+
+let test_engine_build () =
+  let stg = Library.ring 6 in
+  same_graph "engine build ring6"
+    (Engine.build ~engine:Engine.Explicit stg)
+    (Engine.build ~engine:Engine.Symbolic stg)
+
+let test_symbolic_bound () =
+  Alcotest.check_raises "symbolic respects max_states" (Sg.Too_large 100)
+    (fun () -> ignore (Symbolic.analyze ~max_states:100 (Library.ring 6)))
+
+let suite =
+  [
+    ( "symbolic",
+      [
+        Alcotest.test_case "engines agree (jobs=1)" `Quick test_agree_jobs1;
+        Alcotest.test_case "engines agree (jobs=2)" `Quick test_agree_jobs2;
+        Alcotest.test_case "engine selection" `Quick test_engine_select;
+        Alcotest.test_case "Engine.build is engine-independent" `Quick test_engine_build;
+        Alcotest.test_case "symbolic max_states bound" `Quick test_symbolic_bound;
+      ] );
+  ]
