@@ -7,7 +7,7 @@ ifdef RTCAD_JOBS
 export RTCAD_JOBS
 endif
 
-.PHONY: all build test fuzz bench verify golden golden-update smoke-symbolic clean
+.PHONY: all build test fuzz bench verify golden golden-update smoke-symbolic smoke-symbolic-synth clean
 
 all: build
 
@@ -23,11 +23,18 @@ fuzz:
 bench:
 	dune exec bench/main.exe -- perf
 
-# Symbolic-engine smoke: ring-10 (393 660 states) is past the explicit
-# 200 000-state bound, so this exercises the BDD fixpoint, the CSC
-# check and the auto engine selection end to end in a few hundred ms.
+# Symbolic-engine smoke: ring-14 (~3.1e7 states) is far past the
+# explicit 200 000-state bound, so this exercises the clustered BDD
+# fixpoint, the CSC check and the engine selection end to end in a few
+# hundred ms.
 smoke-symbolic:
-	dune exec bin/rtsyn.exe -- check ring10 --engine symbolic
+	dune exec bin/rtsyn.exe -- check ring14 --engine symbolic
+
+# End-to-end symbolic synthesis: ring-10 (393 660 states, never
+# materialized) through state encoding, RT pruning, cover extraction and
+# the conformance self-check, all on the reachable BDD.
+smoke-symbolic-synth:
+	dune exec bin/rtsyn.exe -- synth ring10 --engine symbolic
 
 # Golden-trace regression corpus (test/golden): compare fresh VCD and
 # metric-summary output against the committed snapshots...

@@ -107,7 +107,7 @@ let figure2 () =
   Format.printf "RT assumption generation: %d assumptions@."
     (List.length r.Flow.assumptions);
   Format.printf "lazy state graph: %d -> %d states@."
-    (Sg.num_states r.Flow.sg_full) (Sg.num_states r.Flow.sg);
+    (Flow.num_states_full r) (Flow.num_states_used r);
   Format.printf "logic synthesis:@.";
   List.iter
     (fun s ->
@@ -329,7 +329,7 @@ let ablation () =
     | r ->
       let lits = List.fold_left (fun acc s -> acc + s.Flow.literals) 0 r.Flow.signals in
       Format.printf "%-34s states %3d->%3d  literals %2d  constraints %2d@." name
-        (Sg.num_states r.Flow.sg_full) (Sg.num_states r.Flow.sg) lits
+        (Flow.num_states_full r) (Flow.num_states_used r) lits
         (List.length r.Flow.constraints)
     | exception Flow.Synthesis_failure msg -> Format.printf "%-34s FAILED: %s@." name msg
   in
@@ -379,7 +379,7 @@ let section6 () =
   let stg = Rtcad_hls.Compile.compile prog in
   let r = Flow.synthesize ~mode:Flow.rt_default stg in
   Format.printf "'A?;B!' -> %d-state STG -> %d gates, %d constraints@."
-    (Sg.num_states r.Flow.sg_full)
+    (Flow.num_states_full r)
     (Netlist.gate_count r.Flow.netlist)
     (List.length (Check.minimal_constraints r));
   (* (b) Timing-aware decomposition / technology mapping. *)
@@ -585,19 +585,29 @@ let () =
       "@.(run `bench/main.exe perf' for kernel wall-times, `micro' for Bechamel)@."
   | "perf" :: rest ->
     (* `perf --only KERNEL [--only KERNEL…]` runs a subset in one warmed
-       process — the iteration loop while tuning a single kernel. *)
+       process — the iteration loop while tuning a single kernel.
+       `--reps N` overrides RTCAD_BENCH_REPS for this run. *)
     let only = ref [] in
+    let reps = ref None in
     let rec parse = function
       | [] -> ()
       | "--only" :: name :: rest ->
         only := name :: !only;
         parse rest
+      | "--reps" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 ->
+          reps := Some n;
+          parse rest
+        | Some _ | None ->
+          Printf.eprintf "perf: --reps expects a positive integer\n";
+          exit 2)
       | _ ->
-        Printf.eprintf "usage: perf [--only KERNEL]...\n";
+        Printf.eprintf "usage: perf [--only KERNEL]... [--reps N]\n";
         exit 2
     in
     parse rest;
-    Perf.run_perf ~only:(List.rev !only) ()
+    Perf.run_perf ?reps:!reps ~only:(List.rev !only) ()
   | "compare" :: rest ->
     let strict = ref false and update_baseline = ref false in
     List.iter

@@ -129,8 +129,8 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_results ~reps timings =
-  let oc = open_out result_file in
+let write_results_to ~path ~reps timings =
+  let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
   p "  \"schema\": \"rtcad-bench-perf/3\",\n";
@@ -157,6 +157,28 @@ let write_results ~reps timings =
   p "  }\n";
   p "}\n";
   close_out oc
+
+(* Perf trajectory across PRs: every run is archived under
+   [bench/results/] as [<timestamp>.json] plus a [latest.json] alias, so
+   history is tracked, not just gated against the committed baseline. *)
+let results_dir = "bench" ^ Filename.dir_sep ^ "results"
+
+let write_history ~reps timings =
+  match Sys.is_directory "bench" with
+  | exception Sys_error _ -> None (* not run from the repo root: skip history *)
+  | false -> None
+  | true ->
+    if not (Sys.file_exists results_dir) then Unix.mkdir results_dir 0o755;
+    let tm = Unix.gmtime (Unix.time ()) in
+    let stamp =
+      Printf.sprintf "%04d%02d%02d-%02d%02d%02d" (tm.Unix.tm_year + 1900)
+        (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+        tm.Unix.tm_sec
+    in
+    let path = Filename.concat results_dir (stamp ^ ".json") in
+    write_results_to ~path ~reps timings;
+    write_results_to ~path:(Filename.concat results_dir "latest.json") ~reps timings;
+    Some path
 
 (* ------------------------------------------------------------------ *)
 (* Minimal JSON reader (for our own schema and the baseline)           *)
@@ -331,8 +353,8 @@ let recorded_jobs path =
 (* Entry points                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let run_perf ?(only = []) () =
-  let reps = reps () in
+let run_perf ?reps:reps_override ?(only = []) () =
+  let reps = match reps_override with Some n -> n | None -> reps () in
   let all = kernels () in
   let selected =
     match only with
@@ -350,7 +372,8 @@ let run_perf ?(only = []) () =
   in
   Format.printf "kernel wall-time benchmarks (%d reps; RTCAD_BENCH_REPS to tune)@." reps;
   let timings = List.map (measure ~reps) selected in
-  write_results ~reps timings;
+  write_results_to ~path:result_file ~reps timings;
+  let history = write_history ~reps timings in
   Format.printf "@.%-18s %10s %10s %10s %10s@." "kernel" "min ms" "p50 ms"
     "mean ms" "max ms";
   List.iter
@@ -359,6 +382,9 @@ let run_perf ?(only = []) () =
         (p50_ms t) (mean_ms t) (max_ms t))
     timings;
   Format.printf "@.wrote %s@." result_file;
+  (match history with
+  | Some path -> Format.printf "archived %s (and %s/latest.json)@." path results_dir
+  | None -> ());
   if only <> [] then
     Format.printf "(subset run: %s holds only the selected kernels)@." result_file;
   if Sys.file_exists baseline_file then Format.printf "(compare with `-- compare')@."

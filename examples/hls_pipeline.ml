@@ -44,7 +44,7 @@ let run ?(synthesize = true) name text =
     Format.printf "RT: %d gates, %d transistors, states %d -> %d@."
       (Netlist.gate_count r.Flow.netlist)
       (Netlist.transistors r.Flow.netlist)
-      (Sg.num_states r.Flow.sg_full) (Sg.num_states r.Flow.sg);
+      (Flow.num_states_full r) (Flow.num_states_used r);
     let minimal = Check.minimal_constraints r in
     Format.printf "RT: verified under %d constraints:@." (List.length minimal);
     List.iter

@@ -217,7 +217,7 @@ let flow_invariants stg =
   | exception Flow.Synthesis_failure msg -> Skip ("synthesis: " ^ msg)
   | exception Sg.Too_large _ -> Skip "state graph too large"
   | result ->
-    if Encoding.has_csc result.Flow.sg then
+    if Encoding.has_csc (Flow.sg result) then
       fail oracle "CSC conflicts remain in the encoded, reduced state graph"
     else begin
       (* The encoded STG (with inserted state signals) must still agree

@@ -4,9 +4,11 @@ module Stg = Rtcad_stg.Stg
 module Transform = Rtcad_stg.Transform
 module Sg = Rtcad_sg.Sg
 module Engine = Rtcad_sg.Engine
+module Symbolic = Rtcad_sg.Symbolic
 module Encoding = Rtcad_sg.Encoding
 module Csc = Rtcad_sg.Csc
 module Props = Rtcad_sg.Props
+module Bdd = Rtcad_logic.Bdd
 module Assumption = Rtcad_rt.Assumption
 module Generate = Rtcad_rt.Generate
 module Prune = Rtcad_rt.Prune
@@ -35,12 +37,19 @@ type signal_result = {
   lazy_constraints : Assumption.t list;
 }
 
+(* What the reachability stage produced.  The explicit flow carries the
+   graphs themselves; the symbolic flow never materializes one, so only
+   the state counts survive (the BDDs are domain-local and dropped once
+   synthesis is done). *)
+type reach =
+  | Explicit_graphs of { sg_full : Sg.t; sg : Sg.t }
+  | Symbolic_counts of { states_full : int; states_used : int }
+
 type t = {
   mode : mode;
   stg : Stg.t;
   insertions : Csc.insertion list;
-  sg_full : Sg.t;
-  sg : Sg.t;
+  reach : reach;
   assumptions : Assumption.t list;
   constraints : Assumption.t list;
   signals : signal_result list;
@@ -50,6 +59,28 @@ type t = {
 exception Synthesis_failure of string
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Synthesis_failure s)) fmt
+
+let sg_full t =
+  match t.reach with
+  | Explicit_graphs { sg_full; _ } -> sg_full
+  | Symbolic_counts _ ->
+    invalid_arg "Flow.sg_full: symbolic flow carries no explicit state graph"
+
+let sg t =
+  match t.reach with
+  | Explicit_graphs { sg; _ } -> sg
+  | Symbolic_counts _ ->
+    invalid_arg "Flow.sg: symbolic flow carries no explicit state graph"
+
+let num_states_full t =
+  match t.reach with
+  | Explicit_graphs { sg_full; _ } -> Sg.num_states sg_full
+  | Symbolic_counts { states_full; _ } -> states_full
+
+let num_states_used t =
+  match t.reach with
+  | Explicit_graphs { sg; _ } -> Sg.num_states sg
+  | Symbolic_counts { states_used; _ } -> states_used
 
 let instantiate_user stg user =
   List.concat_map
@@ -63,22 +94,37 @@ let instantiate_user stg user =
 (* [fast] is used inside the state-encoding search, where the assumption
    generator runs once per candidate insertion: fewer randomized runs and
    shorter executions keep the search tractable.  The final assumption set
-   is always regenerated at full strength. *)
-let gather_assumptions ?(fast = false) ~mode stg sg =
+   is always regenerated at full strength.  The concurrent pairs are the
+   only thing the generator needs from a reachability analysis, so both
+   engines share this body. *)
+let gather_assumptions_pairs ?(fast = false) ~mode stg pairs =
   match mode with
   | Si -> []
   | Rt { user; allow_input_first; _ } ->
     let automatic =
       if fast then
         let nt = Rtcad_stg.Petri.num_transitions (Stg.net stg) in
-        Generate.automatic ~allow_input_first ~runs:2 ~steps:(20 * nt) stg sg
-      else Generate.automatic ~allow_input_first stg sg
+        Generate.automatic_of_pairs ~allow_input_first ~runs:2 ~steps:(20 * nt)
+          stg pairs
+      else Generate.automatic_of_pairs ~allow_input_first stg pairs
     in
     instantiate_user stg user @ automatic
 
+let gather_assumptions ?fast ~mode stg sg =
+  gather_assumptions_pairs ?fast ~mode stg
+    (match mode with Si -> [] | Rt _ -> Rtcad_rt.Timed_sim.concurrent_pairs sg)
+
+let gather_assumptions_sym ?fast ~mode stg sym =
+  gather_assumptions_pairs ?fast ~mode stg
+    (match mode with Si -> [] | Rt _ -> Symbolic.concurrent_pairs sym)
+
 (* Implementation selection: candidates in preference order, first one
-   passing the correctness checks with minimal literal cost wins. *)
-let choose_impl ~mode sg spec =
+   passing the correctness checks with minimal literal cost wins.
+   [monotonic] and [lazy_of] abstract the two graph engines: the
+   explicit wrapper reads excitation instances and lazy relaxations off
+   the graph, the symbolic one off the view (which has no lazy-cover
+   support — the relaxation needs per-state successor walks). *)
+let choose_impl_gen ~mode ~stg ~monotonic ~lazy_of (spec : Nextstate.spec) =
   let complex = Implement.synthesize spec Implement.Complex_gate in
   let gc = Implement.synthesize spec Implement.Generalized_c in
   let base =
@@ -88,13 +134,11 @@ let choose_impl ~mode sg spec =
     match mode with
     | Si -> []
     | Rt { allow_lazy = false; _ } -> []
-    | Rt { allow_lazy = true; _ } ->
-      let r = Lazy_cover.relax sg spec gc in
-      if r.Lazy_cover.constraints = [] then [] else [ (r.Lazy_cover.impl, r.Lazy_cover.constraints) ]
+    | Rt { allow_lazy = true; _ } -> lazy_of gc
   in
   let acceptable (impl, _) =
     match mode with
-    | Si -> Implement.respects_spec spec impl && Implement.monotonic sg spec impl
+    | Si -> Implement.respects_spec spec impl && monotonic impl
     | Rt _ -> (
       match impl with
       | Implement.Complex _ -> Implement.respects_spec spec impl
@@ -108,13 +152,81 @@ let choose_impl ~mode sg spec =
   with
   | [] ->
     fail "no acceptable implementation for signal %s"
-      (Stg.signal_name (Sg.stg sg) spec.Nextstate.signal)
+      (Stg.signal_name stg spec.Nextstate.signal)
   | best :: _ -> best
 
-let synthesize ?(mode = rt_default) ?(engine = Engine.Auto) ?emit_style ?max_states
-    spec_stg =
-  Obs.span "flow.synthesize" @@ fun () ->
-  let stg0 = Transform.contract_dummies ~strict:false spec_stg in
+let choose_impl ~mode sg spec =
+  choose_impl_gen ~mode ~stg:(Sg.stg sg)
+    ~monotonic:(fun impl -> Implement.monotonic sg spec impl)
+    ~lazy_of:(fun gc ->
+      let r = Lazy_cover.relax sg spec gc in
+      if r.Lazy_cover.constraints = [] then []
+      else [ (r.Lazy_cover.impl, r.Lazy_cover.constraints) ])
+    spec
+
+let choose_impl_sym ~mode view spec =
+  let stg = Symbolic.stg (Symbolic.view_base view) in
+  choose_impl_gen ~mode ~stg
+    ~monotonic:(fun impl ->
+      Implement.monotonic_with
+        ~rises:(Symbolic.excitation_regions view spec.Nextstate.signal Stg.Rise)
+        ~falls:(Symbolic.excitation_regions view spec.Nextstate.signal Stg.Fall)
+        impl)
+    ~lazy_of:(fun _ -> [])
+    spec
+
+(* Emission, back-annotation and the conformance gate — identical for
+   both engines once the per-signal implementations are chosen. *)
+let finish ~mode ~stg ~insertions ~reach ~assumptions ~used ?emit_style chosen =
+  let signals =
+    List.map
+      (fun (spec, (impl, lazy_constraints)) ->
+        {
+          signal_name = Stg.signal_name stg spec.Nextstate.signal;
+          impl;
+          literals = Implement.literal_cost impl;
+          lazy_constraints;
+        })
+      chosen
+  in
+  let emit_style =
+    match emit_style with
+    | Some s -> s
+    | None -> (
+      match mode with
+      | Si -> Emit.Static_cmos
+      | Rt _ -> Emit.Domino_cmos { footed = true })
+  in
+  let netlist =
+    Obs.span "flow.emit" (fun () ->
+        Emit.emit ~style:emit_style stg
+          (List.map (fun (spec, (impl, _)) -> (spec.Nextstate.signal, impl)) chosen))
+  in
+  let constraints =
+    List.sort_uniq Assumption.compare
+      (used @ List.concat_map (fun (_, (_, lc)) -> lc) chosen)
+  in
+  (* Close the Figure-2 loop: the emitted netlist must conform to the
+     encoded specification — untimed in SI mode, under the generated
+     assumption set in RT mode.  Without this gate, specifications with
+     concurrency between unrelated cycles can yield covers whose
+     cross-cycle terms glitch in interleavings the assumption vocabulary
+     cannot forbid; refusing turns a silently hazardous circuit into an
+     explicit synthesis failure. *)
+  (match
+     Obs.span "flow.verify" (fun () ->
+         Conformance.check
+           ~constraints:(match mode with Si -> [] | Rt _ -> assumptions)
+           ~circuit:netlist ~spec:stg ())
+   with
+  | exception Conformance.Bound_exceeded _ -> ()
+  | r ->
+    if not r.Conformance.ok then
+      fail "emitted netlist fails its conformance self-check (%d failure(s))"
+        (List.length r.Conformance.failures));
+  { mode; stg; insertions; reach; assumptions; constraints; signals; netlist }
+
+let synthesize_explicit ~mode ~engine ?emit_style ?max_states stg0 =
   let csc_mode =
     match mode with Si -> Csc.Speed_independent | Rt _ -> Csc.Timing_aware
   in
@@ -175,6 +287,10 @@ let synthesize ?(mode = rt_default) ?(engine = Engine.Auto) ?emit_style ?max_sta
     Obs.span "flow.synth" @@ fun () ->
     Par.map_list
       (fun u ->
+        (* Cover extraction is structure-sensitive: re-establish the
+           canonical variable order in case an earlier symbolic analysis
+           left a sifted one behind on this domain. *)
+        Bdd.restore_order ();
         let spec = Nextstate.of_sg sg u in
         (* BDD sizes are recorded inside the task — the spec's BDDs are
            domain-local and must not be read after the join.  The counts
@@ -186,60 +302,108 @@ let synthesize ?(mode = rt_default) ?(engine = Engine.Auto) ?emit_style ?max_sta
         (spec, choose_impl ~mode sg spec))
       (Stg.non_input_signals (Sg.stg sg))
   in
-  let signals =
+  finish ~mode ~stg ~insertions
+    ~reach:(Explicit_graphs { sg_full; sg })
+    ~assumptions ~used ?emit_style chosen
+
+(* The symbolic flow: state encoding, assumption generation, pruning,
+   next-state extraction and the monotonicity checks all run on the
+   reachable BDD — no explicit state graph is ever materialized, which
+   is what lets specifications beyond the explicit bound reach a
+   netlist.  Two deliberate differences from the explicit path: lazy
+   cover relaxation is skipped (it needs per-state successor walks), and
+   per-signal synthesis runs serially on the calling domain (the view's
+   BDDs are domain-local; the specs here are precisely the ones whose
+   graphs are too large to enumerate, so the per-signal work is BDD-
+   bound, not embarrassingly parallel state scans). *)
+let synthesize_symbolic ~mode ?emit_style ?max_states stg0 =
+  let csc_mode =
+    match mode with Si -> Csc.Speed_independent | Rt _ -> Csc.Timing_aware
+  in
+  (* The symbolic counterpart of the RT pruning view: candidate verdicts
+     are taken on the assumption-pruned state space. *)
+  let sym_view =
+    match mode with
+    | Si -> None
+    | Rt _ ->
+      Some
+        (fun sym ->
+          let stg = Symbolic.stg sym in
+          let assumptions =
+            gather_assumptions_sym ~fast:true ~mode stg sym
+          in
+          let r = Prune.apply_consistent_sym sym assumptions in
+          ( Symbolic.view_deadlock_free r.Prune.view,
+            Symbolic.view_has_csc r.Prune.view ))
+  in
+  let stg, insertions =
+    match
+      Obs.span "flow.encode" (fun () ->
+          Csc.resolve_all ~mode:csc_mode ~engine:Engine.Symbolic ?sym_view
+            ?max_states stg0)
+    with
+    | Some (stg, ins) -> (stg, ins)
+    | None -> fail "state encoding failed: CSC conflicts could not be resolved"
+  in
+  let sym = Obs.span "flow.reach" (fun () -> Symbolic.analyze ?max_states stg) in
+  Obs.set_gauge "flow.sg_states_full" (float_of_int (Symbolic.num_states sym));
+  let assumptions =
+    Obs.span "flow.assume" (fun () -> gather_assumptions_sym ~mode stg sym)
+  in
+  let view, used =
+    match mode with
+    | Si -> (Symbolic.unrestricted sym, [])
+    | Rt _ ->
+      let r =
+        Obs.span "flow.prune" (fun () -> Prune.apply_consistent_sym sym assumptions)
+      in
+      (r.Prune.view, r.Prune.sym_used)
+  in
+  let states_used = Symbolic.view_states view in
+  Obs.set_gauge "flow.sg_states_used" (float_of_int states_used);
+  Obs.set_gauge "flow.assumptions" (float_of_int (List.length assumptions));
+  if Symbolic.view_has_csc view then fail "CSC conflicts remain after encoding";
+  (match mode with
+  | Si ->
+    if not (Symbolic.is_output_persistent sym) then
+      fail "specification is not output-persistent: no SI implementation"
+  | Rt _ -> ());
+  Rtcad_stg.Petri.prepare (Stg.net stg);
+  (* Cover extraction is structure-sensitive: sift back to the canonical
+     identity order so the emitted covers are independent of whatever
+     dynamic reordering the fixpoint ran. *)
+  Bdd.restore_order ();
+  let chosen =
+    Obs.span "flow.synth" @@ fun () ->
     List.map
-      (fun (spec, (impl, lazy_constraints)) ->
-        {
-          signal_name = Stg.signal_name stg spec.Nextstate.signal;
-          impl;
-          literals = Implement.literal_cost impl;
-          lazy_constraints;
-        })
-      chosen
+      (fun u ->
+        let spec = Nextstate.of_view view u in
+        Obs.incr ~by:(Rtcad_logic.Bdd.node_count spec.Nextstate.on_set)
+          "synth.bdd_nodes.on_set";
+        Obs.incr ~by:(Rtcad_logic.Bdd.node_count spec.Nextstate.off_set)
+          "synth.bdd_nodes.off_set";
+        (spec, choose_impl_sym ~mode view spec))
+      (Stg.non_input_signals stg)
   in
-  let emit_style =
-    match emit_style with
-    | Some s -> s
-    | None -> (
-      match mode with
-      | Si -> Emit.Static_cmos
-      | Rt _ -> Emit.Domino_cmos { footed = true })
-  in
-  let netlist =
-    Obs.span "flow.emit" (fun () ->
-        Emit.emit ~style:emit_style stg
-          (List.map (fun (spec, (impl, _)) -> (spec.Nextstate.signal, impl)) chosen))
-  in
-  let constraints =
-    List.sort_uniq Assumption.compare
-      (used @ List.concat_map (fun (_, (_, lc)) -> lc) chosen)
-  in
-  (* Close the Figure-2 loop: the emitted netlist must conform to the
-     encoded specification — untimed in SI mode, under the generated
-     assumption set in RT mode.  Without this gate, specifications with
-     concurrency between unrelated cycles can yield covers whose
-     cross-cycle terms glitch in interleavings the assumption vocabulary
-     cannot forbid; refusing turns a silently hazardous circuit into an
-     explicit synthesis failure. *)
-  (match
-     Obs.span "flow.verify" (fun () ->
-         Conformance.check
-           ~constraints:(match mode with Si -> [] | Rt _ -> assumptions)
-           ~circuit:netlist ~spec:stg ())
-   with
-  | exception Conformance.Bound_exceeded _ -> ()
-  | r ->
-    if not r.Conformance.ok then
-      fail "emitted netlist fails its conformance self-check (%d failure(s))"
-        (List.length r.Conformance.failures));
-  { mode; stg; insertions; sg_full; sg; assumptions; constraints; signals; netlist }
+  finish ~mode ~stg ~insertions
+    ~reach:
+      (Symbolic_counts { states_full = Symbolic.num_states sym; states_used })
+    ~assumptions ~used ?emit_style chosen
+
+let synthesize ?(mode = rt_default) ?(engine = Engine.Auto) ?emit_style ?max_states
+    spec_stg =
+  Obs.span "flow.synthesize" @@ fun () ->
+  let stg0 = Transform.contract_dummies ~strict:false spec_stg in
+  match Engine.select engine stg0 with
+  | `Symbolic -> synthesize_symbolic ~mode ?emit_style ?max_states stg0
+  | `Explicit -> synthesize_explicit ~mode ~engine ?emit_style ?max_states stg0
 
 let pp_report ppf t =
   let stg = t.stg in
   Format.fprintf ppf "@[<v>mode: %s@,"
     (match t.mode with Si -> "speed-independent" | Rt _ -> "relative timing");
-  Format.fprintf ppf "states: %d full, %d used for synthesis@," (Sg.num_states t.sg_full)
-    (Sg.num_states t.sg);
+  Format.fprintf ppf "states: %d full, %d used for synthesis@," (num_states_full t)
+    (num_states_used t);
   List.iter
     (fun ins -> Format.fprintf ppf "inserted: %a@," (Csc.pp_insertion stg) ins)
     t.insertions;

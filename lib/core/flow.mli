@@ -37,12 +37,19 @@ type signal_result = {
   lazy_constraints : Rtcad_rt.Assumption.t list;
 }
 
+(** What the reachability stage produced.  The explicit flow carries the
+    graphs themselves; the symbolic flow never materializes one, so only
+    the state counts survive. *)
+type reach =
+  | Explicit_graphs of { sg_full : Rtcad_sg.Sg.t; sg : Rtcad_sg.Sg.t }
+      (** [sg] is the graph used for synthesis (pruned under RT). *)
+  | Symbolic_counts of { states_full : int; states_used : int }
+
 type t = {
   mode : mode;
   stg : Rtcad_stg.Stg.t;  (** after contraction and state-signal insertion *)
   insertions : Rtcad_sg.Csc.insertion list;
-  sg_full : Rtcad_sg.Sg.t;
-  sg : Rtcad_sg.Sg.t;  (** the graph used for synthesis (pruned under RT) *)
+  reach : reach;
   assumptions : Rtcad_rt.Assumption.t list;  (** all proposed (user + automatic) *)
   constraints : Rtcad_rt.Assumption.t list;
       (** back-annotated: assumptions the synthesis relied on (pruning)
@@ -52,6 +59,20 @@ type t = {
 }
 
 exception Synthesis_failure of string
+
+val sg_full : t -> Rtcad_sg.Sg.t
+(** The full state graph of an explicit flow.
+    @raise Invalid_argument on a symbolic flow. *)
+
+val sg : t -> Rtcad_sg.Sg.t
+(** The synthesis graph of an explicit flow.
+    @raise Invalid_argument on a symbolic flow. *)
+
+val num_states_full : t -> int
+(** Reachable states of the full specification (either engine). *)
+
+val num_states_used : t -> int
+(** States of the (possibly pruned) space synthesis actually used. *)
 
 val synthesize :
   ?mode:mode ->
@@ -66,11 +87,15 @@ val synthesize :
     cover violates its correctness check, and the STG/state-graph
     exceptions on malformed input.
 
-    [engine] (default [Auto]) chooses the reachability engine for the
-    CSC conflict checks (SI mode) and the full state-graph build; the
-    synthesis passes themselves need per-state access, so the symbolic
-    path materializes an explicit graph — bit-identical to the explicit
-    build — before they run. *)
+    [engine] (default [Auto]) chooses the reachability engine.  When it
+    selects symbolic for the (contracted) specification, the entire flow
+    — state encoding, assumption generation, pruning, next-state
+    extraction, monotonicity checks — runs on the reachable BDD and no
+    explicit state graph is ever materialized, which is what lets
+    specifications beyond the explicit bound reach a netlist.  The
+    symbolic path skips lazy cover relaxation (it needs per-state
+    successor walks), so its netlists may be slightly more conservative
+    under {!Rt}; under {!Si} the two engines agree exactly. *)
 
 val pp_report : Format.formatter -> t -> unit
 (** Human-readable synthesis report: state counts, per-signal equations,

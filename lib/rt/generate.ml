@@ -6,11 +6,15 @@ let is_input_trans stg t =
   | Stg.Edge { signal; _ } -> Stg.is_input stg signal
   | Stg.Dummy -> false
 
-let automatic ?(env_delay = 2.0) ?(gate_delay = 1.0) ?(margin = 0.5) ?(runs = 5) ?steps
-    ?(allow_input_first = false) stg sg =
+(* The generation rule needs the state graph only for one thing: which
+   transition pairs are ever enabled together.  Taking the pairs as an
+   argument lets the symbolic flow feed [Symbolic.concurrent_pairs]
+   without materializing a graph; everything else (the timed runs that
+   test each candidate ordering) works on the STG alone. *)
+let automatic_of_pairs ?(env_delay = 2.0) ?(gate_delay = 1.0) ?(margin = 0.5)
+    ?(runs = 5) ?steps ?(allow_input_first = false) stg pairs =
   let nt = Petri.num_transitions (Stg.net stg) in
   let steps = match steps with Some s -> s | None -> 40 * nt in
-  let pairs = Timed_sim.concurrent_pairs sg in
   (* With [allow_input_first] orderings between two
      environment responses are proposed when the homogeneous delay model
      consistently separates them (one response chain strictly contains
@@ -38,3 +42,9 @@ let automatic ?(env_delay = 2.0) ?(gate_delay = 1.0) ?(margin = 0.5) ?(runs = 5)
         Some (Assumption.before ~origin:Assumption.Automatic (fst pair) (snd pair))
       else None)
     candidates
+
+let automatic ?env_delay ?gate_delay ?margin ?runs ?steps ?allow_input_first stg
+    sg =
+  automatic_of_pairs ?env_delay ?gate_delay ?margin ?runs ?steps
+    ?allow_input_first stg
+    (Timed_sim.concurrent_pairs sg)

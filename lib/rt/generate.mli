@@ -35,3 +35,18 @@ val automatic :
     "[ri-] before [li+]" (the homogeneous model predicts the opposite
     order, so that assumption can only come from the user — Section
     4.2). *)
+
+val automatic_of_pairs :
+  ?env_delay:float ->
+  ?gate_delay:float ->
+  ?margin:float ->
+  ?runs:int ->
+  ?steps:int ->
+  ?allow_input_first:bool ->
+  Rtcad_stg.Stg.t ->
+  (int * int) list ->
+  Assumption.t list
+(** {!automatic} with the concurrently-enabled transition pairs supplied
+    directly (e.g. from [Symbolic.concurrent_pairs]) instead of scanned
+    from an explicit graph.  The timed executions that validate each
+    candidate ordering run on the STG alone. *)

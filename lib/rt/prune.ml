@@ -68,6 +68,72 @@ let apply_consistent sg assumptions =
     in
     apply sg kept
 
+(* --- symbolic mirror --------------------------------------------------- *)
+
+module Symbolic = Rtcad_sg.Symbolic
+
+type sym_result = {
+  view : Symbolic.view;  (** the reduced state space *)
+  sym_used : Assumption.t list;
+  sym_removed_edges : int;
+}
+
+(* The same reduction computed on the reachable BDD: an assumption
+   [a before b] suppresses [b]'s edges wherever [a] is also enabled, the
+   reachable subset is recomputed through [Symbolic.restrict], and the
+   used set collects assumptions that suppressed an edge out of a
+   surviving state — all without materializing the graph. *)
+let apply_sym sym assumptions =
+  let n = Rtcad_stg.Petri.num_transitions (Rtcad_stg.Stg.net (Symbolic.stg sym)) in
+  let blocked = Array.make n Bdd.zero in
+  List.iter
+    (fun a ->
+      let t = a.Assumption.second in
+      if a.Assumption.first <> t then
+        blocked.(t) <- Bdd.bor blocked.(t) (Symbolic.enabled_set sym a.Assumption.first))
+    assumptions;
+  let allowed t = Bdd.bdiff (Symbolic.enabled_set sym t) blocked.(t) in
+  let view = Symbolic.restrict sym ~allowed in
+  let vreached = Symbolic.view_reached view in
+  let used = Hashtbl.create 16 in
+  let removed = ref 0 in
+  for t = 0 to n - 1 do
+    let cut = Bdd.band vreached (Bdd.band (Symbolic.enabled_set sym t) blocked.(t)) in
+    if not (Bdd.is_zero cut) then begin
+      removed := !removed + Symbolic.count_set sym cut;
+      List.iter
+        (fun a ->
+          if
+            a.Assumption.second = t && a.Assumption.first <> t
+            && Bdd.intersects cut (Symbolic.enabled_set sym a.Assumption.first)
+          then Hashtbl.replace used (a.Assumption.first, a.Assumption.second) a)
+        assumptions
+    end
+  done;
+  if Symbolic.deadlock_count sym = 0 && not (Symbolic.view_deadlock_free view) then
+    raise Deadlock;
+  {
+    view;
+    sym_used =
+      List.sort Assumption.compare (Hashtbl.fold (fun _ a acc -> a :: acc) used []);
+    sym_removed_edges = !removed;
+  }
+
+let apply_consistent_sym sym assumptions =
+  match apply_sym sym assumptions with
+  | r -> r
+  | exception Deadlock ->
+    let kept =
+      List.fold_left
+        (fun kept a ->
+          let candidate = kept @ [ a ] in
+          match apply_sym sym candidate with
+          | _ -> candidate
+          | exception Deadlock -> kept)
+        [] assumptions
+    in
+    apply_sym sym kept
+
 let codes_bdd sg =
   let stg = Sg.stg sg in
   let n = Rtcad_stg.Stg.num_signals stg in

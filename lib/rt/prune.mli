@@ -30,6 +30,21 @@ val apply_consistent : Rtcad_sg.Sg.t -> Assumption.t list -> result
     the timed simulations that propose them consistently order
     transitions that the unbounded-delay semantics does not. *)
 
+type sym_result = {
+  view : Rtcad_sg.Symbolic.view;  (** the reduced state space *)
+  sym_used : Assumption.t list;
+  sym_removed_edges : int;
+}
+
+val apply_sym : Rtcad_sg.Symbolic.t -> Assumption.t list -> sym_result
+(** {!apply} computed on the reachable BDD, without materializing the
+    graph: same suppression rule, same used-assumption set, same
+    removed-edge count, and {!Deadlock} under the same condition. *)
+
+val apply_consistent_sym :
+  Rtcad_sg.Symbolic.t -> Assumption.t list -> sym_result
+(** {!apply_consistent}, symbolically. *)
+
 val pruned_codes : full:Rtcad_sg.Sg.t -> pruned:Rtcad_sg.Sg.t -> Rtcad_logic.Bdd.t
 (** Characteristic function (over signal variables) of the codes reachable
     in [full] but not in [pruned] — the extra global don't-care set that

@@ -225,155 +225,221 @@ let score ins n_states =
   + (10 * (List.length ins.rise_triggers + List.length ins.fall_triggers))
   + (n_states / 64)
 
+(* The symbolic counterpart of the explicit [view]: given a candidate's
+   symbolic analysis, return (deadlock-free, has-CSC) of the graph as
+   the flow sees it — typically after RT pruning ([Prune.apply_sym]).
+   The default is the unviewed verdict pair. *)
+let sym_verdicts sym_view =
+  match sym_view with
+  | Some f -> f
+  | None ->
+    fun sym -> (Symbolic.deadlock_count sym = 0, Symbolic.has_csc sym)
+
 (* Does the (possibly viewed) state graph have CSC conflicts?  When no
-   view is installed and the engine selection picks symbolic, the check
-   runs as one BDD fixpoint instead of an explicit enumeration — this is
-   the fast path that lets the encoding search skip explicit builds on
-   specifications whose state spaces the explicit engine cannot hold.
-   A pruning view removes edges and can therefore *create* conflicts, so
-   any view forces the explicit engine. *)
-let has_conflicts ~engine ~view ?max_states stg =
+   explicit view is installed and the engine selection picks symbolic,
+   the check runs as one BDD fixpoint instead of an explicit enumeration
+   — viewed through [sym_view] when the caller installs one.  An
+   explicit pruning view removes edges and can therefore *create*
+   conflicts, so it forces the explicit engine. *)
+let has_conflicts ~engine ~view ~sym_view ?max_states stg =
   match view with
   | None when Engine.select engine stg = `Symbolic ->
-    Symbolic.has_csc (Symbolic.analyze ?max_states stg)
+    snd ((sym_verdicts sym_view) (Symbolic.analyze ?max_states stg))
   | _ ->
     let view = Option.value view ~default:Fun.id in
     Encoding.has_csc (view (Sg.build ?max_states stg))
 
+(* Candidate enumeration shared by both search engines: record the first
+   [max_candidates] insertions in rounds of growing waiter complexity so
+   the budget is spent on the cheapest shapes first (matching the score
+   order).  Returns the insertions in enumeration order. *)
+let enumerate ~mode ~name ~trigger_space ~max_candidates stg =
+  let budget = ref max_candidates in
+  let recorded = ref [] in
+  let consider ins =
+    if !budget > 0 then begin
+      decr budget;
+      recorded := ins :: !recorded
+    end
+  in
+  let candidates_triggers =
+    singletons_and_pairs
+      (match trigger_space with
+      | `Non_input -> non_input_transitions stg
+      | `All -> non_dummy_transitions stg)
+  in
+  let size_pairs =
+    let m = max_waiter_size mode in
+    let all =
+      List.concat_map
+        (fun rs -> List.map (fun fs -> (rs, fs)) (List.init (m + 1) Fun.id))
+        (List.init (m + 1) Fun.id)
+    in
+    List.sort (fun (a, b) (c, d) -> Int.compare (a + b) (c + d)) all
+  in
+  List.iter
+    (fun (rise_size, fall_size) ->
+      List.iter
+        (fun rise_triggers ->
+          List.iter
+            (fun fall_triggers ->
+              if List.for_all (fun t -> not (List.mem t fall_triggers)) rise_triggers
+              then
+                List.iter
+                  (fun rise_waiters ->
+                    List.iter
+                      (fun fall_waiters ->
+                        let markings =
+                          if rise_waiters = [] && fall_waiters = [] then [ Auto ]
+                          else [ Auto; Unmarked ]
+                        in
+                        List.iter
+                          (fun waiter_marking ->
+                            consider
+                              {
+                                signal_name = name;
+                                rise_triggers;
+                                rise_waiters;
+                                fall_triggers;
+                                fall_waiters;
+                                waiter_marking;
+                              })
+                          markings)
+                      (waiter_options ~size:fall_size stg ~mode fall_triggers))
+                  (waiter_options ~size:rise_size stg ~mode rise_triggers))
+            candidates_triggers)
+        candidates_triggers)
+    size_pairs;
+  List.rev !recorded
+
+(* The explicit trial-insertion search: builds every candidate graph
+   across domains, then runs the expensive checks in score order. *)
+let search_explicit ~mode ~view ?max_states ~occ ~recorded stg =
+  let view = Option.value view ~default:Fun.id in
+  let base_sg = Sg.build ?max_states stg in
+  let was_persistent = Props.is_output_persistent base_sg in
+  (* Phase 1: cheap structural validation, collecting scored survivors.
+     The trial builds — the expensive part — are scored across domains.
+     Folding the per-candidate results back in enumeration order
+     reproduces the reversed accumulation the serial loop built, so the
+     sorted order (and therefore the chosen insertion) is identical at
+     any job count. *)
+  let evaluate ins =
+    match Sg.build ?max_states (apply_gen ~occ ~named:false stg ins) with
+    | exception (Sg.Inconsistent _ | Sg.Too_large _ | Petri.Unsafe _) -> None
+    | sg ->
+      if Props.deadlock_free sg && Props.live_transitions sg then
+        Some (score ins (Sg.num_states sg), ins, sg)
+      else None
+  in
+  let survivors =
+    Array.fold_left
+      (fun acc -> function None -> acc | Some s -> s :: acc)
+      []
+      (Par.map_array evaluate (Array.of_list recorded))
+  in
+  (* Recorded counts, not per-trial increments: the trial-build loop is
+     the hot path; these totals are jobs-invariant because enumeration
+     order and the candidate budget are. *)
+  Obs.incr ~by:(List.length recorded) "csc.candidates";
+  Obs.incr ~by:(List.length survivors) "csc.survivors";
+  (* Phase 2: evaluate the expensive checks in score order; the first
+     success is the minimum-score valid insertion. *)
+  let ordered =
+    List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b) survivors
+  in
+  let valid (_, ins, sg) =
+    let ok_persist =
+      match mode with
+      | Timing_aware -> true
+      | Speed_independent -> (not was_persistent) || Props.is_output_persistent sg
+    in
+    if not ok_persist then None
+    else begin
+      let viewed = view sg in
+      if Props.deadlock_free viewed && not (Encoding.has_csc viewed) then Some ins
+      else None
+    end
+  in
+  List.find_map valid ordered
+
+(* The same search run entirely on the reachable BDDs — no candidate
+   graph is ever materialized.  Workers analyse their candidates and
+   ship back only the state count (BDDs are domain-local); the few
+   score-ordered finalists are re-analysed on the calling domain for the
+   persistency and viewed-CSC verdicts. *)
+let search_symbolic ~mode ~sym_view ?max_states ~occ ~recorded stg =
+  let verdicts = sym_verdicts sym_view in
+  let evaluate ins =
+    match Symbolic.analyze ?max_states (apply_gen ~occ ~named:false stg ins) with
+    | exception (Sg.Inconsistent _ | Sg.Too_large _ | Petri.Unsafe _) -> None
+    | sym ->
+      if Symbolic.deadlock_count sym = 0 && Symbolic.live_transitions sym then
+        Some (score ins (Symbolic.num_states sym), ins)
+      else None
+  in
+  let survivors =
+    Array.fold_left
+      (fun acc -> function None -> acc | Some s -> s :: acc)
+      []
+      (Par.map_array evaluate (Array.of_list recorded))
+  in
+  Obs.incr ~by:(List.length recorded) "csc.candidates";
+  Obs.incr ~by:(List.length survivors) "csc.survivors";
+  (* Base persistency matters only for speed-independent insertion; the
+     timing-aware flow never pays for the base re-analysis. *)
+  let was_persistent =
+    lazy (Symbolic.is_output_persistent (Symbolic.analyze ?max_states stg))
+  in
+  let ordered = List.sort (fun (a, _) (b, _) -> Int.compare a b) survivors in
+  let valid (_, ins) =
+    (* Phase 1 analysed this exact STG without raising, so this
+       re-analysis (on the calling domain) cannot fail. *)
+    let sym = Symbolic.analyze ?max_states (apply_gen ~occ ~named:false stg ins) in
+    let ok_persist =
+      match mode with
+      | Timing_aware -> true
+      | Speed_independent ->
+        (not (Lazy.force was_persistent)) || Symbolic.is_output_persistent sym
+    in
+    if not ok_persist then None
+    else
+      let dl_free, csc = verdicts sym in
+      if dl_free && not csc then Some ins else None
+  in
+  List.find_map valid ordered
+
 let resolve ?(mode = Timing_aware) ?(name = "x") ?(engine = Engine.Auto) ?view
-    ?max_states ?(trigger_space = `Non_input) ?(max_candidates = 25_000) stg =
-  if not (has_conflicts ~engine ~view ?max_states stg) then None
+    ?sym_view ?max_states ?(trigger_space = `Non_input)
+    ?(max_candidates = 25_000) stg =
+  if not (has_conflicts ~engine ~view ~sym_view ?max_states stg) then None
   else
     Obs.span "csc.resolve" ~args:(fun () -> [ ("signal", name) ]) @@ fun () ->
-    begin
-    (* Conflicts exist, so the trial-insertion search is explicit from
-       here on: it needs per-state access to thousands of candidate
-       graphs, which is exactly what the explicit engine is for. *)
-    let view = Option.value view ~default:Fun.id in
-    let base_sg = Sg.build ?max_states stg in
-    let budget = ref max_candidates in
     let occ = first_occurrences stg in
-    let candidates_triggers =
-      singletons_and_pairs
-        (match trigger_space with
-        | `Non_input -> non_input_transitions stg
-        | `All -> non_dummy_transitions stg)
+    let recorded = enumerate ~mode ~name ~trigger_space ~max_candidates stg in
+    let winner =
+      match view with
+      | None when Engine.select engine stg = `Symbolic ->
+        search_symbolic ~mode ~sym_view ?max_states ~occ ~recorded stg
+      | _ -> search_explicit ~mode ~view ?max_states ~occ ~recorded stg
     in
-    let was_persistent = Props.is_output_persistent base_sg in
-    (* Phase 1: cheap structural validation, collecting scored survivors.
-       Enumeration only records the first [max_candidates] insertions (the
-       budget the serial search would have spent); the trial builds — the
-       expensive part — are then scored across domains.  Folding the
-       per-candidate results back in enumeration order reproduces the
-       reversed accumulation the serial loop built, so the sorted order
-       (and therefore the chosen insertion) is identical at any job
-       count. *)
-    let recorded = ref [] in
-    let consider ins =
-      if !budget > 0 then begin
-        decr budget;
-        recorded := ins :: !recorded
-      end
-    in
-    let evaluate ins =
-      match Sg.build ?max_states (apply_gen ~occ ~named:false stg ins) with
-      | exception (Sg.Inconsistent _ | Sg.Too_large _ | Petri.Unsafe _) -> None
-      | sg ->
-        if Props.deadlock_free sg && Props.live_transitions sg then
-          Some (score ins (Sg.num_states sg), ins, sg)
-        else None
-    in
-    (* Enumerate in rounds of growing waiter complexity so the budget is
-       spent on the cheapest shapes first (matching the score order). *)
-    let size_pairs =
-      let m = max_waiter_size mode in
-      let all =
-        List.concat_map
-          (fun rs -> List.map (fun fs -> (rs, fs)) (List.init (m + 1) Fun.id))
-          (List.init (m + 1) Fun.id)
-      in
-      List.sort (fun (a, b) (c, d) -> Int.compare (a + b) (c + d)) all
-    in
-    List.iter
-      (fun (rise_size, fall_size) ->
-        List.iter
-          (fun rise_triggers ->
-            List.iter
-              (fun fall_triggers ->
-                if List.for_all (fun t -> not (List.mem t fall_triggers)) rise_triggers
-                then
-                  List.iter
-                    (fun rise_waiters ->
-                      List.iter
-                        (fun fall_waiters ->
-                          let markings =
-                            if rise_waiters = [] && fall_waiters = [] then [ Auto ]
-                            else [ Auto; Unmarked ]
-                          in
-                          List.iter
-                            (fun waiter_marking ->
-                              consider
-                                {
-                                  signal_name = name;
-                                  rise_triggers;
-                                  rise_waiters;
-                                  fall_triggers;
-                                  fall_waiters;
-                                  waiter_marking;
-                                })
-                            markings)
-                        (waiter_options ~size:fall_size stg ~mode fall_triggers))
-                    (waiter_options ~size:rise_size stg ~mode rise_triggers))
-              candidates_triggers)
-          candidates_triggers)
-      size_pairs;
-    let survivors =
-      Array.fold_left
-        (fun acc -> function None -> acc | Some s -> s :: acc)
-        []
-        (Par.map_array evaluate (Array.of_list (List.rev !recorded)))
-    in
-    (* Recorded counts, not per-trial increments: the trial-build loop is
-       the hot path; these totals are jobs-invariant because enumeration
-       order and the candidate budget are. *)
-    Obs.incr ~by:(max_candidates - !budget) "csc.candidates";
-    Obs.incr ~by:(List.length survivors) "csc.survivors";
-    (* Phase 2: evaluate the expensive checks in score order; the first
-       success is the minimum-score valid insertion. *)
-    let ordered =
-      List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b) survivors
-    in
-    let valid (_, ins, sg) =
-      let ok_persist =
-        match mode with
-        | Timing_aware -> true
-        | Speed_independent -> (not was_persistent) || Props.is_output_persistent sg
-      in
-      if not ok_persist then None
-      else begin
-        let viewed = view sg in
-        if Props.deadlock_free viewed && not (Encoding.has_csc viewed) then Some ins
-        else None
-      end
-    in
-    match List.find_map valid ordered with
+    match winner with
     | None -> None
     | Some ins -> Some (apply stg ins, ins)
-  end
 
-let resolve_all ?(mode = Timing_aware) ?(engine = Engine.Auto) ?view ?max_states
-    ?(max_signals = 3) ?max_candidates stg =
+let resolve_all ?(mode = Timing_aware) ?(engine = Engine.Auto) ?view ?sym_view
+    ?max_states ?(max_signals = 3) ?max_candidates stg =
   (* Try the cheaper non-input trigger space first, then fall back to
      triggering on input edges as well (a state signal set by an input
      literal is perfectly implementable). *)
   let resolve_any name stg =
     match
-      resolve ~mode ~name ~engine ?view ?max_states ?max_candidates
+      resolve ~mode ~name ~engine ?view ?sym_view ?max_states ?max_candidates
         ~trigger_space:`Non_input stg
     with
     | Some r -> Some r
     | None ->
-      resolve ~mode ~name ~engine ?view ?max_states ?max_candidates
+      resolve ~mode ~name ~engine ?view ?sym_view ?max_states ?max_candidates
         ~trigger_space:`All stg
   in
   let rec go stg acc k =
@@ -381,11 +447,12 @@ let resolve_all ?(mode = Timing_aware) ?(engine = Engine.Auto) ?view ?max_states
     else
       match resolve_any (Printf.sprintf "x%d" k) stg with
       | None ->
-        if has_conflicts ~engine ~view ?max_states stg then None
+        if has_conflicts ~engine ~view ~sym_view ?max_states stg then None
         else Some (stg, List.rev acc)
       | Some (stg', ins) -> go stg' (ins :: acc) (k + 1)
   in
-  if not (has_conflicts ~engine ~view ?max_states stg) then Some (stg, [])
+  if not (has_conflicts ~engine ~view ~sym_view ?max_states stg) then
+    Some (stg, [])
   else go stg [] 0
 
 let pp_insertion stg ppf ins =

@@ -44,6 +44,7 @@ val resolve :
   ?name:string ->
   ?engine:Engine.t ->
   ?view:(Sg.t -> Sg.t) ->
+  ?sym_view:(Symbolic.t -> bool * bool) ->
   ?max_states:int ->
   ?trigger_space:[ `Non_input | `All ] ->
   ?max_candidates:int ->
@@ -56,17 +57,23 @@ val resolve :
     already satisfies CSC in the viewed graph or no candidate works.
 
     When no [view] is supplied and [engine] (default [Auto]) selects
-    symbolic for this STG, the initial conflict check runs as a symbolic
-    fixpoint — no explicit state graph is built on the conflict-free
-    path.  Supplying a [view] forces the explicit engine: pruning views
-    drop edges and can create conflicts the unpruned graph does not
-    have, so a symbolic precheck on the full graph would be unsound.
-    The trial-insertion search itself is always explicit. *)
+    symbolic for this STG, the whole search — the initial conflict
+    check, the trial evaluation of every candidate insertion, and the
+    final verdicts — runs on the reachable BDDs; no explicit state
+    graph is ever built.  [sym_view] is the symbolic counterpart of
+    [view] for that path: given a candidate's analysis it returns
+    (deadlock-free, has-CSC) of the graph as the flow sees it
+    (typically after RT pruning); when omitted the unviewed verdicts
+    are used.  Supplying an explicit [view] forces the explicit engine:
+    pruning views drop edges and can create conflicts the unpruned
+    graph does not have, so a symbolic precheck on the full graph would
+    be unsound. *)
 
 val resolve_all :
   ?mode:mode ->
   ?engine:Engine.t ->
   ?view:(Sg.t -> Sg.t) ->
+  ?sym_view:(Symbolic.t -> bool * bool) ->
   ?max_states:int ->
   ?max_signals:int ->
   ?max_candidates:int ->

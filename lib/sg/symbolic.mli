@@ -39,6 +39,10 @@ val num_image_ops : t -> int
 val peak_nodes : t -> int
 (** Largest node count of the reachable-set BDD across levels. *)
 
+val num_clusters : t -> int
+(** Image operators per sweep after clustering (equals the transition
+    count when clustering is disabled via [RTCAD_BDD_CLUSTER_WIDTH=0]). *)
+
 val reachable_nodes : t -> int
 (** Node count of the final reachable-set BDD. *)
 
@@ -71,3 +75,71 @@ val materialize : ?max_states:int -> t -> Sg.t
     bound 200000 states, like {!Sg.build}. *)
 
 val pp_stats : Format.formatter -> t -> unit
+
+(** {2 Synthesis-facing queries}
+
+    Everything below returns BDDs built on the calling domain — the
+    usual contract applies (do not ship them across domains). *)
+
+val reached_set : t -> Rtcad_logic.Bdd.t
+(** The reachable state set over present variables. *)
+
+val enabled_set : t -> int -> Rtcad_logic.Bdd.t
+(** [enabled_set sym t]: states in which transition [t] may fire
+    (preset marked, edge polarity consistent).  Not intersected with the
+    reachable set. *)
+
+val count_set : t -> Rtcad_logic.Bdd.t -> int
+(** Number of states in a set over the present variables. *)
+
+val concurrent_pairs : t -> (int * int) list
+(** Ordered pairs of distinct transitions enabled together in some
+    reachable state — same contents and order as
+    [Timed_sim.concurrent_pairs] on the explicit graph. *)
+
+type view
+(** A state graph viewed through per-transition edge suppression — the
+    symbolic mirror of [Prune]'s lazy state graph.  The unrestricted
+    view is the analysis itself. *)
+
+val unrestricted : t -> view
+
+val restrict : t -> allowed:(int -> Rtcad_logic.Bdd.t) -> view
+(** [restrict sym ~allowed] recomputes reachability with transition [t]
+    firing only from states in [allowed t] (clipped to its enabling
+    set).  The result's states are a subset of [reached_set]. *)
+
+val view_base : view -> t
+val view_reached : view -> Rtcad_logic.Bdd.t
+val view_states : view -> int
+
+val view_deadlock_free : view -> bool
+(** No reachable state of the view lacks an outgoing kept edge. *)
+
+val view_excited : view -> int -> Rtcad_logic.Bdd.t
+(** States with a kept edge of the given signal. *)
+
+val view_csc_conflict_signals : view -> int list
+val view_has_csc : view -> bool
+
+type regions = {
+  on : Rtcad_logic.Bdd.t;
+  off : Rtcad_logic.Bdd.t;
+  rise : Rtcad_logic.Bdd.t;
+  fall : Rtcad_logic.Bdd.t;
+  high : Rtcad_logic.Bdd.t;
+  low : Rtcad_logic.Bdd.t;
+}
+(** Code sets over the signal-index variables [0..ns-1] — the space
+    [Nextstate] specs live in. *)
+
+val code_regions : view -> int -> regions
+(** The next-state regions of a signal in the viewed graph, as code
+    sets: what [Nextstate.of_sg] accumulates from an explicit graph.
+    [on] and [off] may intersect — that intersection is the CSC
+    conflict [Nextstate.of_sg] reports as [Conflict]. *)
+
+val excitation_regions : view -> int -> Rtcad_stg.Stg.dir -> Rtcad_logic.Bdd.t list
+(** Per-transition excitation code sets for a signal's rising or
+    falling edges, in [Stg.transitions_of] order — the symbolic mirror
+    of [Implement.excitation_instances]. *)

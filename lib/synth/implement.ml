@@ -62,9 +62,7 @@ let excitation_instances sg u dir =
       !acc)
     transitions
 
-let monotonic sg (spec : Nextstate.spec) impl =
-  let rises = excitation_instances sg spec.signal Stg.Rise in
-  let falls = excitation_instances sg spec.signal Stg.Fall in
+let monotonic_with ~rises ~falls impl =
   match impl with
   | Complex c ->
     (* Cubes of the cover may each serve a single rise instance. *)
@@ -72,6 +70,12 @@ let monotonic sg (spec : Nextstate.spec) impl =
   | Gc { set; reset } ->
     Cover.is_monotonic_cover set ~entered:rises
     && Cover.is_monotonic_cover reset ~entered:falls
+
+let monotonic sg (spec : Nextstate.spec) impl =
+  monotonic_with
+    ~rises:(excitation_instances sg spec.signal Stg.Rise)
+    ~falls:(excitation_instances sg spec.signal Stg.Fall)
+    impl
 
 let pp stg ppf impl =
   let pp_var ppf v = Format.fprintf ppf "%s" (Stg.signal_name stg v) in

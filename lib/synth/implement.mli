@@ -35,6 +35,14 @@ val monotonic : Rtcad_sg.Sg.t -> Nextstate.spec -> impl -> bool
     most one transition instance of the signal, and likewise for the
     reset cover. *)
 
+val monotonic_with :
+  rises:Rtcad_logic.Bdd.t list ->
+  falls:Rtcad_logic.Bdd.t list ->
+  impl ->
+  bool
+(** {!monotonic} with the per-transition excitation instances supplied
+    directly (e.g. from [Symbolic.excitation_regions]). *)
+
 val pp : Rtcad_stg.Stg.t -> Format.formatter -> impl -> unit
 (** Prints e.g. [lo = li x' + lo ri'] or [set: …  reset: …] with signal
     names. *)

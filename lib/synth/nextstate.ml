@@ -57,6 +57,30 @@ let of_sg sg u =
 
 let all sg = List.map (of_sg sg) (Stg.non_input_signals (Sg.stg sg))
 
+(* The same classification read off a symbolic view: the code regions
+   arrive as BDDs directly (no per-state loop), and the on/off overlap
+   check is the same CSC test [of_sg] performs minterm by minterm. *)
+let of_view vw u =
+  let module Symbolic = Rtcad_sg.Symbolic in
+  let stg = Symbolic.stg (Symbolic.view_base vw) in
+  let r = Symbolic.code_regions vw u in
+  if not (Bdd.is_zero (Bdd.band r.Symbolic.on r.Symbolic.off)) then
+    raise
+      (Conflict
+         ( u,
+           Format.asprintf "signal %s: a code requires both next values"
+             (Stg.signal_name stg u) ));
+  {
+    signal = u;
+    on_set = r.Symbolic.on;
+    off_set = r.Symbolic.off;
+    dc_set = Bdd.bnot (Bdd.bor r.Symbolic.on r.Symbolic.off);
+    rise_region = r.Symbolic.rise;
+    fall_region = r.Symbolic.fall;
+    high_region = r.Symbolic.high;
+    low_region = r.Symbolic.low;
+  }
+
 let pp sg ppf spec =
   let stg = Sg.stg sg in
   let n = Stg.num_signals stg in

@@ -34,6 +34,10 @@ val of_sg : Rtcad_sg.Sg.t -> int -> spec
 val all : Rtcad_sg.Sg.t -> spec list
 (** Specifications for every non-input signal. *)
 
+val of_view : Rtcad_sg.Symbolic.view -> int -> spec
+(** {!of_sg} read off a symbolic view instead of an explicit graph:
+    same regions, same {!Conflict} condition and message. *)
+
 val minterm_of_state : Rtcad_sg.Sg.t -> int -> Rtcad_logic.Bdd.t
 (** Characteristic minterm of a state's code. *)
 

@@ -20,6 +20,96 @@ type failure =
 
 type net_edge = { net : Netlist.net; rising : bool }
 
+(* Lazy spec walker: markings interned on demand as the product walk
+   reaches them, so the spec side never pays the explicit engine's global
+   state bound — [max_configurations] on the product is the only limit.
+   This is what lets the flow's self-check run on specifications only the
+   symbolic engine can analyze.  Consistency is checked exactly as
+   [Sg.build] does, but only over the visited part of the graph. *)
+module Spec_walk = struct
+  module Bitset_tbl = Hashtbl.Make (struct
+    type t = Bitset.t
+
+    let equal = Bitset.equal
+    let hash = Bitset.hash
+  end)
+
+  type state = {
+    marking : Bitset.t;
+    code : Bitset.t;
+    mutable succs : (int * int) list option;  (* (transition, target) *)
+  }
+
+  type t = {
+    stg : Stg.t;
+    net : Rtcad_stg.Petri.t;
+    ids : int Bitset_tbl.t;
+    states : state Rtcad_util.Vec.t;
+  }
+
+  let intern w marking code =
+    match Bitset_tbl.find_opt w.ids marking with
+    | Some id ->
+      if not (Bitset.equal (Rtcad_util.Vec.get w.states id).code code) then
+        raise (Sg.Inconsistent "same marking reached with two different codes");
+      id
+    | None ->
+      let id = Rtcad_util.Vec.length w.states in
+      Rtcad_util.Vec.push w.states { marking; code; succs = None };
+      Bitset_tbl.add w.ids marking id;
+      id
+
+  let create stg =
+    let net = Stg.net stg in
+    let w =
+      {
+        stg;
+        net;
+        ids = Bitset_tbl.create 256;
+        states =
+          Rtcad_util.Vec.create ~capacity:256
+            ~dummy:{ marking = Bitset.create 0; code = Bitset.create 0; succs = None }
+            ();
+      }
+    in
+    ignore (intern w (Petri.initial_marking net) (Sg.initial_code stg));
+    w
+
+  let fire_code w code t =
+    match Stg.label w.stg t with
+    | Stg.Dummy -> code
+    | Stg.Edge { signal; dir } ->
+      let v = Bitset.mem code signal in
+      let name () = Stg.signal_name w.stg signal in
+      (match dir with
+      | Stg.Rise ->
+        if v then
+          raise (Sg.Inconsistent (name () ^ "+ fires with " ^ name () ^ " already high"));
+        Bitset.add code signal
+      | Stg.Fall ->
+        if not v then
+          raise (Sg.Inconsistent (name () ^ "- fires with " ^ name () ^ " already low"));
+        Bitset.remove code signal)
+
+  let succs w s =
+    let st = Rtcad_util.Vec.get w.states s in
+    match st.succs with
+    | Some l -> l
+    | None ->
+      let acc = ref [] in
+      Petri.iter_enabled w.net st.marking (fun t ->
+          let m' = Petri.fire w.net st.marking t in
+          let c' = fire_code w st.code t in
+          acc := (t, intern w m' c') :: !acc);
+      let l = List.rev !acc in
+      st.succs <- Some l;
+      l
+
+  let enabled w s = List.map fst (succs w s)
+  let succ w s t = List.assoc_opt t (succs w s)
+  let initial _ = 0
+end
+
 type result = {
   ok : bool;
   failures : failure list;
@@ -43,14 +133,14 @@ module Config_tbl = Hashtbl.Make (Config)
 type ctx = {
   circuit : Netlist.t;
   spec : Stg.t;
-  spec_sg : Sg.t;
+  spec_sg : Spec_walk.t;
   (* net -> spec signal (or -1), and signal -> net (or -1) *)
   signal_of_net : int array;
   net_of_signal : int array;
 }
 
 let build_ctx circuit spec =
-  let spec_sg = Sg.build spec in
+  let spec_sg = Spec_walk.create spec in
   let n_nets = Netlist.num_nets circuit in
   let n_sigs = Stg.num_signals spec in
   let signal_of_net = Array.make n_nets (-1) in
@@ -111,7 +201,7 @@ let endpoint_enabled ctx (cfg : Config.t) t =
     if (not (Stg.is_input ctx.spec signal)) && net >= 0 then
       excited ctx cfg.values net
       && dir_of_value (eval_net ctx cfg.values net) = dir
-    else List.mem t (Sg.enabled ctx.spec_sg cfg.spec)
+    else List.mem t (Spec_walk.enabled ctx.spec_sg cfg.spec)
 
 (* Spec transitions matching a move. *)
 let move_spec_edges ctx (cfg : Config.t) = function
@@ -125,7 +215,7 @@ let move_spec_edges ctx (cfg : Config.t) = function
           match Stg.label ctx.spec t with
           | Stg.Edge { signal; dir } -> signal = s && dir = dir_of_value v
           | Stg.Dummy -> false)
-        (Sg.enabled ctx.spec_sg cfg.spec)
+        (Spec_walk.enabled ctx.spec_sg cfg.spec)
 
 let check ?(constraints = []) ?(net_constraints = []) ?(max_configurations = 200_000)
     ?(max_failures = 10) ~circuit ~spec () =
@@ -138,7 +228,7 @@ let check ?(constraints = []) ?(net_constraints = []) ?(max_configurations = 200
       (Bitset.create (Netlist.num_nets circuit))
       (List.init (Netlist.num_nets circuit) Fun.id)
   in
-  let init = { Config.values = init_values; spec = Sg.initial ctx.spec_sg } in
+  let init = { Config.values = init_values; spec = Spec_walk.initial ctx.spec_sg } in
   List.iter
     (fun s ->
       let net = ctx.net_of_signal.(s) in
@@ -180,7 +270,7 @@ let check ?(constraints = []) ?(net_constraints = []) ?(max_configurations = 200
           match Stg.label ctx.spec t with
           | Stg.Edge { signal; _ } when Stg.is_input ctx.spec signal -> Some (Env t)
           | Stg.Edge _ | Stg.Dummy -> None)
-        (Sg.enabled ctx.spec_sg cfg.spec)
+        (Spec_walk.enabled ctx.spec_sg cfg.spec)
     in
     let gates =
       List.filter_map
@@ -248,7 +338,7 @@ let check ?(constraints = []) ?(net_constraints = []) ?(max_configurations = 200
         else cfg.Config.values
       in
       let spec' =
-        match List.assoc_opt t (Sg.succs ctx.spec_sg cfg.Config.spec) with
+        match Spec_walk.succ ctx.spec_sg cfg.Config.spec t with
         | Some s' -> s'
         | None -> assert false
       in
@@ -261,7 +351,7 @@ let check ?(constraints = []) ?(net_constraints = []) ?(max_configurations = 200
         match move_spec_edges ctx cfg m with
         | t :: _ ->
           let spec' =
-            match List.assoc_opt t (Sg.succs ctx.spec_sg cfg.Config.spec) with
+            match Spec_walk.succ ctx.spec_sg cfg.Config.spec t with
             | Some s' -> s'
             | None -> assert false
           in
@@ -287,7 +377,7 @@ let check ?(constraints = []) ?(net_constraints = []) ?(max_configurations = 200
         all_moves
     in
     if allowed_moves = [] then begin
-      if Sg.enabled ctx.spec_sg cfg.Config.spec <> [] then
+      if Spec_walk.enabled ctx.spec_sg cfg.Config.spec <> [] then
         record_failure (`Deadlock cfg.Config.spec) (Deadlock { trace = trace_of cfg })
     end
     else

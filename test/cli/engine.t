@@ -12,7 +12,7 @@ The explicit and symbolic engines compute identical verdicts:
   all transitions live: true
   output-persistent: true
   CSC: satisfied
-  symbolic: 8 state(s) in 2 level(s), 16 image op(s), peak 41 BDD node(s)
+  symbolic: 8 state(s) in 2 level(s), 8 image op(s), peak 41 BDD node(s)
 
 Auto selects symbolic past the structural concurrency threshold, so a
 ring the explicit engine cannot enumerate still checks (the symbolic
@@ -25,7 +25,7 @@ stats line marks the engine that ran):
   all transitions live: true
   output-persistent: true
   CSC conflicts on 11 signal(s): r0 r1 r2 r3 r4 r5 r6 r7 r8 r9 r10
-  symbolic: 1299078 state(s) in 5 level(s), 220 image op(s), peak 1825 BDD node(s)
+  symbolic: 1299078 state(s) in 5 level(s), 141 image op(s), peak 1825 BDD node(s)
 
 Forcing the explicit engine on the same ring fails with a pointer to
 the symbolic one:
@@ -42,4 +42,4 @@ The ringN family is addressable by name beyond the built-in ring3:
   all transitions live: true
   output-persistent: true
   CSC conflicts on 2 signal(s): r0 r1
-  symbolic: 12 state(s) in 4 level(s), 32 image op(s), peak 80 BDD node(s)
+  symbolic: 12 state(s) in 3 level(s), 16 image op(s), peak 80 BDD node(s)

@@ -243,6 +243,88 @@ let prop_sat_count_enum =
       Bdd.sat_count f qnvars
       = List.length (List.filter (fun env -> Bdd.eval f env) (all_envs qnvars)))
 
+(* Dynamic reordering and unique-table GC. *)
+
+let truth_table f = List.map (Bdd.eval f) (all_envs qnvars)
+
+let prop_reorder_semantics =
+  (* Sifting rewires nodes in place: every existing BDD value must keep
+     denoting the same function, through an arbitrary sifted order and
+     after sifting back to the identity. *)
+  QCheck.Test.make ~name:"reorder preserves semantics (10 vars)" ~count:40
+    arb_expr10 (fun e ->
+      let f = bdd_of_expr e in
+      let before = truth_table f in
+      ignore (Bdd.reorder ());
+      let sifted = truth_table f in
+      Bdd.restore_order ();
+      let restored = truth_table f in
+      before = sifted && before = restored)
+
+let prop_reorder_groups_semantics =
+  QCheck.Test.make ~name:"grouped reorder preserves semantics (10 vars)" ~count:20
+    arb_expr10 (fun e ->
+      let f = bdd_of_expr e in
+      let before = truth_table f in
+      ignore (Bdd.reorder ~groups:[ [ 0; 1 ]; [ 2; 3 ]; [ 4; 5 ] ] ());
+      let sifted = truth_table f in
+      Bdd.restore_order ();
+      before = sifted && before = truth_table f)
+
+let test_reorder_shrinks_interleaved () =
+  (* The classic sifting win: Σ xi·x(i+5) is exponential in the
+     interleaved identity order and linear once the pairs are adjacent.
+     Sifting must find (a permutation as good as) the paired order, and
+     restoring the identity must reproduce the canonical DAG exactly. *)
+  Bdd.clear_caches ();
+  let f =
+    List.fold_left
+      (fun acc i -> Bdd.bor acc (Bdd.band (Bdd.var i) (Bdd.var (i + 5))))
+      Bdd.zero [ 0; 1; 2; 3; 4 ]
+  in
+  let before = Bdd.node_count f in
+  let stats = Bdd.reorder () in
+  check "swaps were performed" true (stats.Bdd.swaps > 0);
+  check "sifting shrinks the interleaved function" true (Bdd.node_count f < before);
+  Bdd.restore_order ();
+  check_int "identity order restores the node count" before (Bdd.node_count f)
+
+let test_clear_caches_reclaims () =
+  (* Regression (PR 6): clear_caches used to keep every hash-consed node
+     alive forever, so bench reps and fuzz cases accreted garbage across
+     calls.  Now it reclaims unpinned nodes: after dropping the only
+     reference to a large transient BDD, the table population must return
+     to its pinned baseline. *)
+  Bdd.clear_caches ();
+  let pinned = Bdd.band (Bdd.var 0) (Bdd.var 1) in
+  let baseline = (Bdd.table_stats ()).Bdd.unique_nodes in
+  let bulk = ref Bdd.one in
+  for i = 0 to 19 do
+    bulk := Bdd.band !bulk (Bdd.bor (Bdd.var i) (Bdd.nvar ((i + 7) mod 20)))
+  done;
+  check "transient work grew the table" true
+    ((Bdd.table_stats ()).Bdd.unique_nodes > baseline);
+  bulk := Bdd.one;
+  Bdd.clear_caches ();
+  let after = (Bdd.table_stats ()).Bdd.unique_nodes in
+  check "table returns to the pinned baseline" true (after <= baseline);
+  check "pinned values survive" true
+    (Bdd.equal pinned (Bdd.band (Bdd.var 0) (Bdd.var 1)))
+
+let test_gc_stats_accumulate () =
+  Bdd.clear_caches ();
+  let keep = Bdd.bxor (Bdd.var 0) (Bdd.var 1) in
+  let garbage = ref Bdd.zero in
+  for i = 0 to 9 do
+    garbage := Bdd.bor !garbage (Bdd.band (Bdd.var i) (Bdd.var ((i + 1) mod 10)))
+  done;
+  garbage := Bdd.zero;
+  let s = Bdd.gc () in
+  check "gc reports a before >= after" true (s.Bdd.gc_before >= s.Bdd.gc_after);
+  check "kept value survives gc" true (Bdd.equal keep (Bdd.bxor (Bdd.var 0) (Bdd.var 1)));
+  let ts = Bdd.table_stats () in
+  check "gc_runs counted" true (ts.Bdd.gc_runs >= 1)
+
 (* Cube / cover tests. *)
 
 let test_cube_basics () =
@@ -374,6 +456,12 @@ let suite =
         QCheck_alcotest.to_alcotest prop_rel_product_enum;
         QCheck_alcotest.to_alcotest prop_compose_enum;
         QCheck_alcotest.to_alcotest prop_sat_count_enum;
+        QCheck_alcotest.to_alcotest prop_reorder_semantics;
+        QCheck_alcotest.to_alcotest prop_reorder_groups_semantics;
+        Alcotest.test_case "reorder shrinks interleaved" `Quick
+          test_reorder_shrinks_interleaved;
+        Alcotest.test_case "clear_caches reclaims" `Quick test_clear_caches_reclaims;
+        Alcotest.test_case "gc stats accumulate" `Quick test_gc_stats_accumulate;
       ] );
     ( "cover",
       [

@@ -32,12 +32,12 @@ let test_flow_si_all_conform () =
       let r = Flow.synthesize ~mode:Flow.Si stg in
       let conf = Check.conformance r in
       check (name ^ " conforms untimed") true conf.Rtcad_verify.Conformance.ok;
-      check (name ^ " no CSC left") false (Encoding.has_csc r.Flow.sg))
+      check (name ^ " no CSC left") false (Encoding.has_csc (Flow.sg r)))
     [ "fifo"; "celement"; "pipeline"; "selector" ]
 
 let test_flow_rt_fifo () =
   let r = Flow.synthesize ~mode:Flow.rt_default (Library.fifo ()) in
-  check "pruned smaller" true (Sg.num_states r.Flow.sg < Sg.num_states r.Flow.sg_full);
+  check "pruned smaller" true (Flow.num_states_used r < Flow.num_states_full r);
   check "constraints back-annotated" true (r.Flow.constraints <> []);
   (* The RT netlist is not SI but conforms under its assumptions. *)
   let untimed = Check.conformance r in
@@ -96,6 +96,63 @@ let test_flow_emit_style_override () =
   in
   check "domino faster gates" true
     (max_delay domino.Flow.netlist < max_delay static.Flow.netlist)
+
+(* Cross-engine synthesis: forcing the symbolic engine on specs small
+   enough for the explicit one must produce byte-identical netlists and
+   reports — including after a forced sifting pass and table GC, which
+   the flow must recover from ([Bdd.restore_order] before cover
+   extraction keeps the emitted covers canonical). *)
+let report r = Format.asprintf "%a@.%a" Flow.pp_report r Netlist.pp r.Flow.netlist
+
+let test_cross_engine_synthesis () =
+  let module Engine = Rtcad_sg.Engine in
+  let module Bdd = Rtcad_logic.Bdd in
+  List.iter
+    (fun name ->
+      let stg = List.assoc name (Library.all_named ()) in
+      List.iter
+        (fun (mode_name, mode) ->
+          let explicit =
+            Flow.synthesize ~mode ~engine:Engine.Explicit stg
+          in
+          let symbolic = Flow.synthesize ~mode ~engine:Engine.Symbolic stg in
+          Alcotest.(check string)
+            (Printf.sprintf "%s/%s: netlists agree across engines" name mode_name)
+            (report explicit) (report symbolic);
+          (* Conformance of the symbolic netlist, on its own terms. *)
+          let conf = Check.conformance ~constraints:symbolic.Flow.assumptions symbolic in
+          check
+            (Printf.sprintf "%s/%s: symbolic netlist conforms" name mode_name)
+            true conf.Rtcad_verify.Conformance.ok;
+          (* And again with a perturbed table: sift, reclaim, resynthesize. *)
+          ignore (Bdd.reorder ());
+          ignore (Bdd.gc ());
+          let perturbed = Flow.synthesize ~mode ~engine:Engine.Symbolic stg in
+          Bdd.restore_order ();
+          Alcotest.(check string)
+            (Printf.sprintf "%s/%s: identical after forced reorder+gc" name mode_name)
+            (report symbolic) (report perturbed))
+        [ ("si", Flow.Si); ("rt", Flow.rt_default) ])
+    (* Two specs keep the suite fast; the remaining library specs are
+       covered by the cross-engine analysis goldens in test_symbolic. *)
+    [ "fifo"; "selector" ]
+
+let test_symbolic_flow_accessors () =
+  let module Engine = Rtcad_sg.Engine in
+  let r =
+    Flow.synthesize ~mode:Flow.rt_default ~engine:Engine.Symbolic (Library.fifo ())
+  in
+  check "symbolic reach variant" true
+    (match r.Flow.reach with
+    | Flow.Symbolic_counts _ -> true
+    | Flow.Explicit_graphs _ -> false);
+  check "state counts exposed" true
+    (Flow.num_states_used r <= Flow.num_states_full r && Flow.num_states_full r > 0);
+  check "sg accessor raises on symbolic flows" true
+    (try
+       ignore (Flow.sg r);
+       false
+     with Invalid_argument _ -> true)
 
 (* Harness. *)
 
@@ -233,6 +290,10 @@ let suite =
           test_flow_user_assumption_shrinks_logic;
         Alcotest.test_case "bad user assumption" `Quick test_flow_bad_user_assumption;
         Alcotest.test_case "emit style override" `Quick test_flow_emit_style_override;
+        Alcotest.test_case "cross-engine synthesis byte-identical" `Quick
+          test_cross_engine_synthesis;
+        Alcotest.test_case "symbolic flow accessors" `Quick
+          test_symbolic_flow_accessors;
       ] );
     ( "harness",
       [

@@ -104,6 +104,38 @@ let test_symbolic_bound () =
   Alcotest.check_raises "symbolic respects max_states" (Sg.Too_large 100)
     (fun () -> ignore (Symbolic.analyze ~max_states:100 (Library.ring 6)))
 
+(* The golden agreement must survive a forced sifting pass and a forced
+   unique-table GC with the analysis BDDs live: reordering rewires nodes
+   in place and GC drops everything unpinned, so every query answered
+   afterwards exercises the rewired/reclaimed table. *)
+let check_spec_perturbed name stg =
+  let module Bdd = Rtcad_logic.Bdd in
+  let sg = Sg.build stg in
+  let sym = Symbolic.analyze stg in
+  ignore (Bdd.reorder ());
+  ignore (Bdd.gc ());
+  Alcotest.(check int)
+    (name ^ ": num_states after reorder+gc")
+    (Sg.num_states sg) (Symbolic.num_states sym);
+  Alcotest.(check bool)
+    (name ^ ": has_csc after reorder+gc")
+    (Encoding.has_csc sg) (Symbolic.has_csc sym);
+  Alcotest.(check (list (list int)))
+    (name ^ ": deadlock markings after reorder+gc")
+    (marking_set sg (Sg.deadlocks sg))
+    (List.sort compare (List.map Bitset.elements (Symbolic.deadlock_markings sym)));
+  same_graph (name ^ " (perturbed)") sg (Symbolic.materialize sym);
+  Bdd.restore_order ()
+
+let check_all_perturbed () =
+  List.iter
+    (fun (name, stg) -> check_spec_perturbed name stg)
+    (Library.all_named ());
+  check_spec_perturbed "ring8" (Library.ring 8)
+
+let test_perturbed_jobs1 () = with_jobs 1 check_all_perturbed
+let test_perturbed_jobs2 () = with_jobs 2 check_all_perturbed
+
 let suite =
   [
     ( "symbolic",
@@ -113,5 +145,9 @@ let suite =
         Alcotest.test_case "engine selection" `Quick test_engine_select;
         Alcotest.test_case "Engine.build is engine-independent" `Quick test_engine_build;
         Alcotest.test_case "symbolic max_states bound" `Quick test_symbolic_bound;
+        Alcotest.test_case "engines agree after reorder+gc (jobs=1)" `Quick
+          test_perturbed_jobs1;
+        Alcotest.test_case "engines agree after reorder+gc (jobs=2)" `Quick
+          test_perturbed_jobs2;
       ] );
   ]
