@@ -7,7 +7,7 @@ ifdef RTCAD_JOBS
 export RTCAD_JOBS
 endif
 
-.PHONY: all build test fuzz bench verify golden golden-update smoke-symbolic smoke-symbolic-synth clean
+.PHONY: all build test fuzz bench bench-clean verify golden golden-update smoke-symbolic smoke-symbolic-synth smoke-serve test-serve clean
 
 all: build
 
@@ -54,3 +54,30 @@ golden-update:
 verify: build test fuzz
 	RTCAD_BENCH_REPS=3 dune exec bench/main.exe -- perf
 	dune exec bench/main.exe -- compare --strict
+
+# The perf history stamps a new bench/results/<timestamp>.json on every
+# run; only latest.json (and the blessed baseline.json) are tracked.
+# This drops the accumulated timestamped files.
+bench-clean:
+	rm -f bench/results/[0-9]*.json BENCH_perf.json
+
+# Serving-layer test battery only: the protocol/cache/determinism unit
+# suite plus the golden corpus replayed through the server.
+test-serve:
+	dune exec test/test_rtcad.exe -- test serve
+	dune exec test/test_rtcad.exe -- test golden
+
+# Daemon smoke: a scripted NDJSON session over stdio must answer every
+# line, survive garbage, and serve the repeated request from the cache.
+smoke-serve:
+	printf '%s\n' \
+	  '{"op":"check","spec":"fifo"}' \
+	  '{"op":"synth","spec":"fifo","mode":"si"}' \
+	  'garbage' \
+	  '{"op":"check","spec":"fifo"}' \
+	  '{"op":"stats"}' \
+	  '{"op":"shutdown"}' \
+	  | dune exec bin/rtsyn.exe -- serve | grep -c '"cached":true'
+
+clean:
+	dune clean

@@ -3,9 +3,11 @@
    Subcommands:
      check  — parse an STG, report reachability, properties and encoding
      synth  — run the Figure-2 flow and print the synthesis report
+     sim    — timed simulation of a specification or a Table-2 circuit
      show   — pretty-print a specification (built-in or .g file)
      list   — list built-in specifications
-     fuzz   — differential fuzzing of the optimized kernels *)
+     fuzz   — differential fuzzing of the optimized kernels
+     serve  — long-running NDJSON daemon with a content-addressed cache *)
 
 module Stg = Rtcad_stg.Stg
 module Stg_io = Rtcad_stg.Stg_io
@@ -27,6 +29,8 @@ module Harness = Rtcad_core.Harness
 module Table2 = Rtcad_core.Table2
 module Fifo_impls = Rtcad_core.Fifo_impls
 module Timed_sim = Rtcad_rt.Timed_sim
+module Serve = Rtcad_serve.Serve
+module Serve_cache = Rtcad_serve.Cache
 
 (* "ring10" → Some 10; the library exposes [ring n] as a family, not a
    fixed list, so the CLI accepts any member by name. *)
@@ -553,10 +557,116 @@ let fuzz_cmd =
       const run_fuzz $ jobs_term $ obs_term $ seed $ cases $ max_places $ shrink $ out
       $ quiet)
 
+(* --- serve --- *)
+
+let run_serve () obs socket queue capacity cache_dir engine max_states timeout_ms
+    capture =
+  (* Per-request capture owns the global recorder (it resets it around
+     every piece of work), so it cannot coexist with the cumulative
+     --trace/--summary sinks. *)
+  if capture <> Serve.Obs_off && (fst obs <> None || snd obs <> None) then begin
+    prerr_endline
+      "rtsyn: serve --capture cannot be combined with --trace/--summary";
+    2
+  end
+  else
+    with_obs obs @@ fun () ->
+    with_spec_errors @@ fun () ->
+    let cache = Serve_cache.create ~capacity ?dir:cache_dir () in
+    let cfg =
+      {
+        Serve.queue;
+        cache;
+        engine;
+        obs_mode = capture;
+        timeout_ms;
+        max_states;
+      }
+    in
+    (match socket with
+    | None -> Serve.run_stdio cfg
+    | Some path -> Serve.run_socket cfg ~path)
+
+let serve_cmd =
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Serve a Unix-domain stream socket at $(docv) (connections are \
+             handled sequentially, sharing one cache) instead of \
+             stdin/stdout.")
+  in
+  let queue =
+    Arg.(
+      value
+      & opt int 64
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Work-queue capacity: a batched request beyond $(docv) pending is \
+             answered with a structured $(b,overloaded) error instead of \
+             buffering unboundedly.")
+  in
+  let capacity =
+    Arg.(
+      value
+      & opt int 256
+      & info [ "cache-capacity" ] ~docv:"N"
+          ~doc:"In-memory result-cache entries (LRU beyond $(docv)).")
+  in
+  let cache_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "Persist results on disk under $(docv) (content-addressed, \
+             checksummed; corrupted entries are recomputed, never served).")
+  in
+  let max_states =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-states" ] ~docv:"N"
+          ~doc:"Default explicit-engine state bound for served requests.")
+  in
+  let timeout_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Per-request wall-clock budget: a request that finishes past it \
+             is answered with a $(b,timeout) error.")
+  in
+  let capture =
+    let modes =
+      [ ("off", Serve.Obs_off); ("normalised", Serve.Obs_normalised);
+        ("full", Serve.Obs_full) ]
+    in
+    Arg.(
+      value
+      & opt (enum modes) Serve.Obs_off
+      & info [ "capture" ] ~docv:"MODE"
+          ~doc:
+            "Attach a per-request metrics summary to every response: \
+             $(b,normalised) zeroes wall-clock fields (byte-stable across \
+             machines and job counts), $(b,full) keeps them.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Long-running synthesis service: NDJSON requests in, NDJSON \
+          responses out, results content-addressed in a two-tier cache")
+    Term.(
+      const run_serve $ jobs_term $ obs_term $ socket $ queue $ capacity
+      $ cache_dir $ engine_term $ max_states $ timeout_ms $ capture)
+
 let main =
   Cmd.group
     (Cmd.info "rtsyn" ~version:"1.0"
        ~doc:"Relative-timing synthesis for asynchronous circuits")
-    [ check_cmd; synth_cmd; sim_cmd; show_cmd; list_cmd; fuzz_cmd ]
+    [ check_cmd; synth_cmd; sim_cmd; show_cmd; list_cmd; fuzz_cmd; serve_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -30,6 +30,20 @@ type mode =
 
 let rt_default = Rt { user = []; allow_input_first = false; allow_lazy = true }
 
+(* Stable textual identity of a mode, for content-addressed caching of
+   flow results: two modes with the same fingerprint produce identical
+   netlists on the same (canonical) specification.  User assumptions are
+   kept in list order — order does not change the result, but
+   normalizing here would hide a client-side difference for no gain. *)
+let fingerprint = function
+  | Si -> "si"
+  | Rt { user; allow_input_first; allow_lazy } ->
+    let dir = function Rtcad_stg.Stg.Rise -> "+" | Rtcad_stg.Stg.Fall -> "-" in
+    let edge (s, d) = s ^ dir d in
+    Printf.sprintf "rt;input_first=%b;lazy=%b;user=%s" allow_input_first
+      allow_lazy
+      (String.concat "," (List.map (fun (a, b) -> edge a ^ "<" ^ edge b) user))
+
 type signal_result = {
   signal_name : string;
   impl : Implement.impl;

@@ -30,6 +30,12 @@ val rt_default : mode
 (** [Rt] with no user assumptions, [allow_input_first = false],
     [allow_lazy = true]. *)
 
+val fingerprint : mode -> string
+(** Stable textual identity of a mode.  Together with the canonical
+    [.g] text of the specification and the engine choice it uniquely
+    determines the flow's output, which is what the synthesis server's
+    content-addressed result cache keys on. *)
+
 type signal_result = {
   signal_name : string;
   impl : Rtcad_synth.Implement.impl;

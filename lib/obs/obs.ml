@@ -281,6 +281,11 @@ let snapshot () =
   in
   { jobs = Par.jobs (); metrics; span_aggs; events }
 
+let metric snap name = List.assoc_opt name snap.metrics
+
+let counter snap name =
+  match metric snap name with Some (Count n) -> n | _ -> 0
+
 (* --- sinks --- *)
 
 let pp_summary ppf snap =

@@ -76,6 +76,13 @@ val snapshot : unit -> snapshot
 (** Merge all worker stores (ascending worker index).  Safe to call with
     recording still enabled, e.g. at the end of a CLI run. *)
 
+val metric : snapshot -> string -> value option
+(** Look up a merged metric by name. *)
+
+val counter : snapshot -> string -> int
+(** Merged value of a counter metric; [0] when absent or not a counter.
+    The synthesis server reports its cache hit rate from these. *)
+
 (** {2 Sinks} *)
 
 val pp_summary : Format.formatter -> snapshot -> unit

@@ -198,3 +198,6 @@ let map_array ?chunk f a =
   end
 
 let map_list ?chunk f l = Array.to_list (map_array ?chunk f (Array.of_list l))
+
+let try_map_list ?chunk f l =
+  map_list ?chunk (fun x -> try Ok (f x) with e -> Error e) l

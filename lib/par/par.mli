@@ -67,5 +67,11 @@ val map_array : ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
 val map_list : ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [List.map f l], parallelised with the {!map_array} guarantees. *)
 
+val try_map_list : ?chunk:int -> ('a -> 'b) -> 'a list -> ('b, exn) result list
+(** {!map_list} with per-element fault isolation: an element whose [f]
+    raises yields [Error exn] in its slot instead of poisoning the whole
+    batch.  Long-lived callers (the synthesis server) use this so one
+    failing request cannot take down the others dispatched with it. *)
+
 val shutdown : unit -> unit
 (** Join and discard the worker pool (tests; harmless if no pool). *)

@@ -149,6 +149,32 @@ let area_transistors p =
   + (p.columns * p.rows * switch_point)
   + (p.rows * buffer) + control
 
+(* The exact byte format of the golden corpus snapshot
+   (test/golden/rappid.summary.json): every float with six decimals,
+   fields in declaration order.  Shared by the golden test and the
+   synthesis server so both replay paths compare against the same
+   snapshot. *)
+let summary_json r =
+  let b = Buffer.create 512 in
+  let fld last name v =
+    Buffer.add_string b
+      (Printf.sprintf "  \"%s\": %s%s\n" name v (if last then "" else ","))
+  in
+  Buffer.add_string b "{\n";
+  fld false "instructions" (string_of_int r.instructions);
+  fld false "lines" (string_of_int r.lines);
+  fld false "total_ps" (Printf.sprintf "%.6f" r.total_ps);
+  fld false "gips" (Printf.sprintf "%.6f" r.gips);
+  fld false "avg_latency_ps" (Printf.sprintf "%.6f" r.avg_latency_ps);
+  fld false "worst_latency_ps" (Printf.sprintf "%.6f" r.worst_latency_ps);
+  fld false "tag_rate_ghz" (Printf.sprintf "%.6f" r.tag_rate_ghz);
+  fld false "decode_rate_ghz" (Printf.sprintf "%.6f" r.decode_rate_ghz);
+  fld false "steer_rate_ghz" (Printf.sprintf "%.6f" r.steer_rate_ghz);
+  fld false "energy_pj" (Printf.sprintf "%.6f" r.energy_pj);
+  fld true "energy_per_instr_pj" (Printf.sprintf "%.6f" r.energy_per_instr_pj);
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
 let pp_result ppf r =
   Format.fprintf ppf
     "@[<v>instructions: %d (%d lines)@,throughput: %.2f instr/ns (%.0fM lines/s)@,\

@@ -65,3 +65,8 @@ val area_transistors : params -> int
     switch points, output buffers and control overhead. *)
 
 val pp_result : Format.formatter -> result -> unit
+
+val summary_json : result -> string
+(** Stable JSON rendering of a run (six-decimal floats, fixed field
+    order) — the byte format of the golden corpus snapshot, used by both
+    the golden-trace test and the synthesis server's replay path. *)

@@ -1,0 +1,179 @@
+module Obs = Rtcad_obs.Obs
+
+type entry = { payload : string; mutable tick : int }
+
+type t = {
+  capacity : int;
+  dir : string option;
+  table : (string, entry) Hashtbl.t;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable stores : int;
+  mutable evictions : int;
+  mutable corrupt : int;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  stores : int;
+  evictions : int;
+  corrupt : int;
+  entries : int;
+}
+
+let magic = "rtcad-serve-cache/1"
+
+let rec mkdir_p path =
+  if path = "" || path = "." || path = "/" || Sys.file_exists path then ()
+  else begin
+    mkdir_p (Filename.dirname path);
+    try Unix.mkdir path 0o755 with
+    | Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    | Unix.Unix_error (e, _, _) ->
+      raise (Sys_error (Printf.sprintf "%s: %s" path (Unix.error_message e)))
+  end
+
+let create ?(capacity = 256) ?dir () =
+  Option.iter mkdir_p dir;
+  {
+    capacity = max 1 capacity;
+    dir;
+    table = Hashtbl.create 64;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    stores = 0;
+    evictions = 0;
+    corrupt = 0;
+  }
+
+let capacity t = t.capacity
+let dir t = t.dir
+
+(* Length-prefixing makes the digest injective over the part list:
+   ["ab"; "c"] and ["a"; "bc"] hash differently. *)
+let key parts =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun p ->
+      Buffer.add_string buf (string_of_int (String.length p));
+      Buffer.add_char buf ':';
+      Buffer.add_string buf p)
+    parts;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let touch t e =
+  t.clock <- t.clock + 1;
+  e.tick <- t.clock
+
+(* The LRU scan is O(entries); capacities are small (hundreds) and the
+   determinism of "evict the minimum tick" is worth more here than a
+   doubly-linked list. *)
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun k e ->
+      match !victim with
+      | Some (_, tick) when tick <= e.tick -> ()
+      | _ -> victim := Some (k, e.tick))
+    t.table;
+  match !victim with
+  | Some (k, _) ->
+    Hashtbl.remove t.table k;
+    t.evictions <- t.evictions + 1;
+    Obs.incr "serve.cache.evict"
+  | None -> ()
+
+let insert_mem t k payload =
+  match Hashtbl.find_opt t.table k with
+  | Some e -> touch t e
+  | None ->
+    if Hashtbl.length t.table >= t.capacity then evict_lru t;
+    let e = { payload; tick = 0 } in
+    touch t e;
+    Hashtbl.replace t.table k e
+
+let disk_path t k = Option.map (fun d -> Filename.concat d (k ^ ".json")) t.dir
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* A disk entry is [magic ^ " " ^ md5(payload) ^ "\n" ^ payload]; any
+   header or checksum mismatch means the entry was corrupted (or written
+   by a different format version) and must be recomputed, not served. *)
+let disk_find t k =
+  match disk_path t k with
+  | None -> None
+  | Some path -> (
+    match read_file path with
+    | exception Sys_error _ -> None
+    | data -> (
+      let corrupt () =
+        t.corrupt <- t.corrupt + 1;
+        Obs.incr "serve.cache.corrupt";
+        (try Sys.remove path with Sys_error _ -> ());
+        None
+      in
+      match String.index_opt data '\n' with
+      | None -> corrupt ()
+      | Some nl -> (
+        let header = String.sub data 0 nl in
+        let payload = String.sub data (nl + 1) (String.length data - nl - 1) in
+        match String.split_on_char ' ' header with
+        | [ m; sum ] when m = magic ->
+          if String.equal sum (Digest.to_hex (Digest.string payload)) then
+            Some payload
+          else corrupt ()
+        | _ -> corrupt ())))
+
+let disk_store t k payload =
+  match disk_path t k with
+  | None -> ()
+  | Some path ->
+    let data =
+      Printf.sprintf "%s %s\n%s" magic (Digest.to_hex (Digest.string payload))
+        payload
+    in
+    (* Best-effort: a full disk must not take the daemon down, it just
+       loses persistence for this entry. *)
+    (match Obs.write_file ~path data with Ok () -> () | Error _ -> ())
+
+let find t k =
+  match Hashtbl.find_opt t.table k with
+  | Some e ->
+    touch t e;
+    t.hits <- t.hits + 1;
+    Obs.incr "serve.cache.hit";
+    Some e.payload
+  | None -> (
+    match disk_find t k with
+    | Some payload ->
+      insert_mem t k payload;
+      t.hits <- t.hits + 1;
+      Obs.incr "serve.cache.hit";
+      Some payload
+    | None ->
+      t.misses <- t.misses + 1;
+      Obs.incr "serve.cache.miss";
+      None)
+
+let store t k payload =
+  insert_mem t k payload;
+  disk_store t k payload;
+  t.stores <- t.stores + 1;
+  Obs.incr "serve.cache.store"
+
+let stats (t : t) =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    stores = t.stores;
+    evictions = t.evictions;
+    corrupt = t.corrupt;
+    entries = Hashtbl.length t.table;
+  }

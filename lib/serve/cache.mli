@@ -1,0 +1,50 @@
+(** Content-addressed result cache for the synthesis server.
+
+    Keys are hex digests computed by {!key} from the canonical [.g] text
+    of the specification (the printer is round-trip stable, so any
+    whitespace/ordering variant of the same spec maps to the same key)
+    plus the operation and an engine/options fingerprint.  Values are
+    opaque payload strings (the server stores rendered response
+    payloads).
+
+    Two tiers:
+
+    - an in-memory LRU bounded at [capacity] entries — lookups promote,
+      stores evict the least-recently-used entry once full;
+    - an optional on-disk store ([dir]): every store is also written to
+      [dir/<key>.json] behind a checksum header, and a memory miss falls
+      back to disk (verifying the checksum and re-promoting into
+      memory).  A corrupted or truncated entry is {e detected}, counted,
+      deleted and treated as a miss — never served.
+
+    All operations are synchronous and deterministic; the server
+    serializes cache access, so no internal locking is needed.  Counters
+    are mirrored into {!Rtcad_obs.Obs} (when enabled) under
+    [serve.cache.*]. *)
+
+type t
+
+type stats = {
+  hits : int;  (** memory + disk hits *)
+  misses : int;
+  stores : int;
+  evictions : int;  (** memory-LRU evictions (disk entries persist) *)
+  corrupt : int;  (** disk entries rejected by checksum *)
+  entries : int;  (** current in-memory entry count *)
+}
+
+val create : ?capacity:int -> ?dir:string -> unit -> t
+(** [capacity] (default 256, clamped to >= 1) bounds the in-memory LRU.
+    [dir] enables the on-disk tier; the directory is created if missing.
+    Raises [Sys_error] if the directory cannot be created. *)
+
+val key : string list -> string
+(** Digest of the given parts (order-sensitive, injection-safe: parts
+    are length-prefixed before hashing). *)
+
+val find : t -> string -> string option
+val store : t -> string -> string -> unit
+val stats : t -> stats
+
+val capacity : t -> int
+val dir : t -> string option

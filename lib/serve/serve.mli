@@ -1,0 +1,110 @@
+(** Synthesis-as-a-service: the long-running [rtsyn serve] daemon.
+
+    The server speaks newline-delimited JSON: one request object per
+    line in, one response object per line out, in request-arrival order.
+    Work operations — [check], [synth], [sim], [fuzz] — run the same
+    kernels as the corresponding CLI subcommands; control operations —
+    [ping], [stats], [batch], [flush], [shutdown] — manage the session.
+    Every response carries the request's [id] (echoed, or assigned
+    sequentially when absent), so pipelined clients can match answers
+    out of band even though the wire order is deterministic.
+
+    {2 Dispatch, batching and load shedding}
+
+    By default each work request is dispatched as it arrives.  After a
+    [{"op":"batch"}] control message, work requests accumulate in a
+    bounded queue and are dispatched together on [{"op":"flush"}] (or
+    end of input) as one {e wave} over the {!Rtcad_par.Par} domain pool,
+    with identical-key duplicates computed once.  A request arriving
+    while the queue is full is {e shed}: it is answered with a
+    structured [overloaded] error in its arrival slot and the session
+    keeps going — the daemon never buffers unboundedly and never drops
+    a connection to protect itself.
+
+    {2 Robustness}
+
+    A malformed line, an unknown operation, a spec parse error, an
+    engine failure ([Synthesis_failure], [Inconsistent], [Unsafe]) or a
+    [Too_large] bound all produce structured error responses; no request
+    can kill the daemon.  Per-request wall-clock budgets
+    ([timeout_ms]) are cooperative: the result of a request that
+    finished past its budget is replaced by a [timeout] error (the
+    kernels bound their own work via [max_states]).  SIGINT/SIGTERM
+    drain pending work, flush responses and exit cleanly.
+
+    {2 Caching}
+
+    Results are content-addressed in a {!Cache}: the key is the
+    canonical [.g] rendering of the specification (so any textual
+    variant of the same spec hits) plus the operation and an
+    engine/options fingerprint ({!Rtcad_core.Flow.fingerprint} for
+    synthesis).  Responses carry ["cached":true] on a hit.  Cache and
+    request counters are mirrored into {!Rtcad_obs.Obs} under
+    [serve.*], which is how a served session reports its hit rate.
+
+    {2 Determinism}
+
+    For a fixed request stream the complete response stream is
+    byte-identical at any job count: waves fan out over the
+    deterministic pool, cache state evolves in arrival order, and
+    responses are emitted in arrival order.  With per-request
+    observability capture ([`Normalised]) waves run serially (capture
+    snapshots global recording state) and each response embeds the
+    normalised metric summary of exactly its own work. *)
+
+type obs_mode =
+  | Obs_off
+  | Obs_normalised
+      (** attach a normalised {!Rtcad_obs.Obs.summary_json} per request:
+          byte-stable across machines and job counts *)
+  | Obs_full  (** attach real wall-clock summaries *)
+
+type config = {
+  queue : int;  (** work-queue capacity (wave bound); clamped to >= 1 *)
+  cache : Cache.t;
+  engine : Rtcad_sg.Engine.t;  (** default reachability engine *)
+  obs_mode : obs_mode;
+  timeout_ms : float option;  (** per-request budget, [None] = unlimited *)
+  max_states : int option;  (** default explicit-engine state bound *)
+}
+
+val default_config : ?cache:Cache.t -> unit -> config
+(** Queue 64, a fresh in-memory cache (capacity 256) unless given,
+    [Auto] engine, no capture, no timeout, engine-default state bound. *)
+
+(** {2 Session core}
+
+    The pure-ish engine behind both drivers, also used directly by the
+    test battery: feed input lines, collect response lines. *)
+
+type session
+
+val session : config -> session
+
+val feed : session -> string -> string list
+(** Process one input line; returns the response lines it produced (in
+    order).  Batched work requests produce their responses at the next
+    [flush]/{!finish}. *)
+
+val finish : session -> string list
+(** End of input: dispatch any pending batch and return its responses. *)
+
+val stopped : session -> bool
+(** True once a [shutdown] request has been processed. *)
+
+val run_lines : config -> string list -> string list
+(** [feed] every line, then {!finish} (stopping early after [shutdown]);
+    the whole scripted-session protocol in one call. *)
+
+(** {2 Drivers} *)
+
+val run_stdio : config -> int
+(** Serve requests from standard input to standard output until end of
+    input, [shutdown], or a termination signal (drain, then exit).
+    Returns the process exit code. *)
+
+val run_socket : config -> path:string -> int
+(** Bind a Unix-domain stream socket at [path] (replacing a stale
+    socket file) and serve connections sequentially, each with a fresh
+    session over the shared cache, until a [shutdown] request or a
+    termination signal.  The socket file is removed on exit. *)

@@ -1,0 +1,70 @@
+The serving daemon over stdio: one NDJSON request per line in, one
+response per line out, in arrival order.  Responses are byte-stable, so
+this session doubles as a wire-format regression test.
+
+A scripted session: a check, a synthesis, a repeat of the first check
+(which must come back from the content-addressed cache), a malformed
+line, an unknown op, an unknown field, and a clean shutdown.
+
+  $ cat > session.ndjson <<'EOF'
+  > {"id":1,"op":"ping"}
+  > {"id":2,"op":"check","spec":"celement"}
+  > {"id":3,"op":"synth","spec":"celement","mode":"si"}
+  > {"id":4,"op":"check","spec":"celement"}
+  > this line is not JSON
+  > {"id":6,"op":"teleport"}
+  > {"id":7,"op":"check","spec":"celement","frobnicate":1}
+  > {"id":8,"op":"check","spec":"nonesuch"}
+  > {"id":9,"op":"stats"}
+  > {"id":10,"op":"shutdown"}
+  > EOF
+  $ rtsyn serve < session.ndjson
+  {"id":1,"op":"ping","ok":true,"result":{"pong":true}}
+  {"id":2,"op":"check","ok":true,"cached":false,"engine":"explicit","key":"2075c40df35e59b7c7ced4c34bb4cca4","result":{"states":8,"deadlock_free":true,"live_transitions":true,"output_persistent":true,"csc_satisfied":true,"csc_signals":[]}}
+  {"id":3,"op":"synth","ok":true,"cached":false,"engine":"explicit","key":"05a703d6cb1752432e192717d0a097e5","result":{"states_full":8,"states_used":8,"insertions":[],"assumptions":0,"constraints":[],"signals":[{"name":"c","literals":6}],"gates":1,"netlist":"netlist: 3 nets, 1 gates, 12 transistors\n  c = sop[2,2,2]6(a, b, a, c, b, c) [out]\n  inputs: a b"}}
+  {"id":4,"op":"check","ok":true,"cached":true,"engine":"explicit","key":"2075c40df35e59b7c7ced4c34bb4cca4","result":{"states":8,"deadlock_free":true,"live_transitions":true,"output_persistent":true,"csc_satisfied":true,"csc_signals":[]}}
+  {"id":null,"op":null,"ok":false,"error":{"kind":"parse_error","message":"request is not valid JSON (byte 0: expected true)"}}
+  {"id":6,"op":null,"ok":false,"error":{"kind":"bad_request","message":"unknown op \"teleport\""}}
+  {"id":7,"op":"check","ok":false,"error":{"kind":"bad_request","message":"unknown field \"frobnicate\" for op \"check\""}}
+  {"id":8,"op":"check","ok":false,"error":{"kind":"bad_request","message":"\"nonesuch\" is neither a built-in specification nor spec text"}}
+  {"id":9,"op":"stats","ok":true,"result":{"requests":5,"shed":0,"batching":false,"queue_capacity":64,"cache":{"hits":1,"misses":2,"stores":2,"evictions":0,"corrupt":0,"entries":2,"hit_rate":0.333333}}}
+  {"id":10,"op":"shutdown","ok":true,"result":{"stopping":true,"pending_flushed":0}}
+
+The same stream again: the on-disk cache directory now serves the
+results computed above, so every work request is a hit even in a fresh
+process.
+
+  $ rtsyn serve --cache-dir store < session.ndjson > first.out
+  $ rtsyn serve --cache-dir store < session.ndjson > second.out
+  $ grep -c '"cached":true' first.out
+  1
+  $ grep -c '"cached":true' second.out
+  3
+
+Batching with a tiny queue bound: the third request of the wave is shed
+with a structured overloaded reply, and the session keeps serving.
+
+  $ rtsyn serve --queue 2 <<'EOF'
+  > {"id":1,"op":"batch"}
+  > {"id":2,"op":"check","spec":"fifo"}
+  > {"id":3,"op":"check","spec":"toggle"}
+  > {"id":4,"op":"check","spec":"selector"}
+  > {"id":5,"op":"flush"}
+  > {"id":6,"op":"ping"}
+  > EOF
+  {"id":1,"op":"batch","ok":true,"result":{"batching":true}}
+  {"id":2,"op":"check","ok":true,"cached":false,"engine":"explicit","key":"2bba25d3ffc9978b03a1fa2219c085a6","result":{"states":20,"deadlock_free":true,"live_transitions":true,"output_persistent":true,"csc_satisfied":false,"csc_signals":["lo","ro"]}}
+  {"id":3,"op":"check","ok":true,"cached":false,"engine":"explicit","key":"950b3baf78db4b5dc9ab9f5f9db76503","result":{"states":8,"deadlock_free":true,"live_transitions":true,"output_persistent":true,"csc_satisfied":true,"csc_signals":[]}}
+  {"id":4,"op":"check","ok":false,"error":{"kind":"overloaded","message":"work queue full (capacity 2)"}}
+  {"id":5,"op":"flush","ok":true,"result":{"flushed":2,"shed":1}}
+  {"id":6,"op":"ping","ok":true,"result":{"pong":true}}
+
+Spec text is content-addressed by its canonical rendering: a whitespace
+variant of the same specification maps to the same key and hits.
+
+  $ rtsyn serve <<'EOF'
+  > {"id":1,"op":"check","spec":".inputs a b\n.outputs c\n.graph\na+ c+\nb+ c+\nc+ a- b-\na- c-\nb- c-\nc- a+ b+\n.marking { <c-,a+> <c-,b+> }\n"}
+  > {"id":2,"op":"check","spec":".inputs  a   b\n.outputs c\n\n.graph\na+ c+\nb+ c+\nc+ a- b-\na- c-\nb- c-\nc- a+ b+\n.marking { <c-,a+> <c-,b+> }\n# comment\n"}
+  > EOF
+  {"id":1,"op":"check","ok":true,"cached":false,"engine":"explicit","key":"2075c40df35e59b7c7ced4c34bb4cca4","result":{"states":8,"deadlock_free":true,"live_transitions":true,"output_persistent":true,"csc_satisfied":true,"csc_signals":[]}}
+  {"id":2,"op":"check","ok":true,"cached":true,"engine":"explicit","key":"2075c40df35e59b7c7ced4c34bb4cca4","result":{"states":8,"deadlock_free":true,"live_transitions":true,"output_persistent":true,"csc_satisfied":true,"csc_signals":[]}}

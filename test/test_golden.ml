@@ -101,25 +101,61 @@ let fifo_case slug build () =
 let rappid_case () =
   let stream = Workload.generate ~seed:7 Workload.typical ~instructions:20_000 in
   let r = Rappid.run stream in
-  let b = Buffer.create 512 in
-  let fld last name v =
-    Buffer.add_string b
-      (Printf.sprintf "  \"%s\": %s%s\n" name v (if last then "" else ","))
+  check_golden "rappid.summary.json" (Rappid.summary_json r)
+
+(* --- the same corpus, replayed through the synthesis server ---
+
+   Each golden scenario is also issued as an NDJSON request against the
+   serving layer: the response must embed byte-for-byte the same VCD and
+   the same normalised summary the direct harness produced.  This pins
+   the server's per-request capture (and its cached replays) to the
+   corpus: a serving-layer regression that perturbs measurement order or
+   observability would surface here as a byte diff. *)
+
+module Serve = Rtcad_serve.Serve
+module Json = Rtcad_serve.Json
+
+let serve_one ?(obs = false) request =
+  let cfg = Serve.default_config () in
+  let cfg =
+    if obs then { cfg with Serve.obs_mode = Serve.Obs_normalised } else cfg
   in
-  Buffer.add_string b "{\n";
-  fld false "instructions" (string_of_int r.Rappid.instructions);
-  fld false "lines" (string_of_int r.Rappid.lines);
-  fld false "total_ps" (Printf.sprintf "%.6f" r.Rappid.total_ps);
-  fld false "gips" (Printf.sprintf "%.6f" r.Rappid.gips);
-  fld false "avg_latency_ps" (Printf.sprintf "%.6f" r.Rappid.avg_latency_ps);
-  fld false "worst_latency_ps" (Printf.sprintf "%.6f" r.Rappid.worst_latency_ps);
-  fld false "tag_rate_ghz" (Printf.sprintf "%.6f" r.Rappid.tag_rate_ghz);
-  fld false "decode_rate_ghz" (Printf.sprintf "%.6f" r.Rappid.decode_rate_ghz);
-  fld false "steer_rate_ghz" (Printf.sprintf "%.6f" r.Rappid.steer_rate_ghz);
-  fld false "energy_pj" (Printf.sprintf "%.6f" r.Rappid.energy_pj);
-  fld true "energy_per_instr_pj" (Printf.sprintf "%.6f" r.Rappid.energy_per_instr_pj);
-  Buffer.add_string b "}\n";
-  check_golden "rappid.summary.json" (Buffer.contents b)
+  match Serve.run_lines cfg [ request ] with
+  | [ line ] ->
+    let j = Json.parse line in
+    if Json.member "ok" j <> Some (Json.Bool true) then
+      Alcotest.failf "serve replay failed: %s" line;
+    j
+  | other -> Alcotest.failf "expected one response, got %d" (List.length other)
+
+let serve_str j path =
+  match
+    List.fold_left (fun acc name -> Option.bind acc (Json.member name)) (Some j) path
+  with
+  | Some (Json.String s) -> s
+  | _ -> Alcotest.failf "response lacks string field %s" (String.concat "." path)
+
+let serve_fifo_case slug circuit () =
+  let request =
+    Printf.sprintf {|{"op":"sim","circuit":%S,"cycles":12,"vcd":true}|} circuit
+  in
+  let j = serve_one ~obs:true request in
+  check_golden (slug ^ ".vcd") (serve_str j [ "result"; "vcd" ]);
+  check_golden (slug ^ ".summary.json") (serve_str j [ "obs" ]);
+  (* The cached replay of the same request must serve identical bytes. *)
+  let cache = Rtcad_serve.Cache.create () in
+  let cfg =
+    { (Serve.default_config ~cache ()) with Serve.obs_mode = Serve.Obs_normalised }
+  in
+  match Serve.run_lines cfg [ request; request ] with
+  | [ miss; hit ] ->
+    let strip l = Json.to_string (Option.get (Json.member "result" (Json.parse l))) in
+    Alcotest.(check string) "cached replay byte-identical" (strip miss) (strip hit)
+  | _ -> Alcotest.fail "expected two responses"
+
+let serve_rappid_case () =
+  let j = serve_one {|{"op":"sim","circuit":"rappid","instructions":20000,"seed":7}|} in
+  check_golden "rappid.summary.json" (serve_str j [ "result"; "summary_json" ])
 
 let suite =
   [
@@ -130,5 +166,10 @@ let suite =
         Alcotest.test_case "fifo rt" `Slow (fifo_case "fifo_rt" Fifo_impls.relative_timing);
         Alcotest.test_case "fifo pulse" `Slow (fifo_case "fifo_pulse" Fifo_impls.pulse_mode);
         Alcotest.test_case "rappid" `Slow rappid_case;
+        Alcotest.test_case "serve: fifo si" `Slow (serve_fifo_case "fifo_si" "si");
+        Alcotest.test_case "serve: fifo rt-bm" `Slow (serve_fifo_case "fifo_rt_bm" "rt-bm");
+        Alcotest.test_case "serve: fifo rt" `Slow (serve_fifo_case "fifo_rt" "rt");
+        Alcotest.test_case "serve: fifo pulse" `Slow (serve_fifo_case "fifo_pulse" "pulse");
+        Alcotest.test_case "serve: rappid" `Slow serve_rappid_case;
       ] );
   ]

@@ -1,0 +1,483 @@
+(* Server-grade test battery for the synthesis service (lib/serve).
+
+   The session core is exercised directly through [Serve.run_lines] /
+   [Serve.feed] — the same engine both drivers wrap — so these tests
+   cover the protocol, the cache and the determinism contract without
+   forking processes; the stdio driver itself is covered by the
+   [test/cli/serve.t] cram test and the socket driver by an in-process
+   client thread below. *)
+
+module Serve = Rtcad_serve.Serve
+module Cache = Rtcad_serve.Cache
+module Json = Rtcad_serve.Json
+module Par = Rtcad_par.Par
+module Obs = Rtcad_obs.Obs
+module Flow = Rtcad_core.Flow
+module Stg_io = Rtcad_stg.Stg_io
+module Library = Rtcad_stg.Library
+
+let with_jobs n f =
+  let prev = Par.jobs () in
+  Par.set_jobs n;
+  Fun.protect ~finally:(fun () -> Par.set_jobs prev) f
+
+let config ?cache ?(queue = 64) ?(timeout_ms = None) () =
+  { (Serve.default_config ?cache ()) with Serve.queue; timeout_ms }
+
+let req fmt = Printf.sprintf fmt
+
+(* Response-line accessors (every response is a one-line JSON object). *)
+let field line name =
+  match Json.member name (Json.parse line) with
+  | Some v -> v
+  | None -> Alcotest.failf "response %s lacks field %S" line name
+
+let is_ok line = Json.to_bool (field line "ok") = Some true
+let str_of line name = Option.get (Json.to_str (field line name))
+
+let error_kind line =
+  match Json.member "kind" (field line "error") with
+  | Some (Json.String k) -> k
+  | _ -> Alcotest.failf "response %s lacks error.kind" line
+
+let cached line =
+  match field line "cached" with
+  | Json.Bool b -> b
+  | _ -> Alcotest.failf "response %s lacks cached" line
+
+let result_str line = Json.to_string (field line "result")
+
+(* --- JSON module --- *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("a", Json.Int 3);
+        ("b", Json.List [ Json.Null; Json.Bool true; Json.Float 2.5 ]);
+        ("c", Json.String "line\nbreak \"quoted\" \t tab");
+        ("d", Json.Obj [ ("nested", Json.String "ünïcode") ]);
+      ]
+  in
+  let s = Json.to_string v in
+  Alcotest.(check bool) "one line" false (String.contains s '\n');
+  Alcotest.(check bool) "round-trips" true (Json.parse s = v);
+  Alcotest.(check bool)
+    "unicode escapes decode" true
+    (Json.parse {|"\u00e9\ud83d\ude00"|} = Json.String "\xc3\xa9\xf0\x9f\x98\x80")
+
+let test_json_rejects () =
+  let rejects s =
+    match Json.parse s with
+    | exception Json.Parse_error _ -> ()
+    | _ -> Alcotest.failf "parser accepted %S" s
+  in
+  rejects "";
+  rejects "{";
+  rejects "{\"a\":1,\"a\":2}";
+  (* duplicate keys are ambiguous *)
+  rejects "[1,2,]";
+  rejects "{\"a\":1} trailing"
+
+let test_cache_key () =
+  Alcotest.(check bool)
+    "length prefix separates parts" false
+    (String.equal (Cache.key [ "ab"; "c" ]) (Cache.key [ "a"; "bc" ]));
+  Alcotest.(check string)
+    "key is stable" (Cache.key [ "x"; "y" ]) (Cache.key [ "x"; "y" ])
+
+let test_fingerprint () =
+  let fps =
+    List.map Flow.fingerprint
+      [
+        Flow.Si;
+        Flow.rt_default;
+        Flow.Rt { user = []; allow_input_first = true; allow_lazy = true };
+        Flow.Rt { user = []; allow_input_first = false; allow_lazy = false };
+        Flow.Rt
+          {
+            user = [ (("ri", Rtcad_stg.Stg.Fall), ("li", Rtcad_stg.Stg.Rise)) ];
+            allow_input_first = false;
+            allow_lazy = true;
+          };
+      ]
+  in
+  Alcotest.(check int)
+    "mode fingerprints are distinct" (List.length fps)
+    (List.length (List.sort_uniq compare fps))
+
+(* --- determinism: byte-identical response streams at any job count --- *)
+
+let mixed_script =
+  [
+    req {|{"op":"ping"}|};
+    req {|{"op":"batch"}|};
+    req {|{"op":"check","spec":"fifo"}|};
+    req {|{"op":"check","spec":"ring4"}|};
+    req {|{"op":"synth","spec":"fifo","mode":"si"}|};
+    req {|{"op":"check","spec":"fifo","engine":"symbolic"}|};
+    req {|{"op":"check","spec":"toggle"}|};
+    req {|{"op":"flush"}|};
+    (* batching persists across a flush: this second wave accumulates *)
+    req {|{"op":"check","spec":"fifo"}|};
+    (* repeat: hit *)
+    req {|{"op":"sim","spec":"fifo","steps":24}|};
+    req {|{"op":"synth","spec":"celement","mode":"rt"}|};
+    req {|{"op":"flush"}|};
+    req {|{"op":"stats"}|};
+  ]
+
+let test_determinism_across_jobs () =
+  let run () = Serve.run_lines (config ()) mixed_script in
+  let at1 = with_jobs 1 run and at2 = with_jobs 2 run in
+  Alcotest.(check (list string)) "responses at jobs 1 = jobs 2" at1 at2;
+  (* The repeat after the flush must have hit the cache. *)
+  let repeat = List.nth at1 8 in
+  Alcotest.(check bool) "repeat is a hit" true (cached repeat)
+
+(* --- load shedding --- *)
+
+let test_load_shedding () =
+  let s = Serve.session (config ~queue:2 ()) in
+  let out = Buffer.create 256 in
+  let feed line = List.iter (fun r -> Buffer.add_string out (r ^ "\n")) (Serve.feed s line) in
+  feed (req {|{"op":"batch"}|});
+  for i = 1 to 5 do
+    feed (req {|{"id":%d,"op":"check","spec":"fifo"}|} i)
+  done;
+  feed (req {|{"id":99,"op":"flush"}|});
+  feed (req {|{"id":100,"op":"ping"}|});
+  let lines =
+    String.split_on_char '\n' (Buffer.contents out) |> List.filter (fun l -> l <> "")
+  in
+  (* batch ack + 5 work responses + flush ack + pong *)
+  Alcotest.(check int) "response count" 8 (List.length lines);
+  let work = List.filteri (fun i _ -> i >= 1 && i <= 5) lines in
+  let oks, shed = List.partition is_ok work in
+  Alcotest.(check int) "admitted up to the bound" 2 (List.length oks);
+  Alcotest.(check int) "the rest shed" 3 (List.length shed);
+  List.iter
+    (fun l -> Alcotest.(check string) "shed kind" "overloaded" (error_kind l))
+    shed;
+  (* Shedding preserves arrival order and ids. *)
+  List.iteri
+    (fun i l ->
+      Alcotest.(check bool)
+        (Printf.sprintf "slot %d id" i)
+        true
+        (field l "id" = Json.Int (i + 1)))
+    work;
+  let flush_ack = List.nth lines 6 in
+  Alcotest.(check string) "flush ack" (Json.to_string (Json.Obj [ ("flushed", Json.Int 2); ("shed", Json.Int 3) ]))
+    (result_str flush_ack);
+  (* The connection survives: the session still answers. *)
+  Alcotest.(check bool) "session alive after shedding" true (is_ok (List.nth lines 7));
+  Alcotest.(check bool) "not stopped" false (Serve.stopped s)
+
+(* --- robustness: no input kills the session --- *)
+
+let test_malformed_never_kills () =
+  let script =
+    [
+      "";
+      "not json at all";
+      "{\"op\":\"check\"}";
+      (* missing spec *)
+      "{\"op\":\"check\",\"spec\":\"no_such_spec\"}";
+      "{\"op\":\"check\",\"spec\":\"fifo\",\"bogus\":1}";
+      "{\"op\":\"frobnicate\"}";
+      "{\"op\":\"check\",\"spec\":\".inputs a\\na+ a-\\n\"}";
+      (* graph line outside .graph: spec parse error *)
+      "[1,2,3]";
+      "{\"op\":\"sim\",\"circuit\":\"warp-core\"}";
+      req {|{"op":"check","spec":"fifo"}|};
+    ]
+  in
+  let responses = Serve.run_lines (config ()) script in
+  (* The empty line still gets a parse_error response: 10 in, 10 out. *)
+  Alcotest.(check int) "every line answered" 10 (List.length responses);
+  let last = List.nth responses 9 in
+  Alcotest.(check bool) "healthy request still served" true (is_ok last);
+  List.iteri
+    (fun i l ->
+      if i < 9 then
+        Alcotest.(check bool) (Printf.sprintf "line %d is an error" i) false (is_ok l))
+    responses
+
+let test_timeout_budget () =
+  let responses =
+    Serve.run_lines
+      (config ~timeout_ms:(Some 0.0) ())
+      [ req {|{"op":"check","spec":"fifo"}|} ]
+  in
+  Alcotest.(check string) "timeout kind" "timeout" (error_kind (List.nth responses 0))
+
+(* --- cache correctness --- *)
+
+(* Whitespace/comment perturbations the .g lexer normalizes away: the
+   canonical rendering — and therefore the cache key — must not move. *)
+let perturb seed text =
+  let lines = String.split_on_char '\n' text in
+  let n = ref seed in
+  let next bound =
+    n := (!n * 1103515245) + 12345;
+    (!n lsr 16) mod bound
+  in
+  String.concat "\n"
+    (List.concat_map
+       (fun line ->
+         let line = if next 3 = 0 then line ^ "   " else line in
+         let extras =
+           match next 4 with
+           | 0 -> [ "" ]
+           | 1 -> [ "# a comment the lexer strips" ]
+           | _ -> []
+         in
+         (line :: extras))
+       lines)
+
+let spec_pool () =
+  List.map
+    (fun (name, stg) -> (name, Stg_io.to_string stg))
+    (Library.all_named ())
+
+let check_response ?(engine = "auto") text =
+  let request =
+    Json.to_string
+      (Json.Obj
+         [
+           ("op", Json.String "check");
+           ("spec", Json.String text);
+           ("engine", Json.String engine);
+         ])
+  in
+  match Serve.run_lines (config ()) [ request ] with
+  | [ line ] ->
+    if not (is_ok line) then Alcotest.failf "check failed: %s" line;
+    line
+  | other -> Alcotest.failf "expected 1 response, got %d" (List.length other)
+
+let test_canonical_hash_property =
+  QCheck.Test.make ~count:30
+    ~name:"canonical-hash equality implies identical responses across engines"
+    QCheck.(pair (int_range 0 6) (int_range 1 1000))
+    (fun (which, seed) ->
+      let name, text = List.nth (spec_pool ()) which in
+      let perturbed = perturb seed text in
+      (* Same canonical hash... *)
+      let pristine = check_response ~engine:"explicit" text in
+      let explicit = check_response ~engine:"explicit" perturbed in
+      let symbolic = check_response ~engine:"symbolic" perturbed in
+      (* ...same key (per engine) and the engines agree on the verdict. *)
+      if str_of pristine "key" <> str_of explicit "key" then
+        QCheck.Test.fail_reportf "perturbation moved the cache key for %s" name;
+      if result_str explicit <> result_str pristine then
+        QCheck.Test.fail_reportf "perturbation changed the explicit verdict for %s"
+          name;
+      if result_str explicit <> result_str symbolic then
+        QCheck.Test.fail_reportf "engines disagree on %s:\n%s\n%s" name
+          (result_str explicit) (result_str symbolic);
+      true)
+
+let with_tmpdir f =
+  let path = Filename.temp_file "rtcad-serve-cache" "" in
+  Sys.remove path;
+  Unix.mkdir path 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists path then begin
+        Array.iter
+          (fun e -> try Sys.remove (Filename.concat path e) with Sys_error _ -> ())
+          (Sys.readdir path);
+        try Unix.rmdir path with Unix.Unix_error _ -> ()
+      end)
+    (fun () -> f path)
+
+let one_check cache =
+  match
+    Serve.run_lines (config ~cache ()) [ req {|{"op":"check","spec":"fifo"}|} ]
+  with
+  | [ line ] -> line
+  | _ -> Alcotest.fail "expected one response"
+
+let test_disk_tier_and_corruption () =
+  with_tmpdir @@ fun dir ->
+  (* Populate through one cache instance... *)
+  let first = one_check (Cache.create ~dir ()) in
+  Alcotest.(check bool) "first is a miss" false (cached first);
+  (* ...a fresh instance (empty memory) hits the disk tier... *)
+  let warm = one_check (Cache.create ~dir ()) in
+  Alcotest.(check bool) "disk entry hits" true (cached warm);
+  Alcotest.(check string) "disk payload identical" (result_str first) (result_str warm);
+  (* ...then corrupt the stored payload: the checksum must reject it and
+     the result must be recomputed, not served. *)
+  let entry =
+    match Sys.readdir dir with
+    | [| e |] -> Filename.concat dir e
+    | _ -> Alcotest.fail "expected exactly one disk entry"
+  in
+  let data =
+    let ic = open_in_bin entry in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let flipped = Bytes.of_string data in
+  let last = Bytes.length flipped - 1 in
+  Bytes.set flipped last (if Bytes.get flipped last = 'x' then 'y' else 'x');
+  let oc = open_out_bin entry in
+  output_bytes oc flipped;
+  close_out oc;
+  let cache = Cache.create ~dir () in
+  let recomputed = one_check cache in
+  Alcotest.(check bool) "corrupt entry is a miss" false (cached recomputed);
+  Alcotest.(check string) "recomputed, identical" (result_str first)
+    (result_str recomputed);
+  Alcotest.(check int) "corruption detected" 1 (Cache.stats cache).Cache.corrupt
+
+let test_lru_eviction () =
+  let cache = Cache.create ~capacity:2 () in
+  let script =
+    List.map
+      (fun s -> req {|{"op":"check","spec":%S}|} s)
+      [ "fifo"; "toggle"; "fifo"; "celement"; "toggle" ]
+  in
+  let responses = Serve.run_lines (config ~cache ()) script in
+  let flags = List.map cached responses in
+  (* fifo(miss) toggle(miss) fifo(hit, touches) celement(miss, evicts
+     toggle) toggle(miss again: it was the LRU victim) *)
+  Alcotest.(check (list bool))
+    "LRU hit/miss sequence"
+    [ false; false; true; false; false ]
+    flags;
+  let st = Cache.stats cache in
+  Alcotest.(check int) "evictions" 2 st.Cache.evictions;
+  Alcotest.(check bool) "bound respected" true (st.Cache.entries <= 2)
+
+(* --- the acceptance scenario: 200 requests, >= 50% repeats, hit rate
+   reported via rtcad_obs, zero crashes on interleaved malformed input --- *)
+
+let test_acceptance_session () =
+  let specs =
+    [ "fifo"; "fifo_x"; "celement"; "pipeline"; "selector"; "toggle"; "call";
+      "ring2"; "ring3"; "ring4" ]
+  in
+  let script =
+    List.init 200 (fun i ->
+        req {|{"op":"check","spec":%S}|} (List.nth specs (i mod 10)))
+  in
+  (* Interleave garbage: it must be answered and change nothing else. *)
+  let script =
+    List.concat_map
+      (fun (i, line) -> if i mod 50 = 25 then [ "{broken"; line ] else [ line ])
+      (List.mapi (fun i l -> (i, l)) script)
+  in
+  Obs.set_enabled true;
+  let responses, snap =
+    Fun.protect
+      ~finally:(fun () -> Obs.set_enabled false)
+      (fun () ->
+        let r = Serve.run_lines (config ()) script in
+        (r, Obs.snapshot ()))
+  in
+  Alcotest.(check int) "every line answered" (List.length script) (List.length responses);
+  let ok, errors = List.partition is_ok responses in
+  Alcotest.(check int) "all 200 work requests succeed" 200 (List.length ok);
+  List.iter
+    (fun l -> Alcotest.(check string) "garbage kind" "parse_error" (error_kind l))
+    errors;
+  let hits = Obs.counter snap "serve.cache.hit"
+  and misses = Obs.counter snap "serve.cache.miss" in
+  Alcotest.(check int) "requests counted" 200 (Obs.counter snap "serve.requests");
+  Alcotest.(check int) "lookups" 200 (hits + misses);
+  let rate = float_of_int hits /. float_of_int (hits + misses) in
+  if rate < 0.45 then
+    Alcotest.failf "cache hit rate %.2f below the 45%% acceptance bar" rate
+
+(* --- per-request observability capture --- *)
+
+let test_obs_capture_normalised () =
+  let run () =
+    let cfg = { (config ()) with Serve.obs_mode = Serve.Obs_normalised } in
+    Serve.run_lines cfg
+      [ req {|{"op":"check","spec":"fifo"}|}; req {|{"op":"check","spec":"fifo"}|} ]
+  in
+  let at1 = with_jobs 1 run and at2 = with_jobs 2 run in
+  Alcotest.(check (list string)) "captured responses deterministic" at1 at2;
+  match at1 with
+  | [ miss; hit ] ->
+    let summary = str_of miss "obs" in
+    Alcotest.(check bool) "summary is JSON" true (String.length summary > 2 && summary.[0] = '{');
+    Alcotest.(check string) "hit replays the captured summary" summary (str_of hit "obs")
+  | _ -> Alcotest.fail "expected two responses"
+
+(* --- socket driver --- *)
+
+let test_socket_driver () =
+  with_tmpdir @@ fun dir ->
+  let path = Filename.concat dir "rtsyn.sock" in
+  let server = Thread.create (fun () -> Serve.run_socket (config ()) ~path) () in
+  let rec connect tries =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> fd
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+      when tries > 0 ->
+      Unix.close fd;
+      Thread.delay 0.02;
+      connect (tries - 1)
+  in
+  let fd = connect 250 in
+  let script =
+    String.concat "\n"
+      [ req {|{"id":1,"op":"ping"}|}; req {|{"id":2,"op":"check","spec":"fifo"}|};
+        req {|{"id":3,"op":"shutdown"}|}; "" ]
+  in
+  ignore (Unix.write_substring fd script 0 (String.length script));
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 1024 in
+  let rec drain () =
+    match Unix.read fd chunk 0 1024 with
+    | 0 -> ()
+    | n ->
+      Buffer.add_subbytes buf chunk 0 n;
+      drain ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain ()
+  in
+  drain ();
+  Unix.close fd;
+  Thread.join server;
+  let lines =
+    String.split_on_char '\n' (Buffer.contents buf) |> List.filter (fun l -> l <> "")
+  in
+  Alcotest.(check int) "three responses" 3 (List.length lines);
+  Alcotest.(check bool) "pong" true (is_ok (List.nth lines 0));
+  Alcotest.(check bool) "check served" true (is_ok (List.nth lines 1));
+  Alcotest.(check bool) "socket file removed" false (Sys.file_exists path)
+
+let suite =
+  [
+    ( "serve",
+      [
+        Alcotest.test_case "json round-trips" `Quick test_json_roundtrip;
+        Alcotest.test_case "json rejects malformed input" `Quick test_json_rejects;
+        Alcotest.test_case "cache keys are injective" `Quick test_cache_key;
+        Alcotest.test_case "mode fingerprints are distinct" `Quick test_fingerprint;
+        Alcotest.test_case "responses identical at jobs 1 and 2" `Slow
+          test_determinism_across_jobs;
+        Alcotest.test_case "load shedding answers overloaded" `Quick
+          test_load_shedding;
+        Alcotest.test_case "malformed input never kills the session" `Quick
+          test_malformed_never_kills;
+        Alcotest.test_case "timeout budget" `Quick test_timeout_budget;
+        QCheck_alcotest.to_alcotest test_canonical_hash_property;
+        Alcotest.test_case "disk tier: corruption detected, recomputed" `Quick
+          test_disk_tier_and_corruption;
+        Alcotest.test_case "memory LRU respects its bound" `Quick test_lru_eviction;
+        Alcotest.test_case "200-request session: >=45% hits via obs" `Slow
+          test_acceptance_session;
+        Alcotest.test_case "per-request capture is deterministic" `Slow
+          test_obs_capture_normalised;
+        Alcotest.test_case "socket driver" `Quick test_socket_driver;
+      ] );
+  ]
