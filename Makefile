@@ -7,7 +7,7 @@ ifdef RTCAD_JOBS
 export RTCAD_JOBS
 endif
 
-.PHONY: all build test fuzz bench bench-clean verify golden golden-update smoke-symbolic smoke-symbolic-synth smoke-serve test-serve clean
+.PHONY: all build test fuzz bench bench-clean verify golden golden-update smoke-symbolic smoke-symbolic-synth smoke-serve smoke-serve-concurrent test-serve clean
 
 all: build
 
@@ -78,6 +78,13 @@ smoke-serve:
 	  '{"op":"stats"}' \
 	  '{"op":"shutdown"}' \
 	  | dune exec bin/rtsyn.exe -- serve | grep -c '"cached":true'
+
+# Concurrent-daemon smoke: 4 socket clients against one mux daemon plus
+# the 4-sessions-back-to-back baseline, one rep each.  The concurrent
+# leg must beat the sequential one handily (shared cache + wave
+# coalescing); `bench compare` enforces the recorded floor.
+smoke-serve-concurrent:
+	dune exec bench/main.exe -- perf --reps 1 --only serve_daemon --only serve_sequential
 
 clean:
 	dune clean

@@ -22,6 +22,8 @@ module Flow = Rtcad_core.Flow
 module Table2 = Rtcad_core.Table2
 module W = Rtcad_rappid.Workload
 module R = Rtcad_rappid.Rappid
+module Serve = Rtcad_serve.Serve
+module Mux = Rtcad_serve.Mux
 
 let result_file = "BENCH_perf.json"
 let baseline_file = "bench/baseline.json"
@@ -36,8 +38,174 @@ let reps () =
   | None -> 5
 
 (* ------------------------------------------------------------------ *)
+(* The serving daemon as a kernel                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* A scripted K-client session against a live [Mux] daemon over a Unix
+   socket: every client works through the same spec pool several times,
+   so the first pass is computed (misses from different clients
+   coalescing into shared waves) and later passes hit the shared cache.
+   The baseline twin [serve_sequential] runs the same per-client script
+   through [Serve.run_lines] with a fresh cache per client — what K
+   isolated users each running their own daemon would pay. *)
+
+let serve_clients = 4
+let serve_passes = 3
+
+let serve_specs =
+  [ "fifo"; "celement"; "selector"; "toggle"; "ring5"; "ring6"; "ring7"; "ring8" ]
+
+let client_script cid =
+  List.concat
+    (List.init serve_passes (fun pass ->
+         List.mapi
+           (fun i spec ->
+             Printf.sprintf "{\"id\":%d,\"op\":\"synth\",\"spec\":\"%s\"}"
+               ((cid * 1000) + (pass * 100) + i)
+               spec)
+           serve_specs))
+
+let percentile p sorted =
+  match sorted with
+  | [] -> 0.0
+  | _ ->
+    let n = List.length sorted in
+    let idx = int_of_float (Float.of_int (n - 1) *. p /. 100.0 +. 0.5) in
+    List.nth sorted (min (n - 1) idx)
+
+(* One blocking request/response client; returns per-request latencies
+   (ms) and how many responses were served from cache. *)
+let bench_client path script =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let rec connect tries =
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> ()
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+      when tries > 0 ->
+      Thread.delay 0.005;
+      connect (tries - 1)
+  in
+  connect 400;
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  let rec read_line () =
+    let data = Buffer.contents buf in
+    match String.index_opt data '\n' with
+    | Some i ->
+      Buffer.clear buf;
+      Buffer.add_substring buf data (i + 1) (String.length data - i - 1);
+      String.sub data 0 i
+    | None -> (
+      match Unix.read fd chunk 0 4096 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_line ()
+      | 0 -> failwith "bench client: daemon closed the connection"
+      | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        read_line ())
+  in
+  let contains_cached resp =
+    let marker = "\"cached\":true" in
+    let m = String.length marker and n = String.length resp in
+    let rec go i = i + m <= n && (String.sub resp i m = marker || go (i + 1)) in
+    go 0
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let lats = ref [] and cached = ref 0 in
+      List.iter
+        (fun req ->
+          let line = req ^ "\n" in
+          let t0 = Unix.gettimeofday () in
+          let rec send pos =
+            if pos < String.length line then
+              send (pos + Unix.write_substring fd line pos (String.length line - pos))
+          in
+          send 0;
+          let resp = read_line () in
+          lats := (Unix.gettimeofday () -. t0) *. 1000.0 :: !lats;
+          if contains_cached resp then incr cached)
+        script;
+      (List.rev !lats, !cached))
+
+let with_daemon f =
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rtsyn-bench-%d.sock" (Unix.getpid ()))
+  in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  (* Fresh config = fresh cache: every rep measures the same cold-start
+     session, not the previous rep's warm cache. *)
+  let mux = Mux.default (Serve.default_config ()) in
+  let daemon = Thread.create (fun () -> ignore (Mux.run mux ~path)) () in
+  Fun.protect
+    ~finally:(fun () ->
+      (match bench_client path [ "{\"op\":\"shutdown\"}" ] with
+      | _ -> ()
+      | exception _ -> ());
+      Thread.join daemon)
+    (fun () -> f path)
+
+(* Extras are stashed by the most recent run and attached to the
+   kernel's JSON record: the daemon's throughput and latency trajectory
+   rides along with its wall time. *)
+let daemon_extras = ref []
+let sequential_extras = ref []
+
+let run_serve_daemon () =
+  with_daemon @@ fun path ->
+  let results = Array.make serve_clients ([], 0) in
+  let t0 = Unix.gettimeofday () in
+  let threads =
+    List.init serve_clients (fun i ->
+        Thread.create (fun () -> results.(i) <- bench_client path (client_script i)) ())
+  in
+  List.iter Thread.join threads;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let lats = List.concat_map fst (Array.to_list results) in
+  let cached = Array.fold_left (fun a (_, c) -> a + c) 0 results in
+  let total = List.length lats in
+  let sorted = List.sort Float.compare lats in
+  daemon_extras :=
+    [
+      ("clients", float_of_int serve_clients);
+      ("requests", float_of_int total);
+      ("requests_per_sec", float_of_int total /. wall_s);
+      ("cached_responses", float_of_int cached);
+      ("uncached_responses", float_of_int (total - cached));
+      ("latency_p50_ms", percentile 50.0 sorted);
+      ("latency_p95_ms", percentile 95.0 sorted);
+    ]
+
+let run_serve_sequential () =
+  let t0 = Unix.gettimeofday () in
+  let total = ref 0 in
+  for cid = 0 to serve_clients - 1 do
+    let cfg = Serve.default_config () in
+    let script = client_script cid in
+    total := !total + List.length script;
+    ignore (Serve.run_lines cfg script)
+  done;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  sequential_extras :=
+    [
+      ("sessions", float_of_int serve_clients);
+      ("requests", float_of_int !total);
+      ("requests_per_sec", float_of_int !total /. wall_s);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Kernels                                                             *)
 (* ------------------------------------------------------------------ *)
+
+type kernel = {
+  k_name : string;
+  k_descr : string;
+  k_fn : unit -> unit;
+  k_extras : (unit -> (string * float) list) option;
+      (** read after the timed runs; reported under ["extra"] *)
+}
 
 (* Each kernel returns a closure so that setup (workload generation,
    dummy contraction) happens outside the timed region. *)
@@ -53,52 +221,103 @@ let kernels () =
     List.map (fun n -> Library.ring n) [ 6; 7; 8; 9; 10; 11; 12 ]
   in
   [
-    ( "sg_reachability",
-      "Sg.build over every library STG (dummies contracted) plus rings 6-8",
-      fun () ->
-        List.iter (fun (_, stg) -> ignore (Sg.build stg)) specs );
-    ( "table2_fifo_sim",
-      "Table 2: event-driven simulation of all four FIFO variants, 200 cycles",
-      fun () -> ignore (Table2.all ~cycles:200 ()) );
-    ( "rappid_200k",
-      "RAPPID microarchitecture model, 200k-instruction typical stream",
-      fun () -> ignore (R.run stream) );
-    ( "rt_flow",
-      "Full relative-timing synthesis flow on the FIFO spec",
-      fun () -> ignore (Flow.synthesize ~mode:Flow.rt_default (Library.fifo ())) );
-    ( "sg_symbolic",
-      "Symbolic (BDD) reachability + CSC check over rings 6-12 (rings 10-12 \
-       are beyond the explicit engine)",
-      fun () ->
-        List.iter
-          (fun stg ->
-            let sym = Symbolic.analyze stg in
-            ignore (Symbolic.has_csc sym);
-            ignore (Symbolic.deadlock_count sym))
-          sym_rings );
+    {
+      k_name = "sg_reachability";
+      k_descr = "Sg.build over every library STG (dummies contracted) plus rings 6-8";
+      k_fn = (fun () -> List.iter (fun (_, stg) -> ignore (Sg.build stg)) specs);
+      k_extras = None;
+    };
+    {
+      k_name = "table2_fifo_sim";
+      k_descr =
+        "Table 2: event-driven simulation of all four FIFO variants, 200 cycles";
+      k_fn = (fun () -> ignore (Table2.all ~cycles:200 ()));
+      k_extras = None;
+    };
+    {
+      k_name = "rappid_200k";
+      k_descr = "RAPPID microarchitecture model, 200k-instruction typical stream";
+      k_fn = (fun () -> ignore (R.run stream));
+      k_extras = None;
+    };
+    {
+      k_name = "rt_flow";
+      k_descr = "Full relative-timing synthesis flow on the FIFO spec";
+      k_fn =
+        (fun () -> ignore (Flow.synthesize ~mode:Flow.rt_default (Library.fifo ())));
+      k_extras = None;
+    };
+    {
+      k_name = "sg_symbolic";
+      k_descr =
+        "Symbolic (BDD) reachability + CSC check over rings 6-12 (rings 10-12 \
+         are beyond the explicit engine)";
+      k_fn =
+        (fun () ->
+          List.iter
+            (fun stg ->
+              let sym = Symbolic.analyze stg in
+              ignore (Symbolic.has_csc sym);
+              ignore (Symbolic.deadlock_count sym))
+            sym_rings);
+      k_extras = None;
+    };
+    {
+      k_name = "serve_daemon";
+      k_descr =
+        Printf.sprintf
+          "Mux daemon over a Unix socket: %d concurrent clients, %d synth \
+           requests each over a shared %d-spec pool (first pass computed, \
+           later passes cached)"
+          serve_clients
+          (serve_passes * List.length serve_specs)
+          (List.length serve_specs);
+      k_fn = run_serve_daemon;
+      k_extras = Some (fun () -> !daemon_extras);
+    };
+    {
+      k_name = "serve_sequential";
+      k_descr =
+        Printf.sprintf
+          "Baseline for serve_daemon: the same %d client scripts run back to \
+           back, each as an isolated session with its own fresh cache"
+          serve_clients;
+      k_fn = run_serve_sequential;
+      k_extras = Some (fun () -> !sequential_extras);
+    };
   ]
 
-type timing = { name : string; descr : string; runs_ms : float list }
+type timing = {
+  name : string;
+  descr : string;
+  runs_ms : float list;
+  extras : (string * float) list;
+}
 
 let time_one f =
   let t0 = Unix.gettimeofday () in
   f ();
   (Unix.gettimeofday () -. t0) *. 1000.0
 
-let measure ~reps (name, descr, f) =
+let measure ~reps k =
   (* The BDD operation caches persist across calls within a process;
      dropping them before every rep keeps cache warm-up from one rep
      (or one kernel) from flattering the next. *)
   Bdd.clear_caches ();
-  ignore (time_one f) (* warm-up *);
+  ignore (time_one k.k_fn) (* warm-up *);
   let runs_ms =
     List.init reps (fun _ ->
         Bdd.clear_caches ();
-        time_one f)
+        time_one k.k_fn)
   in
-  Format.printf "%-18s %s@." name
+  Format.printf "%-18s %s@." k.k_name
     (String.concat " " (List.map (Printf.sprintf "%.1fms") runs_ms));
-  { name; descr; runs_ms }
+  {
+    name = k.k_name;
+    descr = k.k_descr;
+    runs_ms;
+    extras = (match k.k_extras with Some f -> f () | None -> []);
+  }
 
 let min_ms t = List.fold_left min infinity t.runs_ms
 let max_ms t = List.fold_left max 0.0 t.runs_ms
@@ -133,7 +352,7 @@ let write_results_to ~path ~reps timings =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"schema\": \"rtcad-bench-perf/3\",\n";
+  p "  \"schema\": \"rtcad-bench-perf/4\",\n";
   p "  \"generated_at_unix\": %.0f,\n" (Unix.time ());
   p "  \"reps\": %d,\n" reps;
   (* v2: the job count the kernels actually ran with, plus what the
@@ -151,7 +370,19 @@ let write_results_to ~path ~reps timings =
       p "      \"min_ms\": %.3f,\n" (min_ms t);
       p "      \"p50_ms\": %.3f,\n" (p50_ms t);
       p "      \"mean_ms\": %.3f,\n" (mean_ms t);
-      p "      \"max_ms\": %.3f\n" (max_ms t);
+      p "      \"max_ms\": %.3f%s\n" (max_ms t) (if t.extras = [] then "" else ",");
+      (* v4: kernel-specific metrics (the daemon's requests/sec and
+         latency percentiles) ride along without changing the shared
+         kernel shape the comparator reads. *)
+      if t.extras <> [] then begin
+        p "      \"extra\": {\n";
+        List.iteri
+          (fun j (key, v) ->
+            p "        \"%s\": %.3f%s\n" (json_escape key) v
+              (if j = List.length t.extras - 1 then "" else ","))
+          t.extras;
+        p "      }\n"
+      end;
       p "    }%s\n" (if i = List.length timings - 1 then "" else ","))
     timings;
   p "  }\n";
@@ -324,7 +555,8 @@ let member key = function Obj kvs -> List.assoc_opt key kvs | _ -> None
 (* v1 baselines predate the jobs fields, v2 the p50_ms statistic; all
    carry the same kernel shape, so every version stays comparable. *)
 let known_schemas =
-  [ "rtcad-bench-perf/1"; "rtcad-bench-perf/2"; "rtcad-bench-perf/3" ]
+  [ "rtcad-bench-perf/1"; "rtcad-bench-perf/2"; "rtcad-bench-perf/3";
+    "rtcad-bench-perf/4" ]
 
 let kernel_stats path =
   let root = load_json path in
@@ -362,18 +594,20 @@ let run_perf ?reps:reps_override ?(only = []) () =
     | names ->
       List.iter
         (fun n ->
-          if not (List.exists (fun (k, _, _) -> k = n) all) then begin
+          if not (List.exists (fun k -> k.k_name = n) all) then begin
             Printf.eprintf "perf: unknown kernel %s; available: %s\n" n
-              (String.concat " " (List.map (fun (k, _, _) -> k) all));
+              (String.concat " " (List.map (fun k -> k.k_name) all));
             exit 2
           end)
         names;
-      List.filter (fun (k, _, _) -> List.mem k names) all
+      List.filter (fun k -> List.mem k.k_name names) all
   in
   Format.printf "kernel wall-time benchmarks (%d reps; RTCAD_BENCH_REPS to tune)@." reps;
   let timings = List.map (measure ~reps) selected in
   write_results_to ~path:result_file ~reps timings;
-  let history = write_history ~reps timings in
+  (* A subset run (e.g. the CI smoke) must not overwrite the archived
+     full-suite trajectory. *)
+  let history = if only = [] then write_history ~reps timings else None in
   Format.printf "@.%-18s %10s %10s %10s %10s@." "kernel" "min ms" "p50 ms"
     "mean ms" "max ms";
   List.iter

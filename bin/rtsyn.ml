@@ -31,6 +31,7 @@ module Fifo_impls = Rtcad_core.Fifo_impls
 module Timed_sim = Rtcad_rt.Timed_sim
 module Serve = Rtcad_serve.Serve
 module Serve_cache = Rtcad_serve.Cache
+module Mux = Rtcad_serve.Mux
 
 (* "ring10" → Some 10; the library exposes [ring n] as a family, not a
    fixed list, so the CLI accepts any member by name. *)
@@ -559,8 +560,8 @@ let fuzz_cmd =
 
 (* --- serve --- *)
 
-let run_serve () obs socket queue capacity cache_dir engine max_states timeout_ms
-    capture =
+let run_serve () obs socket queue capacity budget shards cache_dir engine
+    max_states timeout_ms capture wave_max wave_ms backlog =
   (* Per-request capture owns the global recorder (it resets it around
      every piece of work), so it cannot coexist with the cumulative
      --trace/--summary sinks. *)
@@ -572,7 +573,9 @@ let run_serve () obs socket queue capacity cache_dir engine max_states timeout_m
   else
     with_obs obs @@ fun () ->
     with_spec_errors @@ fun () ->
-    let cache = Serve_cache.create ~capacity ?dir:cache_dir () in
+    let cache =
+      Serve_cache.create ~shards ~budget ?capacity ?dir:cache_dir ()
+    in
     let cfg =
       {
         Serve.queue;
@@ -585,7 +588,24 @@ let run_serve () obs socket queue capacity cache_dir engine max_states timeout_m
     in
     (match socket with
     | None -> Serve.run_stdio cfg
-    | Some path -> Serve.run_socket cfg ~path)
+    | Some path -> (
+      let mux = { (Mux.default cfg) with wave_max; wave_ms; backlog } in
+      try Mux.run mux ~path
+      with Mux.Busy p ->
+        Printf.eprintf "rtsyn: a daemon is already serving %s\n" p;
+        1))
+
+(* Strictly positive numeric flags share one conv so they all reject
+   zero/negative values with the same clean message. *)
+let pos_int_conv what =
+  let open Cmdliner in
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | Some _ | None ->
+      Error (`Msg (Printf.sprintf "%s %S must be a positive integer" what s))
+  in
+  Arg.conv ~docv:"N" (parse, Format.pp_print_int)
 
 let serve_cmd =
   let socket =
@@ -594,9 +614,9 @@ let serve_cmd =
       & opt (some string) None
       & info [ "socket" ] ~docv:"PATH"
           ~doc:
-            "Serve a Unix-domain stream socket at $(docv) (connections are \
-             handled sequentially, sharing one cache) instead of \
-             stdin/stdout.")
+            "Serve a Unix-domain stream socket at $(docv) (many concurrent \
+             connections multiplexed over one cache and domain pool) instead \
+             of stdin/stdout.")
   in
   let queue =
     Arg.(
@@ -611,9 +631,64 @@ let serve_cmd =
   let capacity =
     Arg.(
       value
-      & opt int 256
+      & opt (some (pos_int_conv "cache capacity")) None
       & info [ "cache-capacity" ] ~docv:"N"
-          ~doc:"In-memory result-cache entries (LRU beyond $(docv)).")
+          ~doc:
+            "Additionally bound the in-memory result cache to $(docv) entries \
+             (LRU beyond it); by default only the cost budget bounds it.")
+  in
+  let budget =
+    Arg.(
+      value
+      & opt (pos_int_conv "cache budget") (32 * 1024 * 1024)
+      & info [ "cache-budget" ] ~docv:"COST"
+          ~doc:
+            "In-memory cache cost budget: each entry costs its payload bytes \
+             plus its recorded compute milliseconds; least-recently-used \
+             entries are evicted past $(docv).")
+  in
+  let shards =
+    Arg.(
+      value
+      & opt (pos_int_conv "shard count") 8
+      & info [ "cache-shards" ] ~docv:"N"
+          ~doc:"In-memory cache shards (keyed by hash prefix, per-shard LRU).")
+  in
+  let wave_max =
+    Arg.(
+      value
+      & opt (pos_int_conv "wave size") 16
+      & info [ "wave-max" ] ~docv:"N"
+          ~doc:
+            "Socket mode: dispatch pooled cache misses as one parallel wave \
+             of at most $(docv).")
+  in
+  let wave_ms =
+    let ms_conv =
+      let parse s =
+        match float_of_string_opt s with
+        | Some f when f >= 0.0 -> Ok f
+        | Some _ | None ->
+          Error
+            (`Msg
+               (Printf.sprintf "wave budget %S must be a non-negative number" s))
+      in
+      Arg.conv ~docv:"MS" (parse, Format.pp_print_float)
+    in
+    Arg.(
+      value
+      & opt ms_conv 2.0
+      & info [ "wave-ms" ] ~docv:"MS"
+          ~doc:
+            "Socket mode: maximum milliseconds a pooled cache miss may wait \
+             for companions before its wave dispatches anyway.")
+  in
+  let backlog =
+    Arg.(
+      value
+      & opt (pos_int_conv "backlog") 64
+      & info [ "backlog" ] ~docv:"N"
+          ~doc:"Socket mode: kernel accept-queue bound passed to listen(2).")
   in
   let cache_dir =
     Arg.(
@@ -661,7 +736,8 @@ let serve_cmd =
           responses out, results content-addressed in a two-tier cache")
     Term.(
       const run_serve $ jobs_term $ obs_term $ socket $ queue $ capacity
-      $ cache_dir $ engine_term $ max_states $ timeout_ms $ capture)
+      $ budget $ shards $ cache_dir $ engine_term $ max_states $ timeout_ms
+      $ capture $ wave_max $ wave_ms $ backlog)
 
 let main =
   Cmd.group

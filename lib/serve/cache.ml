@@ -1,17 +1,37 @@
 module Obs = Rtcad_obs.Obs
 
-type entry = { payload : string; mutable tick : int }
+type entry = { payload : string; cost_ms : float; mutable tick : int }
+
+(* Cost of keeping an entry resident: its serialized bytes plus the
+   compute time it saves on a hit.  Both are retained per shard so the
+   stats can report them separately. *)
+let entry_cost e = String.length e.payload + int_of_float (Float.ceil e.cost_ms)
+
+type shard = {
+  table : (string, entry) Hashtbl.t;
+  mutable s_cost : int;  (** sum of [entry_cost] over the table *)
+  mutable s_bytes : int;
+  mutable s_ms : float;
+  mutable s_evictions : int;
+}
 
 type t = {
-  capacity : int;
+  shards : shard array;
+  shard_budget : int;
+  shard_capacity : int option;
   dir : string option;
-  table : (string, entry) Hashtbl.t;
   mutable clock : int;
   mutable hits : int;
   mutable misses : int;
   mutable stores : int;
-  mutable evictions : int;
   mutable corrupt : int;
+}
+
+type shard_stats = {
+  sh_entries : int;
+  sh_bytes : int;
+  sh_ms : float;
+  sh_evictions : int;
 }
 
 type stats = {
@@ -21,6 +41,9 @@ type stats = {
   evictions : int;
   corrupt : int;
   entries : int;
+  retained_bytes : int;
+  retained_ms : float;
+  shards : shard_stats list;
 }
 
 let magic = "rtcad-serve-cache/1"
@@ -35,22 +58,59 @@ let rec mkdir_p path =
       raise (Sys_error (Printf.sprintf "%s: %s" path (Unix.error_message e)))
   end
 
-let create ?(capacity = 256) ?dir () =
+let default_budget = 32 * 1024 * 1024
+
+let create ?(shards = 8) ?(budget = default_budget) ?capacity ?dir () =
+  if shards < 1 then invalid_arg "Cache.create: shards must be positive";
+  if budget < 1 then invalid_arg "Cache.create: budget must be positive";
+  (match capacity with
+  | Some c when c < 1 -> invalid_arg "Cache.create: capacity must be positive"
+  | _ -> ());
   Option.iter mkdir_p dir;
   {
-    capacity = max 1 capacity;
+    shards =
+      Array.init shards (fun _ ->
+          {
+            table = Hashtbl.create 16;
+            s_cost = 0;
+            s_bytes = 0;
+            s_ms = 0.0;
+            s_evictions = 0;
+          });
+    (* Budgets divide evenly: with one shard the whole budget applies,
+       which is what the deterministic eviction tests pin down. *)
+    shard_budget = max 1 (budget / shards);
+    shard_capacity =
+      Option.map (fun c -> max 1 ((c + shards - 1) / shards)) capacity;
     dir;
-    table = Hashtbl.create 64;
     clock = 0;
     hits = 0;
     misses = 0;
     stores = 0;
-    evictions = 0;
     corrupt = 0;
   }
 
-let capacity t = t.capacity
-let dir t = t.dir
+let num_shards (t : t) = Array.length t.shards
+let dir (t : t) = t.dir
+
+(* Keys are md5 hex digests ({!key}); the first two hex characters are a
+   uniform hash prefix.  Arbitrary keys (unit tests) fall back to a
+   deterministic structural hash. *)
+let shard_index (t : t) k =
+  let hex c =
+    match c with
+    | '0' .. '9' -> Some (Char.code c - Char.code '0')
+    | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+    | _ -> None
+  in
+  let n = Array.length t.shards in
+  if n = 1 then 0
+  else
+    match if String.length k >= 2 then (hex k.[0], hex k.[1]) else (None, None) with
+    | Some a, Some b -> ((a * 16) + b) mod n
+    | _ -> Hashtbl.hash k mod n
+
+let shard_of (t : t) k = t.shards.(shard_index t k)
 
 (* Length-prefixing makes the digest injective over the part list:
    ["ab"; "c"] and ["a"; "bc"] hash differently. *)
@@ -68,32 +128,84 @@ let touch t e =
   t.clock <- t.clock + 1;
   e.tick <- t.clock
 
-(* The LRU scan is O(entries); capacities are small (hundreds) and the
+(* Gauges are only rebuilt when recording is on; the daemon's stats op
+   reads the same numbers synchronously via {!stats}. *)
+let publish_gauges (t : t) =
+  if Obs.enabled () then begin
+    let entries = ref 0 and bytes = ref 0 and ms = ref 0.0 in
+    Array.iteri
+      (fun i s ->
+        entries := !entries + Hashtbl.length s.table;
+        bytes := !bytes + s.s_bytes;
+        ms := !ms +. s.s_ms;
+        let g name v =
+          Obs.set_gauge (Printf.sprintf "serve.cache.shard%d.%s" i name) v
+        in
+        g "entries" (float_of_int (Hashtbl.length s.table));
+        g "bytes" (float_of_int s.s_bytes);
+        g "ms" s.s_ms;
+        g "evictions" (float_of_int s.s_evictions))
+      t.shards;
+    Obs.set_gauge "serve.cache.entries" (float_of_int !entries);
+    Obs.set_gauge "serve.cache.retained_bytes" (float_of_int !bytes);
+    Obs.set_gauge "serve.cache.retained_ms" !ms
+  end
+
+let remove_entry sh k e =
+  Hashtbl.remove sh.table k;
+  sh.s_cost <- sh.s_cost - entry_cost e;
+  sh.s_bytes <- sh.s_bytes - String.length e.payload;
+  sh.s_ms <- sh.s_ms -. e.cost_ms
+
+(* The LRU scan is O(entries); shards keep each table small and the
    determinism of "evict the minimum tick" is worth more here than a
    doubly-linked list. *)
-let evict_lru t =
+let evict_lru sh =
   let victim = ref None in
   Hashtbl.iter
     (fun k e ->
       match !victim with
-      | Some (_, tick) when tick <= e.tick -> ()
-      | _ -> victim := Some (k, e.tick))
-    t.table;
+      | Some (_, v) when v.tick <= e.tick -> ()
+      | _ -> victim := Some (k, e))
+    sh.table;
   match !victim with
-  | Some (k, _) ->
-    Hashtbl.remove t.table k;
-    t.evictions <- t.evictions + 1;
-    Obs.incr "serve.cache.evict"
-  | None -> ()
+  | Some (k, e) ->
+    remove_entry sh k e;
+    sh.s_evictions <- sh.s_evictions + 1;
+    Obs.incr "serve.cache.evict";
+    true
+  | None -> false
 
-let insert_mem t k payload =
-  match Hashtbl.find_opt t.table k with
+let over_budget t sh ~protect =
+  (sh.s_cost > t.shard_budget && Hashtbl.length sh.table > protect)
+  || (match t.shard_capacity with
+     | Some cap -> Hashtbl.length sh.table > cap
+     | None -> false)
+
+let insert_mem ?(cost_ms = 0.0) t k payload =
+  let sh = shard_of t k in
+  match Hashtbl.find_opt sh.table k with
   | Some e -> touch t e
   | None ->
-    if Hashtbl.length t.table >= t.capacity then evict_lru t;
-    let e = { payload; tick = 0 } in
+    (* Make room by count first (pre-insertion, preserving the classic
+       LRU bound), then admit and shave the cost budget down — never
+       evicting the entry just inserted, so a single oversized result
+       still caches (and is the next LRU victim). *)
+    (match t.shard_capacity with
+    | Some cap ->
+      while Hashtbl.length sh.table >= cap && evict_lru sh do
+        ()
+      done
+    | None -> ());
+    let e = { payload; cost_ms; tick = 0 } in
     touch t e;
-    Hashtbl.replace t.table k e
+    Hashtbl.replace sh.table k e;
+    sh.s_cost <- sh.s_cost + entry_cost e;
+    sh.s_bytes <- sh.s_bytes + String.length payload;
+    sh.s_ms <- sh.s_ms +. cost_ms;
+    while over_budget t sh ~protect:1 && evict_lru sh do
+      ()
+    done
 
 let disk_path t k = Option.map (fun d -> Filename.concat d (k ^ ".json")) t.dir
 
@@ -144,7 +256,7 @@ let disk_store t k payload =
     (match Obs.write_file ~path data with Ok () -> () | Error _ -> ())
 
 let find t k =
-  match Hashtbl.find_opt t.table k with
+  match Hashtbl.find_opt (shard_of t k).table k with
   | Some e ->
     touch t e;
     t.hits <- t.hits + 1;
@@ -153,27 +265,46 @@ let find t k =
   | None -> (
     match disk_find t k with
     | Some payload ->
+      (* The disk header records no compute time, so a promoted entry's
+         retained cost is its bytes alone. *)
       insert_mem t k payload;
       t.hits <- t.hits + 1;
       Obs.incr "serve.cache.hit";
+      publish_gauges t;
       Some payload
     | None ->
       t.misses <- t.misses + 1;
       Obs.incr "serve.cache.miss";
       None)
 
-let store t k payload =
-  insert_mem t k payload;
+let store ?cost_ms t k payload =
+  insert_mem ?cost_ms t k payload;
   disk_store t k payload;
   t.stores <- t.stores + 1;
-  Obs.incr "serve.cache.store"
+  Obs.incr "serve.cache.store";
+  publish_gauges t
 
 let stats (t : t) =
+  let shards =
+    Array.to_list
+      (Array.map
+         (fun s ->
+           {
+             sh_entries = Hashtbl.length s.table;
+             sh_bytes = s.s_bytes;
+             sh_ms = s.s_ms;
+             sh_evictions = s.s_evictions;
+           })
+         t.shards)
+  in
   {
     hits = t.hits;
     misses = t.misses;
     stores = t.stores;
-    evictions = t.evictions;
+    evictions = List.fold_left (fun a s -> a + s.sh_evictions) 0 shards;
     corrupt = t.corrupt;
-    entries = Hashtbl.length t.table;
+    entries = List.fold_left (fun a s -> a + s.sh_entries) 0 shards;
+    retained_bytes = List.fold_left (fun a s -> a + s.sh_bytes) 0 shards;
+    retained_ms = List.fold_left (fun a s -> a +. s.sh_ms) 0.0 shards;
+    shards;
   }

@@ -1,0 +1,458 @@
+module Obs = Rtcad_obs.Obs
+
+type config = {
+  base : Serve.config;
+  wave_max : int;
+  wave_ms : float;
+  backlog : int;
+  rbuf_limit : int;
+  wq_limit : int;
+}
+
+let default base =
+  {
+    base;
+    wave_max = 16;
+    wave_ms = 2.0;
+    backlog = 64;
+    rbuf_limit = 1 lsl 20;
+    wq_limit = 8 * 1024 * 1024;
+  }
+
+exception Busy of string
+
+(* --- per-connection state --- *)
+
+(* A connection's output is an ordered queue of items: rendered lines,
+   or a wave still missing some of its keys' outcomes.  Items leave the
+   queue head-first and only when ready, so each connection's response
+   stream keeps its own arrival order no matter how waves from different
+   connections interleave in the pool. *)
+type out_item = O_lines of string list | O_wave of owave
+
+and owave = {
+  wave : Serve.wave;
+  outcomes : (string, Serve.outcome) Hashtbl.t;
+  mutable missing : int;
+}
+
+type conn = {
+  fd : Unix.file_descr;
+  cid : int;
+  sess : Serve.session;
+  rbuf : Buffer.t;
+  outq : out_item Queue.t;
+  wq : string Queue.t;
+  mutable w_off : int;  (** bytes of the head chunk already written *)
+  mutable w_bytes : int;  (** total queued output bytes *)
+  mutable reof : bool;
+  mutable overflowed : bool;  (** poisoned by an overlong line *)
+  mutable finished : bool;  (** end-of-input wave emitted *)
+  mutable dead : bool;
+}
+
+(* --- the shared miss pool --- *)
+
+(* Distinct cache misses from every connection's pending waves, in
+   pooling order.  One key, one computation: waves waiting on the same
+   key are all waiters of one item. *)
+type pool_item = {
+  p_work : Serve.work;
+  p_born : float;
+  mutable p_waiters : owave list;
+}
+
+type pool = {
+  items : (string, pool_item) Hashtbl.t;
+  order : string Queue.t;
+  mutable count : int;
+}
+
+(* --- socket claiming --- *)
+
+(* A leftover socket file from a crashed daemon must not wedge the next
+   start, but a live daemon's socket must not be stolen: probe-connect
+   to tell the two apart. *)
+let claim_socket path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> (
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close probe with Unix.Unix_error _ -> ())
+      (fun () ->
+        match Unix.connect probe (Unix.ADDR_UNIX path) with
+        | () -> raise (Busy path)
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EINPROGRESS), _, _) ->
+          (* Accept queue full: very much alive. *)
+          raise (Busy path)
+        | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) -> (
+          try Unix.unlink path with Unix.Unix_error _ -> ())))
+  | _ -> raise (Sys_error (path ^ ": exists and is not a socket"))
+
+(* --- the event loop --- *)
+
+let run (cfg : config) ~path =
+  if cfg.wave_max < 1 then invalid_arg "Mux.run: wave_max must be positive";
+  if cfg.backlog < 1 then invalid_arg "Mux.run: backlog must be positive";
+  if cfg.wave_ms < 0.0 then invalid_arg "Mux.run: wave_ms must be non-negative";
+  Serve.with_signals @@ fun sigstop ->
+  claim_socket path;
+  let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind lfd (Unix.ADDR_UNIX path);
+  Unix.listen lfd cfg.backlog;
+  Unix.set_nonblock lfd;
+  let conns : (int, conn) Hashtbl.t = Hashtbl.create 16 in
+  let pool = { items = Hashtbl.create 16; order = Queue.create (); count = 0 } in
+  let next_cid = ref 0 in
+  let shutting = ref false in
+  let kill conn =
+    if not conn.dead then begin
+      conn.dead <- true;
+      (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+      Hashtbl.remove conns conn.cid;
+      Obs.incr "serve.mux.closed"
+    end
+  in
+  let enqueue_lines conn lines =
+    List.iter
+      (fun l ->
+        Queue.add (l ^ "\n") conn.wq;
+        conn.w_bytes <- conn.w_bytes + String.length l + 1)
+      lines
+  in
+  (* Move ready items off the head of the out queue into the byte queue. *)
+  let rec drain_out conn =
+    match Queue.peek_opt conn.outq with
+    | Some (O_lines ls) ->
+      ignore (Queue.pop conn.outq);
+      enqueue_lines conn ls;
+      drain_out conn
+    | Some (O_wave ow) when ow.missing = 0 ->
+      ignore (Queue.pop conn.outq);
+      enqueue_lines conn
+        (Serve.finish_wave ~find:(Hashtbl.find_opt ow.outcomes) ow.wave);
+      drain_out conn
+    | _ -> ()
+  in
+  let enqueue_wave conn wave =
+    let ow = { wave; outcomes = Hashtbl.create 4; missing = 0 } in
+    List.iter
+      (fun (w : Serve.work) ->
+        ow.missing <- ow.missing + 1;
+        match Hashtbl.find_opt pool.items w.Serve.w_key with
+        | Some item -> item.p_waiters <- ow :: item.p_waiters
+        | None ->
+          Hashtbl.add pool.items w.Serve.w_key
+            { p_work = w; p_born = Obs.time_ms (); p_waiters = [ ow ] };
+          Queue.add w.Serve.w_key pool.order;
+          pool.count <- pool.count + 1)
+      (Serve.wave_misses wave);
+    Queue.add (O_wave ow) conn.outq
+  in
+  let enqueue_events conn events =
+    List.iter
+      (function
+        | Serve.Lines ls -> Queue.add (O_lines ls) conn.outq
+        | Serve.Wave w -> enqueue_wave conn w)
+      events;
+    drain_out conn
+  in
+  let has_unresolved conn =
+    Queue.fold
+      (fun acc -> function O_wave ow -> acc || ow.missing > 0 | O_lines _ -> acc)
+      false conn.outq
+  in
+  let take_line conn =
+    let data = Buffer.contents conn.rbuf in
+    match String.index_opt data '\n' with
+    | Some i ->
+      Buffer.clear conn.rbuf;
+      Buffer.add_substring conn.rbuf data (i + 1) (String.length data - i - 1);
+      Some (String.sub data 0 i)
+    | None ->
+      if String.length data > cfg.rbuf_limit then begin
+        conn.overflowed <- true;
+        Buffer.clear conn.rbuf;
+        Obs.incr "serve.mux.overflow";
+        enqueue_events conn
+          [
+            Serve.Lines
+              [
+                Json.to_string
+                  (Serve.error_response ~id:Json.Null ~op:Json.Null
+                     (Serve.err "too_large"
+                        (Printf.sprintf "input line exceeds %d bytes"
+                           cfg.rbuf_limit)));
+              ];
+          ];
+        None
+      end
+      else if conn.reof && data <> "" then begin
+        Buffer.clear conn.rbuf;
+        Some data
+      end
+      else None
+  in
+  (* Parse as far as the one-wave-in-flight rule allows: a connection's
+     next line is only interpreted once its previous wave has resolved,
+     so its cache hits/misses — and therefore its [cached] flags and
+     response bytes — depend only on its own request stream. *)
+  let rec parse_loop conn =
+    if
+      (not conn.dead) && (not conn.overflowed)
+      && (not (Serve.stopped conn.sess))
+      && not (has_unresolved conn)
+    then
+      match take_line conn with
+      | Some line ->
+        let shed_work = conn.w_bytes > cfg.wq_limit in
+        if shed_work then Obs.incr "serve.mux.backpressure";
+        enqueue_events conn (Serve.feed_events ~shed_work conn.sess line);
+        if Serve.stopped conn.sess then shutting := true;
+        parse_loop conn
+      | None ->
+        if conn.reof && not conn.finished then begin
+          conn.finished <- true;
+          enqueue_events conn (Serve.finish_events conn.sess)
+        end
+  in
+  (* Resolve up to [wave_max] pooled misses as one fan-out over the
+     domain pool, feed the outcomes to every waiting wave, then let the
+     unblocked connections parse further buffered input. *)
+  let dispatch_wave () =
+    let works = ref [] in
+    let n = min cfg.wave_max pool.count in
+    for _ = 1 to n do
+      let k = Queue.pop pool.order in
+      match Hashtbl.find_opt pool.items k with
+      | Some item ->
+        Hashtbl.remove pool.items k;
+        pool.count <- pool.count - 1;
+        works := (k, item) :: !works
+      | None -> ()
+    done;
+    let works = List.rev !works in
+    Obs.incr "serve.mux.waves";
+    Obs.incr ~by:(List.length works) "serve.mux.wave_items";
+    let outs =
+      Serve.compute_and_store cfg.base (List.map (fun (_, i) -> i.p_work) works)
+    in
+    List.iter2
+      (fun (_, item) (key, outcome) ->
+        List.iter
+          (fun ow ->
+            if not (Hashtbl.mem ow.outcomes key) then begin
+              Hashtbl.replace ow.outcomes key outcome;
+              ow.missing <- ow.missing - 1
+            end)
+          item.p_waiters)
+      works outs;
+    Hashtbl.iter
+      (fun _ conn ->
+        drain_out conn;
+        parse_loop conn)
+      conns
+  in
+  let want_read conn =
+    (not conn.dead) && (not conn.reof) && (not conn.overflowed)
+    && (not !shutting)
+    && Buffer.length conn.rbuf <= cfg.rbuf_limit
+    && conn.w_bytes <= 2 * cfg.wq_limit
+  in
+  let rec flush_writes conn =
+    if (not conn.dead) && conn.w_bytes > 0 then
+      match Queue.peek_opt conn.wq with
+      | None -> conn.w_bytes <- 0
+      | Some chunk -> (
+        let len = String.length chunk - conn.w_off in
+        match Unix.write_substring conn.fd chunk conn.w_off len with
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> flush_writes conn
+        | exception Unix.Unix_error _ -> kill conn
+        | n ->
+          conn.w_bytes <- conn.w_bytes - n;
+          if n = len then begin
+            ignore (Queue.pop conn.wq);
+            conn.w_off <- 0;
+            flush_writes conn
+          end
+          else conn.w_off <- conn.w_off + n)
+  in
+  let read_chunk conn =
+    let buf = Bytes.create 65536 in
+    match Unix.read conn.fd buf 0 65536 with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+      ()
+    | exception Unix.Unix_error _ -> conn.reof <- true
+    | 0 -> conn.reof <- true
+    | n -> Buffer.add_subbytes conn.rbuf buf 0 n
+  in
+  let accept_all () =
+    let rec go () =
+      match Unix.accept lfd with
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        ->
+        ()
+      | cfd, _ ->
+        Unix.set_nonblock cfd;
+        incr next_cid;
+        Hashtbl.replace conns !next_cid
+          {
+            fd = cfd;
+            cid = !next_cid;
+            sess = Serve.session cfg.base;
+            rbuf = Buffer.create 4096;
+            outq = Queue.create ();
+            wq = Queue.create ();
+            w_off = 0;
+            w_bytes = 0;
+            reof = false;
+            overflowed = false;
+            finished = false;
+            dead = false;
+          };
+        Obs.incr "serve.mux.accept";
+        go ()
+    in
+    go ()
+  in
+  (* Connections are visited in rotating cid order so one chatty client
+     cannot starve the others within a loop round. *)
+  let cursor = ref 0 in
+  let conns_rotated () =
+    let ids = Hashtbl.fold (fun cid _ acc -> cid :: acc) conns [] in
+    let ids = List.sort compare ids in
+    let after, before = List.partition (fun cid -> cid > !cursor) ids in
+    let order = after @ before in
+    (match order with c :: _ -> cursor := c | [] -> ());
+    List.filter_map (Hashtbl.find_opt conns) order
+  in
+  let oldest_age now =
+    match Queue.peek_opt pool.order with
+    | None -> None
+    | Some k -> (
+      match Hashtbl.find_opt pool.items k with
+      | Some item -> Some (now -. item.p_born)
+      | None -> None)
+  in
+  (* Fire a wave when the pool is big enough, old enough, or the read
+     side has gone quiet (nothing more is arriving right now, so waiting
+     would only add latency). *)
+  let rec settle () =
+    if pool.count > 0 then begin
+      (* After a parse round, any bytes still buffered belong to
+         connections blocked on their own wave — they cannot add to the
+         pool until it resolves — so "idle" only asks whether more input
+         is arriving right now. *)
+      let idle () =
+        let rfds =
+          Hashtbl.fold
+            (fun _ c acc -> if want_read c then c.fd :: acc else acc)
+            conns []
+        in
+        match Unix.select rfds [] [] 0.0 with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+        | [], _, _ -> true
+        | _ -> false
+      in
+      let aged =
+        match oldest_age (Obs.time_ms ()) with
+        | Some age -> age >= cfg.wave_ms
+        | None -> false
+      in
+      if pool.count >= cfg.wave_max || aged || idle () then begin
+        dispatch_wave ();
+        settle ()
+      end
+    end
+  in
+  let reap () =
+    let doomed =
+      Hashtbl.fold
+        (fun _ c acc ->
+          if
+            (not c.dead)
+            && (c.finished || c.overflowed)
+            && Queue.is_empty c.outq && c.w_bytes = 0
+          then c :: acc
+          else acc)
+        conns []
+    in
+    List.iter kill doomed
+  in
+  (* Resolve everything outstanding, then give clients a short grace
+     window to drain their responses before the daemon exits. *)
+  let finalize () =
+    while pool.count > 0 do
+      dispatch_wave ()
+    done;
+    Hashtbl.iter (fun _ c -> drain_out c) conns;
+    let deadline = Obs.time_ms () +. 2000.0 in
+    let rec grace () =
+      let ws =
+        Hashtbl.fold
+          (fun _ c acc -> if (not c.dead) && c.w_bytes > 0 then c :: acc else acc)
+          conns []
+      in
+      if ws <> [] && Obs.time_ms () < deadline then begin
+        (match Unix.select [] (List.map (fun c -> c.fd) ws) [] 0.1 with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | _, wfds, _ ->
+          List.iter (fun c -> if List.mem c.fd wfds then flush_writes c) ws);
+        grace ()
+      end
+    in
+    grace ();
+    Hashtbl.iter (fun _ c -> kill c) conns;
+    0
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Hashtbl.iter (fun _ c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) conns;
+      (try Unix.close lfd with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () ->
+      let rec loop () =
+        if !shutting || sigstop () then finalize ()
+        else begin
+          let rfds =
+            lfd
+            :: Hashtbl.fold
+                 (fun _ c acc -> if want_read c then c.fd :: acc else acc)
+                 conns []
+          in
+          let wfds =
+            Hashtbl.fold
+              (fun _ c acc ->
+                if (not c.dead) && c.w_bytes > 0 then c.fd :: acc else acc)
+              conns []
+          in
+          let timeout =
+            if pool.count > 0 then
+              match oldest_age (Obs.time_ms ()) with
+              | Some age -> Float.max 0.0 (Float.min 0.2 ((cfg.wave_ms -. age) /. 1000.0))
+              | None -> 0.0
+            else 0.2
+          in
+          (match Unix.select rfds wfds [] timeout with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          | rs, ws, _ ->
+            List.iter
+              (fun conn -> if List.mem conn.fd ws then flush_writes conn)
+              (conns_rotated ());
+            if List.mem lfd rs then accept_all ();
+            List.iter
+              (fun conn ->
+                if List.mem conn.fd rs then read_chunk conn;
+                parse_loop conn;
+                flush_writes conn)
+              (conns_rotated ()));
+          settle ();
+          reap ();
+          loop ()
+        end
+      in
+      loop ())

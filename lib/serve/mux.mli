@@ -1,0 +1,64 @@
+(** Concurrent Unix-socket driver for the {!Serve} daemon: a
+    single-threaded [Unix.select] event loop multiplexing many
+    simultaneous connections over one shared cache and domain pool.
+
+    {2 Connections}
+
+    Each accepted connection gets its own {!Serve.session} (its own
+    batch state and request counters) over the shared
+    {!Serve.config.cache}.  Reads are non-blocking with a bounded line
+    buffer ([rbuf_limit]; an overlong line draws a structured
+    [too_large] error and closes the connection after draining).
+    Responses go through a per-connection write queue: when a client
+    stops draining and the queue passes [wq_limit], its work requests
+    are shed with structured [overloaded] errors (cheap to queue) while
+    control requests still execute; at twice the limit the loop stops
+    reading from it entirely.  Other connections keep progressing
+    throughout.  Connections are visited in rotating order each loop
+    round, so no client can starve the rest.
+
+    {2 Automatic wave formation}
+
+    Cache misses from {e all} connections pool together, one entry per
+    distinct key.  The pool is dispatched as one
+    {!Serve.compute_and_store} fan-out — up to [wave_max] misses per
+    wave — when it reaches [wave_max], when its oldest miss is
+    [wave_ms] milliseconds old, or when the read side goes quiet
+    (nothing else is arriving, so waiting would only add latency; this
+    keeps lone-client latency at parity with the sequential driver).
+    Each connection parses its next request only after its previous
+    wave resolves, which keeps every connection's response stream —
+    bytes, order and [cached] flags — a function of its own request
+    stream alone, at any [RTCAD_JOBS].
+
+    {2 Lifecycle}
+
+    A [shutdown] request on any connection (or SIGINT/SIGTERM) stops
+    the daemon: outstanding waves resolve, queued responses get a short
+    drain grace, the socket file is unlinked.  A stale socket file left
+    by a crashed daemon is detected by probe-connect and reclaimed;
+    a live daemon raises {!Busy} instead. *)
+
+type config = {
+  base : Serve.config;
+  wave_max : int;  (** misses per fan-out, and the pool-size trigger *)
+  wave_ms : float;  (** max milliseconds a pooled miss may wait *)
+  backlog : int;  (** [Unix.listen] accept-queue bound *)
+  rbuf_limit : int;  (** max bytes of one request line *)
+  wq_limit : int;  (** per-connection queued-response bytes before shedding *)
+}
+
+val default : Serve.config -> config
+(** wave_max 16, wave_ms 2.0, backlog 64, rbuf_limit 1 MiB, wq_limit
+    8 MiB. *)
+
+exception Busy of string
+(** Raised by {!run} when a live daemon already serves the socket path
+    (the payload). *)
+
+val run : config -> path:string -> int
+(** Bind [path] and serve until [shutdown] or a termination signal;
+    returns the process exit code.  Raises {!Busy} for a live daemon at
+    [path], [Sys_error] if [path] exists and is not a socket,
+    [Invalid_argument] on non-positive [wave_max]/[backlog] or negative
+    [wave_ms]. *)

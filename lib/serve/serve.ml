@@ -622,10 +622,14 @@ let session cfg =
   }
 
 let stopped s = s.stop
+let session_config s = s.cfg
 
 (* Run one piece of work, with per-request observability capture and the
-   cooperative wall-clock budget.  Never raises. *)
-let compute_one cfg (w : work) : (Json.t * string option, exn) result =
+   cooperative wall-clock budget.  Never raises.  The elapsed wall time
+   travels with the result: it becomes the cache entry's compute cost. *)
+type outcome = (Json.t * string option * float, exn) result
+
+let compute_one cfg (w : work) : outcome =
   let t0 = Obs.time_ms () in
   let outcome =
     if cfg.obs_mode <> Obs_off then begin
@@ -641,12 +645,12 @@ let compute_one cfg (w : work) : (Json.t * string option, exn) result =
                 ~normalised:(cfg.obs_mode = Obs_normalised)
                 (Obs.snapshot ())
             in
-            Ok (r, Some obs)
+            Ok (r, Some obs, Obs.time_ms () -. t0)
           | exception e -> Error e)
     end
     else
       match Obs.span "serve.request" w.w_compute with
-      | r -> Ok (r, None)
+      | r -> Ok (r, None, Obs.time_ms () -. t0)
       | exception e -> Error e
   in
   match (outcome, cfg.timeout_ms) with
@@ -654,95 +658,147 @@ let compute_one cfg (w : work) : (Json.t * string option, exn) result =
     Error (Timeout (Obs.time_ms () -. t0))
   | _ -> outcome
 
-(* Dispatch the pending wave: decode serially, look the cache up in
-   arrival order, compute the distinct misses (in parallel over the
-   domain pool unless per-request capture pins us serial), fill the
-   cache in arrival order, and emit one response per slot in arrival
-   order.  Everything observable — responses, cache state, eviction
-   order — depends only on the request stream, never on the job count. *)
-let dispatch s =
-  let entries = List.rev s.pending in
-  s.pending <- [];
-  s.admitted <- 0;
+(* --- waves ---
+
+   A wave is the prepared form of a batch of pending requests: each slot
+   is either already answerable (control errors, sheds, cache hits) or a
+   cache miss awaiting the outcome of its key.  The three phases —
+   {!prepare} (decode + cache lookup, arrival order), {!compute_and_store}
+   (distinct misses fanned out over the domain pool, cache filled in
+   first-arrival order) and {!finish_wave} (one response per slot, in
+   arrival order) — are split so the mux event loop can merge the miss
+   sets of several connections into one fan-out while each connection's
+   responses stay in its own arrival order. *)
+
+type slot =
+  | S_done of string  (** rendered response line *)
+  | S_miss of { id : Json.t; w : work }
+
+type wave = { w_slots : slot list }
+
+let prepare s entries =
   let slots =
     List.map
       (function
-        | P_shed { id; op } -> `Shed (id, op)
+        | P_shed { id; op } ->
+          Obs.incr "serve.error";
+          S_done
+            (Json.to_string
+               (error_response ~id ~op:(Json.String op)
+                  (err "overloaded"
+                     (Printf.sprintf "work queue full (capacity %d)" s.cfg.queue))))
         | P_work { id; op; req } -> (
           match decode_work s.cfg op req with
           | w -> (
             match Cache.find s.cfg.cache w.w_key with
-            | Some payload -> `Hit (id, w, payload)
-            | None -> `Miss (id, w))
-          | exception e -> `Err (id, op, err_of_exn e)))
+            | Some payload ->
+              Obs.incr "serve.ok";
+              let pj = Json.parse payload in
+              S_done
+                (Json.to_string
+                   (work_response ~id ~w ~cached:true
+                      ~obs:(Option.bind (Json.member "obs" pj) Json.to_str)
+                      (Option.value ~default:Json.Null (Json.member "result" pj))))
+            | None -> S_miss { id; w })
+          | exception e ->
+            Obs.incr "serve.error";
+            S_done
+              (Json.to_string (error_response ~id ~op:(Json.String op) (err_of_exn e)))))
       entries
   in
-  (* Distinct cache misses, first-arrival order; duplicates within the
-     wave are computed once and share the result. *)
+  { w_slots = slots }
+
+(* Distinct cache misses of a wave, first-arrival order; duplicates
+   within the wave are computed once and share the result. *)
+let wave_misses wave =
   let uniq = Hashtbl.create 8 in
-  let to_compute =
-    List.filter_map
-      (function
-        | `Miss (_, w) when not (Hashtbl.mem uniq w.w_key) ->
-          Hashtbl.add uniq w.w_key ();
-          Some w
-        | _ -> None)
-      slots
-  in
+  List.filter_map
+    (function
+      | S_miss { w; _ } when not (Hashtbl.mem uniq w.w_key) ->
+        Hashtbl.add uniq w.w_key ();
+        Some w
+      | _ -> None)
+    wave.w_slots
+
+let wave_size wave = List.length wave.w_slots
+
+let compute_and_store cfg (works : work list) =
   let computed =
-    if s.cfg.obs_mode <> Obs_off then List.map (compute_one s.cfg) to_compute
+    if cfg.obs_mode <> Obs_off then List.map (compute_one cfg) works
     else
       List.map
         (function Ok r -> r | Error e -> Error e)
-        (Par.try_map_list (fun w -> compute_one s.cfg w) to_compute)
+        (Par.try_map_list (fun w -> compute_one cfg w) works)
   in
-  let results = Hashtbl.create 8 in
-  List.iter2
-    (fun (w : work) outcome ->
-      Hashtbl.replace results w.w_key outcome;
-      match outcome with
-      | Ok (r, obs) ->
+  List.map2
+    (fun (w : work) (outcome : outcome) ->
+      (match outcome with
+      | Ok (r, obs, ms) ->
         let payload =
           Json.Obj
             (("result", r)
             :: (match obs with Some o -> [ ("obs", Json.String o) ] | None -> []))
         in
-        Cache.store s.cfg.cache w.w_key (Json.to_string payload)
-      | Error _ -> ())
-    to_compute computed;
+        Cache.store ~cost_ms:ms cfg.cache w.w_key (Json.to_string payload)
+      | Error _ -> ());
+      (w.w_key, outcome))
+    works computed
+
+let finish_wave ~find wave =
   List.map
-    (fun slot ->
-      let resp =
-        match slot with
-        | `Shed (id, op) ->
-          Obs.incr "serve.error";
-          error_response ~id ~op:(Json.String op)
-            (err "overloaded"
-               (Printf.sprintf "work queue full (capacity %d)" s.cfg.queue))
-        | `Err (id, op, e) ->
-          Obs.incr "serve.error";
-          error_response ~id ~op:(Json.String op) e
-        | `Hit (id, w, payload) ->
+    (function
+      | S_done line -> line
+      | S_miss { id; w } -> (
+        match (find w.w_key : outcome option) with
+        | Some (Ok (r, obs, _ms)) ->
           Obs.incr "serve.ok";
-          let pj = Json.parse payload in
-          work_response ~id ~w ~cached:true
-            ~obs:(Option.bind (Json.member "obs" pj) Json.to_str)
-            (Option.value ~default:Json.Null (Json.member "result" pj))
-        | `Miss (id, w) -> (
-          match Hashtbl.find results w.w_key with
-          | Ok (r, obs) ->
-            Obs.incr "serve.ok";
-            work_response ~id ~w ~cached:false ~obs r
-          | Error e ->
-            Obs.incr "serve.error";
-            error_response ~id ~op:(Json.String w.w_op) (err_of_exn e))
-      in
-      Json.to_string resp)
-    slots
+          Json.to_string (work_response ~id ~w ~cached:false ~obs r)
+        | Some (Error e) ->
+          Obs.incr "serve.error";
+          Json.to_string (error_response ~id ~op:(Json.String w.w_op) (err_of_exn e))
+        | None ->
+          (* Unreachable when the driver resolves every registered key;
+             kept structured so a driver bug cannot kill the daemon. *)
+          Obs.incr "serve.error";
+          Json.to_string
+            (error_response ~id ~op:(Json.String w.w_op)
+               (err "internal" "wave outcome missing"))))
+    wave.w_slots
+
+(* Synchronous resolution: the whole prepare/compute/finish cycle of one
+   session's wave, used by the stdio driver and [run_lines]. *)
+let resolve_serial s wave =
+  let outs = compute_and_store s.cfg (wave_misses wave) in
+  finish_wave ~find:(fun k -> List.assoc_opt k outs) wave
+
+let take_wave s =
+  let entries = List.rev s.pending in
+  s.pending <- [];
+  s.admitted <- 0;
+  prepare s entries
 
 let stats_result s =
   let st = Cache.stats s.cfg.cache in
   let looked = st.Cache.hits + st.Cache.misses in
+  let round_ms ms = Json.Int (int_of_float (Float.round ms)) in
+  (* Only shards that hold (or evicted) something are listed: stats
+     stay one readable line at the default shard count. *)
+  let shard_json =
+    List.filter_map
+      (fun (i, (sh : Cache.shard_stats)) ->
+        if sh.Cache.sh_entries > 0 || sh.Cache.sh_evictions > 0 then
+          Some
+            (Json.Obj
+               [
+                 ("shard", Json.Int i);
+                 ("entries", Json.Int sh.Cache.sh_entries);
+                 ("bytes", Json.Int sh.Cache.sh_bytes);
+                 ("ms", round_ms sh.Cache.sh_ms);
+                 ("evictions", Json.Int sh.Cache.sh_evictions);
+               ])
+        else None)
+      (List.mapi (fun i sh -> (i, sh)) st.Cache.shards)
+  in
   Json.Obj
     [
       ("requests", Json.Int s.requests);
@@ -758,6 +814,9 @@ let stats_result s =
             ("evictions", Json.Int st.Cache.evictions);
             ("corrupt", Json.Int st.Cache.corrupt);
             ("entries", Json.Int st.Cache.entries);
+            ("retained_bytes", Json.Int st.Cache.retained_bytes);
+            ("retained_ms", round_ms st.Cache.retained_ms);
+            ("shards", Json.List shard_json);
             ( "hit_rate",
               Json.Float
                 (if looked = 0 then 0.0
@@ -765,13 +824,24 @@ let stats_result s =
           ] );
     ]
 
-let feed s line =
+(* What a driver does with one input line: emit rendered response lines
+   as-is, or resolve a wave first (serially here, or merged into a
+   multi-connection fan-out by the mux) and emit its responses. *)
+type event = Lines of string list | Wave of wave
+
+(* [shed_work] is the driver's backpressure lever: when set, well-formed
+   work ops are answered [overloaded] immediately instead of being
+   computed, while control ops still go through (so a flooding client
+   can still ping, read stats, or shut the batch down). *)
+let feed_events ?(shed_work = false) s line =
   if s.stop then []
   else
     match Json.parse line with
     | exception (Json.Parse_error _ as e) ->
       Obs.incr "serve.error";
-      [ Json.to_string (error_response ~id:Json.Null ~op:Json.Null (err_of_exn e)) ]
+      [ Lines
+          [ Json.to_string (error_response ~id:Json.Null ~op:Json.Null (err_of_exn e)) ]
+      ]
     | req -> (
       let id =
         match Json.member "id" req with
@@ -782,7 +852,7 @@ let feed s line =
       in
       let bad e =
         Obs.incr "serve.error";
-        [ Json.to_string (error_response ~id ~op:Json.Null (err_of_exn e)) ]
+        [ Lines [ Json.to_string (error_response ~id ~op:Json.Null (err_of_exn e)) ] ]
       in
       match req with
       | Json.Obj _ -> (
@@ -794,10 +864,20 @@ let feed s line =
           | "check" | "synth" | "sim" | "fuzz" ->
             s.requests <- s.requests + 1;
             Obs.incr "serve.requests";
-            if not s.batching then begin
+            if shed_work then begin
+              s.shed <- s.shed + 1;
+              Obs.incr "serve.shed";
+              Obs.incr "serve.error";
+              [ Lines
+                  [ Json.to_string
+                      (error_response ~id ~op:(Json.String op)
+                         (err "overloaded" "client is not draining responses")) ]
+              ]
+            end
+            else if not s.batching then begin
               s.pending <- [ P_work { id; op; req } ];
               s.admitted <- 1;
-              dispatch s
+              [ Wave (take_wave s) ]
             end
             else if s.admitted < s.cfg.queue then begin
               s.pending <- P_work { id; op; req } :: s.pending;
@@ -813,40 +893,59 @@ let feed s line =
           | "ping" -> (
             match check_fields "ping" req [] with
             | () ->
-              [ Json.to_string
-                  (control_response ~id ~op (Json.Obj [ ("pong", Json.Bool true) ])) ]
+              [ Lines
+                  [ Json.to_string
+                      (control_response ~id ~op (Json.Obj [ ("pong", Json.Bool true) ]))
+                  ]
+              ]
             | exception e -> bad e)
           | "stats" -> (
             match check_fields "stats" req [] with
-            | () -> [ Json.to_string (control_response ~id ~op (stats_result s)) ]
+            | () -> [ Lines [ Json.to_string (control_response ~id ~op (stats_result s)) ] ]
             | exception e -> bad e)
           | "batch" ->
             s.batching <- true;
-            [ Json.to_string
-                (control_response ~id ~op (Json.Obj [ ("batching", Json.Bool true) ])) ]
+            [ Lines
+                [ Json.to_string
+                    (control_response ~id ~op (Json.Obj [ ("batching", Json.Bool true) ]))
+                ]
+            ]
           | "flush" ->
             let admitted = s.admitted
             and shed = List.length s.pending - s.admitted in
-            let responses = dispatch s in
-            responses
-            @ [ Json.to_string
-                  (control_response ~id ~op
-                     (Json.Obj
-                        [ ("flushed", Json.Int admitted); ("shed", Json.Int shed) ])) ]
+            [ Wave (take_wave s);
+              Lines
+                [ Json.to_string
+                    (control_response ~id ~op
+                       (Json.Obj
+                          [ ("flushed", Json.Int admitted); ("shed", Json.Int shed) ]))
+                ]
+            ]
           | "shutdown" ->
             let flushed = s.admitted in
-            let responses = dispatch s in
+            let wave = take_wave s in
             s.stop <- true;
-            responses
-            @ [ Json.to_string
-                  (control_response ~id ~op
-                     (Json.Obj
-                        [ ("stopping", Json.Bool true);
-                          ("pending_flushed", Json.Int flushed) ])) ]
+            [ Wave wave;
+              Lines
+                [ Json.to_string
+                    (control_response ~id ~op
+                       (Json.Obj
+                          [ ("stopping", Json.Bool true);
+                            ("pending_flushed", Json.Int flushed) ]))
+                ]
+            ]
           | op -> bad (Bad_request (Printf.sprintf "unknown op %S" op))))
       | _ -> bad (Bad_request "request must be a JSON object"))
 
-let finish s = if s.stop then [] else dispatch s
+let finish_events s = if s.stop then [] else [ Wave (take_wave s) ]
+
+let run_events s events =
+  List.concat_map
+    (function Lines ls -> ls | Wave w -> resolve_serial s w)
+    events
+
+let feed ?shed_work s line = run_events s (feed_events ?shed_work s line)
+let finish s = run_events s (finish_events s)
 
 let run_lines cfg lines =
   let s = session cfg in
@@ -929,51 +1028,3 @@ let run_stdio cfg =
         0
   in
   loop ()
-
-let run_socket cfg ~path =
-  with_signals @@ fun stop ->
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  if Sys.file_exists path then Sys.remove path;
-  Unix.bind fd (Unix.ADDR_UNIX path);
-  (* The listen backlog is the accept-queue bound: the kernel refuses
-     connections beyond it instead of queueing unboundedly. *)
-  Unix.listen fd 16;
-  let server_stopped = ref false in
-  let serve_connection conn =
-    let s = session cfg in
-    let r = reader conn in
-    let emit lines =
-      List.iter (fun l -> write_all conn (l ^ "\n") 0 (String.length l + 1)) lines
-    in
-    let rec loop () =
-      if s.stop then server_stopped := true
-      else
-        match next_line r ~stop with
-        | `Line line ->
-          emit (feed s line);
-          loop ()
-        | `Eof | `Interrupted -> emit (finish s)
-    in
-    (match loop () with
-    | () -> ()
-    | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ()
-    | exception Sys_error _ -> ());
-    try Unix.close conn with Unix.Unix_error _ -> ()
-  in
-  Fun.protect
-    ~finally:(fun () ->
-      (try Unix.close fd with Unix.Unix_error _ -> ());
-      try Sys.remove path with Sys_error _ -> ())
-    (fun () ->
-      let rec accept_loop () =
-        if !server_stopped || stop () then 0
-        else
-          match Unix.select [ fd ] [] [] 0.2 with
-          | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
-          | [], _, _ -> accept_loop ()
-          | _ :: _, _, _ ->
-            let conn, _ = Unix.accept fd in
-            serve_connection conn;
-            accept_loop ()
-      in
-      accept_loop ())

@@ -18,7 +18,11 @@ line, an unknown op, an unknown field, and a clean shutdown.
   > {"id":9,"op":"stats"}
   > {"id":10,"op":"shutdown"}
   > EOF
-  $ rtsyn serve < session.ndjson
+The stats response reports wall-clock compute costs ("retained_ms" and
+the per-shard "ms"), which are not byte-stable; the sed filter pins them
+to 0 while leaving every deterministic field exact.
+
+  $ rtsyn serve < session.ndjson | sed -E 's/"(retained_)?ms":[0-9]+/"\1ms":0/g'
   {"id":1,"op":"ping","ok":true,"result":{"pong":true}}
   {"id":2,"op":"check","ok":true,"cached":false,"engine":"explicit","key":"2075c40df35e59b7c7ced4c34bb4cca4","result":{"states":8,"deadlock_free":true,"live_transitions":true,"output_persistent":true,"csc_satisfied":true,"csc_signals":[]}}
   {"id":3,"op":"synth","ok":true,"cached":false,"engine":"explicit","key":"05a703d6cb1752432e192717d0a097e5","result":{"states_full":8,"states_used":8,"insertions":[],"assumptions":0,"constraints":[],"signals":[{"name":"c","literals":6}],"gates":1,"netlist":"netlist: 3 nets, 1 gates, 12 transistors\n  c = sop[2,2,2]6(a, b, a, c, b, c) [out]\n  inputs: a b"}}
@@ -27,7 +31,7 @@ line, an unknown op, an unknown field, and a clean shutdown.
   {"id":6,"op":null,"ok":false,"error":{"kind":"bad_request","message":"unknown op \"teleport\""}}
   {"id":7,"op":"check","ok":false,"error":{"kind":"bad_request","message":"unknown field \"frobnicate\" for op \"check\""}}
   {"id":8,"op":"check","ok":false,"error":{"kind":"bad_request","message":"\"nonesuch\" is neither a built-in specification nor spec text"}}
-  {"id":9,"op":"stats","ok":true,"result":{"requests":5,"shed":0,"batching":false,"queue_capacity":64,"cache":{"hits":1,"misses":2,"stores":2,"evictions":0,"corrupt":0,"entries":2,"hit_rate":0.333333}}}
+  {"id":9,"op":"stats","ok":true,"result":{"requests":5,"shed":0,"batching":false,"queue_capacity":64,"cache":{"hits":1,"misses":2,"stores":2,"evictions":0,"corrupt":0,"entries":2,"retained_bytes":383,"retained_ms":0,"shards":[{"shard":0,"entries":1,"bytes":131,"ms":0,"evictions":0},{"shard":5,"entries":1,"bytes":252,"ms":0,"evictions":0}],"hit_rate":0.333333}}}
   {"id":10,"op":"shutdown","ok":true,"result":{"stopping":true,"pending_flushed":0}}
 
 The same stream again: the on-disk cache directory now serves the

@@ -9,6 +9,7 @@
 
 module Serve = Rtcad_serve.Serve
 module Cache = Rtcad_serve.Cache
+module Mux = Rtcad_serve.Mux
 module Json = Rtcad_serve.Json
 module Par = Rtcad_par.Par
 module Obs = Rtcad_obs.Obs
@@ -46,6 +47,39 @@ let cached line =
   | _ -> Alcotest.failf "response %s lacks cached" line
 
 let result_str line = Json.to_string (field line "result")
+
+(* Stats responses embed wall-clock compute costs ("retained_ms" and the
+   per-shard "ms"), the one nondeterministic part of the wire format:
+   zero them before comparing streams byte-for-byte. *)
+let mask_ms line =
+  let keys = [ "\"retained_ms\":"; "\"ms\":" ] in
+  let n = String.length line in
+  let b = Buffer.create n in
+  let i = ref 0 in
+  while !i < n do
+    let hit =
+      List.find_opt
+        (fun k ->
+          let kl = String.length k in
+          !i + kl <= n && String.sub line !i kl = k)
+        keys
+    in
+    match hit with
+    | Some k ->
+      Buffer.add_string b k;
+      Buffer.add_char b '0';
+      i := !i + String.length k;
+      while
+        !i < n
+        && match line.[!i] with '0' .. '9' | '.' | '-' -> true | _ -> false
+      do
+        incr i
+      done
+    | None ->
+      Buffer.add_char b line.[!i];
+      incr i
+  done;
+  Buffer.contents b
 
 (* --- JSON module --- *)
 
@@ -128,7 +162,7 @@ let mixed_script =
   ]
 
 let test_determinism_across_jobs () =
-  let run () = Serve.run_lines (config ()) mixed_script in
+  let run () = List.map mask_ms (Serve.run_lines (config ()) mixed_script) in
   let at1 = with_jobs 1 run and at2 = with_jobs 2 run in
   Alcotest.(check (list string)) "responses at jobs 1 = jobs 2" at1 at2;
   (* The repeat after the flush must have hit the cache. *)
@@ -336,7 +370,9 @@ let test_disk_tier_and_corruption () =
   Alcotest.(check int) "corruption detected" 1 (Cache.stats cache).Cache.corrupt
 
 let test_lru_eviction () =
-  let cache = Cache.create ~capacity:2 () in
+  (* One shard so the capacity bound is global, as in the pre-sharded
+     cache this test pins down. *)
+  let cache = Cache.create ~shards:1 ~capacity:2 () in
   let script =
     List.map
       (fun s -> req {|{"op":"check","spec":%S}|} s)
@@ -353,6 +389,51 @@ let test_lru_eviction () =
   let st = Cache.stats cache in
   Alcotest.(check int) "evictions" 2 st.Cache.evictions;
   Alcotest.(check bool) "bound respected" true (st.Cache.entries <= 2)
+
+let test_cost_eviction () =
+  (* Entry cost = payload bytes + ceil(compute ms); the budget bounds the
+     retained total and eviction is LRU by that cost. *)
+  let c = Cache.create ~shards:1 ~budget:100 () in
+  Cache.store ~cost_ms:30.0 c "a" (String.make 20 'a');
+  (* cost 50 *)
+  Cache.store ~cost_ms:20.0 c "b" (String.make 20 'b');
+  (* cost 40: total 90, both fit *)
+  Alcotest.(check int) "both under budget" 2 (Cache.stats c).Cache.entries;
+  ignore (Cache.find c "a");
+  (* touch: "b" becomes the LRU victim *)
+  Cache.store c "d" (String.make 40 'd');
+  (* cost 40: 130 > 100, evict "b" *)
+  let st = Cache.stats c in
+  Alcotest.(check int) "one eviction" 1 st.Cache.evictions;
+  Alcotest.(check bool) "LRU victim gone" true (Cache.find c "b" = None);
+  Alcotest.(check bool) "touched entry survives" true (Cache.find c "a" <> None);
+  Alcotest.(check int) "retained bytes" 60 st.Cache.retained_bytes;
+  Alcotest.(check (float 1e-6)) "retained ms" 30.0 st.Cache.retained_ms;
+  (* A single entry dearer than the whole budget still caches: the entry
+     just inserted is never its own victim. *)
+  Cache.store c "huge" (String.make 500 'h');
+  Alcotest.(check bool) "oversized entry cached" true (Cache.find c "huge" <> None);
+  Alcotest.(check int) "everything else evicted" 1 (Cache.stats c).Cache.entries
+
+let test_shard_distribution () =
+  let c = Cache.create ~shards:4 () in
+  for i = 1 to 64 do
+    Cache.store ~cost_ms:1.0 c
+      (Cache.key [ string_of_int i ])
+      (Printf.sprintf "payload-%d" i)
+  done;
+  let st = Cache.stats c in
+  Alcotest.(check int) "one stat per shard" 4 (List.length st.Cache.shards);
+  Alcotest.(check int) "entries sum to total" st.Cache.entries
+    (List.fold_left (fun a s -> a + s.Cache.sh_entries) 0 st.Cache.shards);
+  Alcotest.(check int) "bytes sum to total" st.Cache.retained_bytes
+    (List.fold_left (fun a s -> a + s.Cache.sh_bytes) 0 st.Cache.shards);
+  Alcotest.(check (float 1e-6)) "ms sum to total" st.Cache.retained_ms
+    (List.fold_left (fun a s -> a +. s.Cache.sh_ms) 0.0 st.Cache.shards);
+  let populated =
+    List.length (List.filter (fun s -> s.Cache.sh_entries > 0) st.Cache.shards)
+  in
+  Alcotest.(check bool) "hash prefix spreads the keys" true (populated > 1)
 
 (* --- the acceptance scenario: 200 requests, >= 50% repeats, hit rate
    reported via rtcad_obs, zero crashes on interleaved malformed input --- *)
@@ -392,7 +473,30 @@ let test_acceptance_session () =
   Alcotest.(check int) "lookups" 200 (hits + misses);
   let rate = float_of_int hits /. float_of_int (hits + misses) in
   if rate < 0.45 then
-    Alcotest.failf "cache hit rate %.2f below the 45%% acceptance bar" rate
+    Alcotest.failf "cache hit rate %.2f below the 45%% acceptance bar" rate;
+  (* The sharded cache mirrors its retained-cost totals into gauges, with
+     a per-shard breakdown that must sum back to the totals. *)
+  let gauge name =
+    match Obs.metric snap name with
+    | Some (Obs.Gauge_v v) -> v
+    | _ -> Alcotest.failf "gauge %s missing from the obs snapshot" name
+  in
+  Alcotest.(check bool) "retained-bytes gauge positive" true
+    (gauge "serve.cache.retained_bytes" > 0.0);
+  let entries = gauge "serve.cache.entries" in
+  Alcotest.(check bool) "entries gauge positive" true (entries > 0.0);
+  let shard_sum field =
+    let s = ref 0.0 in
+    for i = 0 to 7 do
+      s := !s +. gauge (Printf.sprintf "serve.cache.shard%d.%s" i field)
+    done;
+    !s
+  in
+  Alcotest.(check (float 1e-6)) "shard entry gauges sum to the total" entries
+    (shard_sum "entries");
+  Alcotest.(check (float 1e-6)) "shard byte gauges sum to the total"
+    (gauge "serve.cache.retained_bytes")
+    (shard_sum "bytes")
 
 (* --- per-request observability capture --- *)
 
@@ -411,13 +515,10 @@ let test_obs_capture_normalised () =
     Alcotest.(check string) "hit replays the captured summary" summary (str_of hit "obs")
   | _ -> Alcotest.fail "expected two responses"
 
-(* --- socket driver --- *)
+(* --- mux socket driver --- *)
 
-let test_socket_driver () =
-  with_tmpdir @@ fun dir ->
-  let path = Filename.concat dir "rtsyn.sock" in
-  let server = Thread.create (fun () -> Serve.run_socket (config ()) ~path) () in
-  let rec connect tries =
+let connect_retry path =
+  let rec go tries =
     let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
     match Unix.connect fd (Unix.ADDR_UNIX path) with
     | () -> fd
@@ -425,35 +526,251 @@ let test_socket_driver () =
       when tries > 0 ->
       Unix.close fd;
       Thread.delay 0.02;
-      connect (tries - 1)
+      go (tries - 1)
   in
-  let fd = connect 250 in
-  let script =
-    String.concat "\n"
-      [ req {|{"id":1,"op":"ping"}|}; req {|{"id":2,"op":"check","spec":"fifo"}|};
-        req {|{"id":3,"op":"shutdown"}|}; "" ]
+  go 250
+
+let send_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then go (off + Unix.write_substring fd s off (n - off))
   in
-  ignore (Unix.write_substring fd script 0 (String.length script));
-  let buf = Buffer.create 1024 in
-  let chunk = Bytes.create 1024 in
-  let rec drain () =
-    match Unix.read fd chunk 0 1024 with
-    | 0 -> ()
-    | n ->
-      Buffer.add_subbytes buf chunk 0 n;
-      drain ()
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain ()
+  try go 0 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+
+(* Blocking read until [count] complete lines arrive (or EOF). *)
+let recv_lines fd count =
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 65536 in
+  let newlines () =
+    String.fold_left
+      (fun acc c -> if c = '\n' then acc + 1 else acc)
+      0 (Buffer.contents buf)
   in
-  drain ();
+  let rec go () =
+    if newlines () < count then
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 -> ()
+      | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        go ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ();
+  String.split_on_char '\n' (Buffer.contents buf)
+  |> List.filter (fun l -> l <> "")
+
+(* Run a daemon at a fresh socket path, drive it with one thread per
+   client script (each sends everything, then reads one response per
+   line), shut it down, and return the per-client response streams. *)
+let run_mux_session ?(mux = fun c -> c) scripts =
+  with_tmpdir @@ fun dir ->
+  let path = Filename.concat dir "rtsyn.sock" in
+  let cfg = mux (Mux.default (config ())) in
+  let server = Thread.create (fun () -> ignore (Mux.run cfg ~path)) () in
+  let results = Array.make (List.length scripts) [] in
+  let clients =
+    List.mapi
+      (fun i script ->
+        Thread.create
+          (fun () ->
+            let fd = connect_retry path in
+            send_all fd (String.concat "\n" script ^ "\n");
+            results.(i) <- recv_lines fd (List.length script);
+            Unix.close fd)
+          ())
+      scripts
+  in
+  List.iter Thread.join clients;
+  let fd = connect_retry path in
+  send_all fd "{\"op\":\"shutdown\"}\n";
+  ignore (recv_lines fd 1);
   Unix.close fd;
   Thread.join server;
-  let lines =
-    String.split_on_char '\n' (Buffer.contents buf) |> List.filter (fun l -> l <> "")
+  Alcotest.(check bool) "socket file removed" false (Sys.file_exists path);
+  Array.to_list results
+
+let test_socket_driver () =
+  match
+    run_mux_session
+      [
+        [
+          req {|{"id":1,"op":"ping"}|};
+          req {|{"id":2,"op":"check","spec":"fifo"}|};
+        ];
+      ]
+  with
+  | [ lines ] ->
+    Alcotest.(check int) "two responses" 2 (List.length lines);
+    Alcotest.(check bool) "pong" true (is_ok (List.nth lines 0));
+    Alcotest.(check bool) "check served" true (is_ok (List.nth lines 1))
+  | _ -> Alcotest.fail "expected one client stream"
+
+(* Per-client streams must be a function of that client's own request
+   stream alone: byte-identical across runs and across RTCAD_JOBS,
+   whatever the interleaving with the other clients.  Keys are made
+   per-client-unique (max_states enters the cache key) so each client's
+   hit/miss pattern is deterministic even though the cache is shared. *)
+let concurrency_script cid =
+  let ms i = 10_000 + (100 * cid) + i in
+  [
+    req {|{"id":1,"op":"check","spec":"fifo","max_states":%d}|} (ms 1);
+    "this is not a request";
+    req {|{"id":2,"op":"check","spec":"toggle","max_states":%d}|} (ms 2);
+    req {|{"id":3,"op":"check","spec":"fifo","max_states":%d}|} (ms 1);
+    req {|{"id":4,"op":"check","spec":"celement","max_states":%d}|} (ms 3);
+  ]
+
+let test_mux_concurrent_determinism () =
+  let scripts = List.init 3 concurrency_script in
+  let run () = run_mux_session scripts in
+  let first = with_jobs 1 run in
+  let again = with_jobs 1 run in
+  let at2 = with_jobs 2 run in
+  Alcotest.(check (list (list string))) "re-run is byte-identical" first again;
+  Alcotest.(check (list (list string))) "jobs 2 is byte-identical" first at2;
+  List.iter
+    (fun lines ->
+      Alcotest.(check int) "every line answered" 5 (List.length lines);
+      Alcotest.(check string) "garbage answered in place" "parse_error"
+        (error_kind (List.nth lines 1));
+      Alcotest.(check bool) "first sight is a miss" false (cached (List.nth lines 0));
+      Alcotest.(check bool) "own repeat is a hit" true (cached (List.nth lines 3)))
+    first
+
+(* A client that floods large requests without draining responses gets
+   its work shed with structured [overloaded] errors once its write
+   queue passes the bound — while an unrelated client progresses
+   normally the whole time. *)
+let test_slow_reader_shed () =
+  with_tmpdir @@ fun dir ->
+  let path = Filename.concat dir "rtsyn.sock" in
+  let cfg = { (Mux.default (config ())) with Mux.wq_limit = 4096 } in
+  let server = Thread.create (fun () -> ignore (Mux.run cfg ~path)) () in
+  let n = 30 in
+  let flood =
+    String.concat ""
+      (List.init n (fun i ->
+           req {|{"id":%d,"op":"sim","circuit":"si","cycles":400,"vcd":true}|} i
+           ^ "\n"))
   in
-  Alcotest.(check int) "three responses" 3 (List.length lines);
-  Alcotest.(check bool) "pong" true (is_ok (List.nth lines 0));
-  Alcotest.(check bool) "check served" true (is_ok (List.nth lines 1));
-  Alcotest.(check bool) "socket file removed" false (Sys.file_exists path)
+  let a = connect_retry path in
+  let b_lines = ref [] in
+  let b =
+    Thread.create
+      (fun () ->
+        let fd = connect_retry path in
+        let script =
+          List.init 10 (fun i ->
+              req {|{"id":%d,"op":"check","spec":"ring%d"}|} i (i + 2))
+        in
+        send_all fd (String.concat "\n" script ^ "\n");
+        b_lines := recv_lines fd 10;
+        Unix.close fd)
+      ()
+  in
+  (* Each response is ~64 KB; 30 of them dwarf the kernel socket buffers,
+     so the daemon's write queue for A must back up past wq_limit. *)
+  send_all a flood;
+  Thread.join b;
+  List.iter
+    (fun l -> Alcotest.(check bool) "other client unaffected" true (is_ok l))
+    !b_lines;
+  let a_lines = recv_lines a n in
+  Unix.close a;
+  let fd = connect_retry path in
+  send_all fd "{\"op\":\"shutdown\"}\n";
+  ignore (recv_lines fd 1);
+  Unix.close fd;
+  Thread.join server;
+  Alcotest.(check int) "every flooded request answered" n (List.length a_lines);
+  let oks, shed = List.partition is_ok a_lines in
+  Alcotest.(check bool) "some requests served" true (List.length oks >= 1);
+  Alcotest.(check bool) "some requests shed" true (List.length shed >= 1);
+  List.iter
+    (fun l -> Alcotest.(check string) "shed kind" "overloaded" (error_kind l))
+    shed
+
+(* Five batched misses at wave_max 2 must dispatch as exactly three
+   fan-outs (2 + 2 + 1), observable through the serve.mux.waves counter. *)
+let test_wave_splitting () =
+  Obs.set_enabled true;
+  Fun.protect ~finally:(fun () -> Obs.set_enabled false) @@ fun () ->
+  let before = Obs.counter (Obs.snapshot ()) "serve.mux.waves" in
+  (match
+     run_mux_session
+       ~mux:(fun c -> { c with Mux.wave_max = 2 })
+       [
+         [
+           req {|{"op":"batch"}|};
+           req {|{"op":"check","spec":"ring2"}|};
+           req {|{"op":"check","spec":"ring3"}|};
+           req {|{"op":"check","spec":"ring4"}|};
+           req {|{"op":"check","spec":"ring5"}|};
+           req {|{"op":"check","spec":"ring6"}|};
+           req {|{"op":"flush"}|};
+         ];
+       ]
+   with
+  | [ lines ] ->
+    List.iter (fun l -> Alcotest.(check bool) "all ok" true (is_ok l)) lines
+  | _ -> Alcotest.fail "expected one client stream");
+  let after = Obs.counter (Obs.snapshot ()) "serve.mux.waves" in
+  Alcotest.(check int) "5 misses at wave_max 2 = 3 waves" 3 (after - before)
+
+(* A socket file left behind by a crashed daemon (bound, no listener) is
+   probe-detected and reclaimed. *)
+let test_stale_socket_reclaim () =
+  with_tmpdir @@ fun dir ->
+  let path = Filename.concat dir "rtsyn.sock" in
+  let stale = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind stale (Unix.ADDR_UNIX path);
+  Unix.close stale;
+  Alcotest.(check bool) "stale file present" true (Sys.file_exists path);
+  let server =
+    Thread.create (fun () -> ignore (Mux.run (Mux.default (config ())) ~path)) ()
+  in
+  let fd = connect_retry path in
+  send_all fd "{\"id\":1,\"op\":\"ping\"}\n{\"id\":2,\"op\":\"shutdown\"}\n";
+  let lines = recv_lines fd 2 in
+  Unix.close fd;
+  Thread.join server;
+  Alcotest.(check int) "served over the reclaimed path" 2 (List.length lines);
+  Alcotest.(check bool) "pong" true (is_ok (List.nth lines 0))
+
+(* A live daemon on the path is detected by the same probe and refused
+   with a typed error instead of being unlinked from under it. *)
+let test_busy_daemon () =
+  with_tmpdir @@ fun dir ->
+  let path = Filename.concat dir "rtsyn.sock" in
+  let server =
+    Thread.create (fun () -> ignore (Mux.run (Mux.default (config ())) ~path)) ()
+  in
+  let probe = connect_retry path in
+  let refused =
+    try
+      ignore (Mux.run (Mux.default (config ())) ~path);
+      false
+    with Mux.Busy p -> p = path
+  in
+  Alcotest.(check bool) "second daemon refused with Busy" true refused;
+  Alcotest.(check bool) "live socket kept" true (Sys.file_exists path);
+  send_all probe "{\"op\":\"shutdown\"}\n";
+  ignore (recv_lines probe 1);
+  Unix.close probe;
+  Thread.join server
+
+let test_mux_validation () =
+  with_tmpdir @@ fun dir ->
+  let path = Filename.concat dir "rtsyn.sock" in
+  let rejects patch =
+    match Mux.run (patch (Mux.default (config ()))) ~path with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "invalid mux config accepted"
+  in
+  rejects (fun c -> { c with Mux.backlog = 0 });
+  rejects (fun c -> { c with Mux.wave_max = 0 });
+  rejects (fun c -> { c with Mux.wave_ms = -1.0 });
+  Alcotest.(check bool) "nothing bound" false (Sys.file_exists path)
 
 let suite =
   [
@@ -474,10 +791,25 @@ let suite =
         Alcotest.test_case "disk tier: corruption detected, recomputed" `Quick
           test_disk_tier_and_corruption;
         Alcotest.test_case "memory LRU respects its bound" `Quick test_lru_eviction;
+        Alcotest.test_case "cost-based eviction honours the budget" `Quick
+          test_cost_eviction;
+        Alcotest.test_case "shard stats partition the totals" `Quick
+          test_shard_distribution;
         Alcotest.test_case "200-request session: >=45% hits via obs" `Slow
           test_acceptance_session;
         Alcotest.test_case "per-request capture is deterministic" `Slow
           test_obs_capture_normalised;
-        Alcotest.test_case "socket driver" `Quick test_socket_driver;
+        Alcotest.test_case "mux socket driver" `Quick test_socket_driver;
+        Alcotest.test_case "mux: concurrent client streams deterministic" `Slow
+          test_mux_concurrent_determinism;
+        Alcotest.test_case "mux: slow reader shed, others progress" `Slow
+          test_slow_reader_shed;
+        Alcotest.test_case "mux: waves split at wave_max" `Quick
+          test_wave_splitting;
+        Alcotest.test_case "mux: stale socket reclaimed" `Quick
+          test_stale_socket_reclaim;
+        Alcotest.test_case "mux: live daemon refused with Busy" `Quick
+          test_busy_daemon;
+        Alcotest.test_case "mux: config validation" `Quick test_mux_validation;
       ] );
   ]
