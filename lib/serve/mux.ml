@@ -81,6 +81,10 @@ let claim_socket path =
     Fun.protect
       ~finally:(fun () -> try Unix.close probe with Unix.Unix_error _ -> ())
       (fun () ->
+        (* Non-blocking: a live daemon with a full accept backlog must
+           answer EAGAIN/EINPROGRESS here, not block the probe forever
+           (blocking unix-socket connects never return those). *)
+        Unix.set_nonblock probe;
         match Unix.connect probe (Unix.ADDR_UNIX path) with
         | () -> raise (Busy path)
         | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EINPROGRESS), _, _) ->
@@ -97,6 +101,12 @@ let run (cfg : config) ~path =
   if cfg.backlog < 1 then invalid_arg "Mux.run: backlog must be positive";
   if cfg.wave_ms < 0.0 then invalid_arg "Mux.run: wave_ms must be non-negative";
   Serve.with_signals @@ fun sigstop ->
+  (* Writes to a client that vanished must surface as EPIPE on that
+     connection's fd — not as a process-killing SIGPIPE — so only the
+     offending connection dies. *)
+  let old_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  Fun.protect ~finally:(fun () -> Sys.set_signal Sys.sigpipe old_pipe)
+  @@ fun () ->
   claim_socket path;
   let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind lfd (Unix.ADDR_UNIX path);
@@ -196,8 +206,10 @@ let run (cfg : config) ~path =
   in
   (* Parse as far as the one-wave-in-flight rule allows: a connection's
      next line is only interpreted once its previous wave has resolved,
-     so its cache hits/misses — and therefore its [cached] flags and
-     response bytes — depend only on its own request stream. *)
+     so wave interleaving and RTCAD_JOBS can never reorder or alter a
+     connection's responses — for a fixed multi-client schedule each
+     stream is byte-identical across runs.  (The cache is shared, so a
+     key another client computed earlier is still served [cached].) *)
   let rec parse_loop conn =
     if
       (not conn.dead) && (not conn.overflowed)
@@ -296,6 +308,13 @@ let run (cfg : config) ~path =
       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
         ->
         ()
+      | exception Unix.Unix_error (Unix.ECONNABORTED, _, _) ->
+        (* Client gone before we accepted: skip it, keep accepting. *)
+        go ()
+      | exception Unix.Unix_error ((Unix.EMFILE | Unix.ENFILE), _, _) ->
+        (* Fd exhaustion: stop accepting this round but keep serving the
+           connections we have; draining them frees descriptors. *)
+        Obs.incr "serve.mux.accept_overload"
       | cfd, _ ->
         Unix.set_nonblock cfd;
         incr next_cid;
@@ -406,7 +425,8 @@ let run (cfg : config) ~path =
       end
     in
     grace ();
-    Hashtbl.iter (fun _ c -> kill c) conns;
+    (* kill removes from [conns]; never mutate a table mid-iteration. *)
+    Hashtbl.fold (fun _ c acc -> c :: acc) conns [] |> List.iter kill;
     0
   in
   Fun.protect

@@ -27,9 +27,12 @@
     (nothing else is arriving, so waiting would only add latency; this
     keeps lone-client latency at parity with the sequential driver).
     Each connection parses its next request only after its previous
-    wave resolves, which keeps every connection's response stream —
-    bytes, order and [cached] flags — a function of its own request
-    stream alone, at any [RTCAD_JOBS].
+    wave resolves, so wave interleaving can never reorder a
+    connection's responses: each stream answers in its own request
+    order, and for a fixed multi-client schedule every connection's
+    bytes — [cached] flags included — are identical across runs at any
+    [RTCAD_JOBS].  (The cache is shared: whether a key is a hit can
+    depend on what other clients computed earlier.)
 
     {2 Lifecycle}
 

@@ -690,6 +690,39 @@ let test_slow_reader_shed () =
     (fun l -> Alcotest.(check string) "shed kind" "overloaded" (error_kind l))
     shed
 
+(* A client that vanishes abruptly with responses still queued must
+   only lose its own connection: the daemon ignores SIGPIPE, so the
+   broken-pipe write surfaces as EPIPE and kills that connection alone.
+   (Without the Signal_ignore, the write would SIGPIPE this whole test
+   process.) *)
+let test_abrupt_disconnect () =
+  with_tmpdir @@ fun dir ->
+  let path = Filename.concat dir "rtsyn.sock" in
+  let cfg = Mux.default (config ()) in
+  let server = Thread.create (fun () -> ignore (Mux.run cfg ~path)) () in
+  let a = connect_retry path in
+  (* ~64 KB per response: enough queued output to outlive the kernel
+     socket buffer, so bytes are still pending when the client vanishes
+     and the daemon's next write hits the broken pipe. *)
+  send_all a
+    (String.concat ""
+       (List.init 8 (fun i ->
+            req {|{"id":%d,"op":"sim","circuit":"si","cycles":400,"vcd":true}|} i
+            ^ "\n")));
+  (* Give the daemon time to read, compute and fill the socket buffer,
+     then vanish with everything unread. *)
+  Thread.delay 0.3;
+  Unix.close a;
+  let fd = connect_retry path in
+  send_all fd (req {|{"id":1,"op":"ping"}|} ^ "\n");
+  (match recv_lines fd 1 with
+  | [ l ] -> Alcotest.(check bool) "daemon alive after EPIPE" true (is_ok l)
+  | _ -> Alcotest.fail "no response after abrupt disconnect");
+  send_all fd "{\"op\":\"shutdown\"}\n";
+  ignore (recv_lines fd 1);
+  Unix.close fd;
+  Thread.join server
+
 (* Five batched misses at wave_max 2 must dispatch as exactly three
    fan-outs (2 + 2 + 1), observable through the serve.mux.waves counter. *)
 let test_wave_splitting () =
@@ -804,6 +837,8 @@ let suite =
           test_mux_concurrent_determinism;
         Alcotest.test_case "mux: slow reader shed, others progress" `Slow
           test_slow_reader_shed;
+        Alcotest.test_case "mux: abrupt disconnect kills only its connection"
+          `Quick test_abrupt_disconnect;
         Alcotest.test_case "mux: waves split at wave_max" `Quick
           test_wave_splitting;
         Alcotest.test_case "mux: stale socket reclaimed" `Quick
