@@ -7,7 +7,7 @@ ifdef RTCAD_JOBS
 export RTCAD_JOBS
 endif
 
-.PHONY: all build test fuzz bench bench-clean verify golden golden-update smoke-symbolic smoke-symbolic-synth smoke-serve smoke-serve-concurrent test-serve clean
+.PHONY: all build test fuzz fuzz-edits bench bench-clean verify golden golden-update smoke-symbolic smoke-symbolic-synth smoke-incremental smoke-serve smoke-serve-concurrent test-serve clean
 
 all: build
 
@@ -19,6 +19,16 @@ test:
 
 fuzz:
 	dune exec bin/rtsyn.exe -- fuzz --cases 200 --seed 1 --quiet
+
+# Incremental edit-replay battery: random base specs, short random edit
+# scripts, every step synthesized three ways (delta-seeded, warm-cache,
+# from scratch) and required to agree verdict for verdict.  Heavier per
+# case than `fuzz` — each case is several full synthesis runs — so the
+# CI leg keeps the count modest; `make fuzz-edits CASES=200` is the
+# full battery.
+CASES ?= 25
+fuzz-edits:
+	dune exec bin/rtsyn.exe -- fuzz --edits 3 --cases $(CASES) --seed 1 --quiet
 
 bench:
 	dune exec bench/main.exe -- perf
@@ -35,6 +45,21 @@ smoke-symbolic:
 # the conformance self-check, all on the reachable BDD.
 smoke-symbolic-synth:
 	dune exec bin/rtsyn.exe -- synth ring10 --engine symbolic
+
+# Incremental-synthesis smoke: cold synthesis of ring-12 populates an
+# artifact store, a second run replays it (byte-identical report, warm
+# stages), and `rtsyn cache stats` shows the stage inventory.  The
+# temp store lives under _build so `dune clean` sweeps it.  The final
+# leg runs the edit-then-resynthesize kernel once: cold synthesis, one
+# duplicated transition, warm delta-seeded re-synthesis (the in-process
+# path the analysis-pool seeding serves).
+smoke-incremental:
+	rm -rf _build/smoke-flow-cache
+	dune exec bin/rtsyn.exe -- synth ring12 --engine symbolic --cache _build/smoke-flow-cache > _build/smoke-cold.out
+	dune exec bin/rtsyn.exe -- synth ring12 --engine symbolic --cache _build/smoke-flow-cache > _build/smoke-warm.out
+	cmp _build/smoke-cold.out _build/smoke-warm.out
+	dune exec bin/rtsyn.exe -- cache stats _build/smoke-flow-cache
+	dune exec bench/main.exe -- perf --reps 1 --only flow_incremental
 
 # Golden-trace regression corpus (test/golden): compare fresh VCD and
 # metric-summary output against the committed snapshots...

@@ -7,6 +7,7 @@
      show   — pretty-print a specification (built-in or .g file)
      list   — list built-in specifications
      fuzz   — differential fuzzing of the optimized kernels
+     cache  — inspect or trim a flow artifact-store directory
      serve  — long-running NDJSON daemon with a content-addressed cache *)
 
 module Stg = Rtcad_stg.Stg
@@ -21,6 +22,7 @@ module Props = Rtcad_sg.Props
 module Encoding = Rtcad_sg.Encoding
 module Flow = Rtcad_core.Flow
 module Check = Rtcad_core.Check
+module Store = Rtcad_core.Store
 module Fuzz = Rtcad_check.Fuzz
 module Par = Rtcad_par.Par
 module Obs = Rtcad_obs.Obs
@@ -270,7 +272,7 @@ let run_check () obs engine spec =
     (* Every verdict is computed on the BDD — no state is ever
        enumerated, so specifications far beyond the explicit engine's
        reach still check in milliseconds. *)
-    let sym = Symbolic.analyze stg in
+    let sym = Symbolic.analyze_cached stg in
     Format.printf "reachable states: %d@." (Symbolic.num_states sym);
     Format.printf "deadlock-free: %b@." (Symbolic.deadlock_count sym = 0);
     Format.printf "all transitions live: %b@."
@@ -287,7 +289,8 @@ let run_check () obs engine spec =
 
 (* --- synth --- *)
 
-let run_synth () obs engine spec mode_name user input_first no_lazy style verify =
+let run_synth () obs engine spec mode_name user input_first no_lazy style verify
+    cache_dir =
   with_obs obs @@ fun () ->
   with_spec_errors @@ fun () ->
   let stg = load_spec spec in
@@ -299,7 +302,8 @@ let run_synth () obs engine spec mode_name user input_first no_lazy style verify
     | `Rt ->
       Flow.Rt { user; allow_input_first = input_first; allow_lazy = not no_lazy }
   in
-  match Flow.synthesize ~mode ~engine ?emit_style:style stg with
+  let cache = Option.map (fun dir -> Store.create ~dir ()) cache_dir in
+  match Flow.synthesize ?cache ~mode ~engine ?emit_style:style stg with
   | exception Flow.Synthesis_failure msg ->
     Printf.eprintf "synthesis failed: %s\n" msg;
     1
@@ -399,9 +403,9 @@ let run_list () =
 
 (* --- fuzz --- *)
 
-let run_fuzz () obs seed cases max_places shrink out quiet =
+let run_fuzz () obs seed cases max_places shrink edits out quiet =
   with_obs obs @@ fun () ->
-  let config = { Fuzz.seed; cases; max_places; shrink } in
+  let config = { Fuzz.seed; cases; max_places; shrink; edits } in
   let log = if quiet then ignore else fun msg -> Printf.eprintf "%s\n%!" msg in
   let outcome = Fuzz.run ~log config in
   Format.printf "%a@." Fuzz.pp_outcome outcome;
@@ -454,10 +458,16 @@ let synth_cmd =
     Arg.(value & flag & info [ "verify" ]
          ~doc:"Verify the netlist and print the minimal constraint set.")
   in
+  let cache_dir =
+    Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"DIR"
+         ~doc:"Reuse stage artifacts from $(docv) (created if missing): an \
+               unchanged specification replays cached reachability, encoding \
+               and covers instead of recomputing them.")
+  in
   Cmd.v (Cmd.info "synth" ~doc:"Run the relative-timing synthesis flow")
     Term.(
       const run_synth $ jobs_term $ obs_term $ engine_term $ spec_arg $ mode
-      $ user $ input_first $ no_lazy $ style $ verify)
+      $ user $ input_first $ no_lazy $ style $ verify $ cache_dir)
 
 let sim_cmd =
   let spec_opt =
@@ -545,6 +555,14 @@ let fuzz_cmd =
          & info [ "out" ] ~docv:"FILE"
              ~doc:"Where to write the minimal failing specification.")
   in
+  let edits =
+    Arg.(value & opt int Fuzz.default.Fuzz.edits
+         & info [ "edits" ] ~docv:"N"
+             ~doc:"Run the incremental edit-replay battery instead: each case \
+                   applies up to $(docv) random edits to a base specification \
+                   and checks delta-seeded/cached synthesis against \
+                   from-scratch synthesis at every step.")
+  in
   let quiet =
     Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress progress messages.")
   in
@@ -555,8 +573,89 @@ let fuzz_cmd =
           workloads run through both the optimized kernels and naive \
           reference models")
     Term.(
-      const run_fuzz $ jobs_term $ obs_term $ seed $ cases $ max_places $ shrink $ out
-      $ quiet)
+      const run_fuzz $ jobs_term $ obs_term $ seed $ cases $ max_places $ shrink
+      $ edits $ out $ quiet)
+
+(* Strictly positive numeric flags share one conv so they all reject
+   zero/negative values with the same clean message. *)
+let pos_int_conv what =
+  let open Cmdliner in
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | Some _ | None ->
+      Error (`Msg (Printf.sprintf "%s %S must be a positive integer" what s))
+  in
+  Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+
+(* --- cache --- *)
+
+(* Directory maintenance for the staged-flow artifact store written by
+   `synth --cache` and `serve --cache-dir`.  All three actions scan the
+   directory and drop undecodable entries, so a corrupted store heals on
+   first inspection. *)
+let run_cache action dir budget =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+    Printf.eprintf "rtsyn: %s is not a directory\n" dir;
+    1
+  end
+  else
+    match action with
+    | `Stats ->
+      let st = Store.disk_stats ~dir in
+      Format.printf "entries: %d@." st.Store.d_entries;
+      Format.printf "bytes: %d@." st.Store.d_bytes;
+      Format.printf "corrupt removed: %d@." st.Store.d_corrupt;
+      List.iter
+        (fun (stage, n) -> Format.printf "  %-10s %d@." stage n)
+        st.Store.d_stages;
+      0
+    | `Ls ->
+      List.iter
+        (fun e ->
+          Format.printf "%-10s %s %d@." e.Store.de_stage e.Store.de_key
+            e.Store.de_bytes)
+        (Store.ls ~dir);
+      0
+    | `Gc -> (
+      match budget with
+      | None ->
+        prerr_endline "rtsyn: cache gc requires --budget BYTES";
+        1
+      | Some budget ->
+        let removed, remaining = Store.gc ~dir ~budget in
+        Format.printf "removed %d entries, %d bytes remain@." removed remaining;
+        0)
+
+let cache_cmd =
+  let action =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("stats", `Stats); ("ls", `Ls); ("gc", `Gc) ])) None
+      & info [] ~docv:"ACTION"
+          ~doc:"$(b,stats) (totals and per-stage counts), $(b,ls) (one line \
+                per entry) or $(b,gc) (trim oldest entries to --budget).")
+  in
+  let dir =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"DIR" ~doc:"The artifact-store directory.")
+  in
+  let budget =
+    Arg.(
+      value
+      & opt (some (pos_int_conv "gc budget")) None
+      & info [ "budget" ] ~docv:"BYTES"
+          ~doc:"Disk budget for $(b,gc): oldest entries are removed until the \
+                store fits.")
+  in
+  Cmd.v
+    (Cmd.info "cache"
+       ~doc:
+         "Inspect or trim a flow artifact store (the $(b,--cache)/$(b,--cache-dir) \
+          directory): corrupted entries are detected and removed, never served")
+    Term.(const run_cache $ action $ dir $ budget)
 
 (* --- serve --- *)
 
@@ -576,6 +675,14 @@ let run_serve () obs socket queue capacity budget shards cache_dir engine
     let cache =
       Serve_cache.create ~shards ~budget ?capacity ?dir:cache_dir ()
     in
+    (* Stage artifacts live beside the response cache: a response entry
+       that was evicted (or a request varying only in style) still
+       replays the expensive stages. *)
+    let flow_store =
+      Option.map
+        (fun d -> Store.create ~dir:(Filename.concat d "flow") ())
+        cache_dir
+    in
     let cfg =
       {
         Serve.queue;
@@ -584,6 +691,7 @@ let run_serve () obs socket queue capacity budget shards cache_dir engine
         obs_mode = capture;
         timeout_ms;
         max_states;
+        flow_store;
       }
     in
     (match socket with
@@ -594,18 +702,6 @@ let run_serve () obs socket queue capacity budget shards cache_dir engine
       with Mux.Busy p ->
         Printf.eprintf "rtsyn: a daemon is already serving %s\n" p;
         1))
-
-(* Strictly positive numeric flags share one conv so they all reject
-   zero/negative values with the same clean message. *)
-let pos_int_conv what =
-  let open Cmdliner in
-  let parse s =
-    match int_of_string_opt s with
-    | Some n when n >= 1 -> Ok n
-    | Some _ | None ->
-      Error (`Msg (Printf.sprintf "%s %S must be a positive integer" what s))
-  in
-  Arg.conv ~docv:"N" (parse, Format.pp_print_int)
 
 let serve_cmd =
   let socket =
@@ -743,6 +839,6 @@ let main =
   Cmd.group
     (Cmd.info "rtsyn" ~version:"1.0"
        ~doc:"Relative-timing synthesis for asynchronous circuits")
-    [ check_cmd; synth_cmd; sim_cmd; show_cmd; list_cmd; fuzz_cmd; serve_cmd ]
+    [ check_cmd; synth_cmd; sim_cmd; show_cmd; list_cmd; fuzz_cmd; cache_cmd; serve_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -5,15 +5,22 @@ module Obs = Rtcad_obs.Obs
 module Stg = Rtcad_stg.Stg
 module Stg_io = Rtcad_stg.Stg_io
 
-type config = { seed : int; cases : int; max_places : int; shrink : bool }
+type config = {
+  seed : int;
+  cases : int;
+  max_places : int;
+  shrink : bool;
+  edits : int;
+}
 
-let default = { seed = 1; cases = 100; max_places = 14; shrink = true }
+let default = { seed = 1; cases = 100; max_places = 14; shrink = true; edits = 0 }
 
 type failure = {
   case : int;
   case_seed : int;
   finding : Oracle.finding;
   plan : Gen.plan option;
+  edits : Gen.edit list;
   g_text : string option;
 }
 
@@ -44,12 +51,47 @@ let check_plan ~fast_sg plan =
         Oracle.flow_invariants stg
       | v -> v)
 
+let check_edits ~engine (c : Gen.edit_case) =
+  guarded "incremental" (fun () ->
+      Oracle.diff_incremental ~engine (Gen.stg_of_plan c.Gen.base) c.Gen.edits)
+
 let is_fail = function Oracle.Fail _ -> true | _ -> false
 
-let rec shrink_plan check plan =
-  match List.find_opt (fun p -> is_fail (check p)) (Gen.shrink_plan plan) with
-  | Some smaller -> shrink_plan check smaller
-  | None -> plan
+(* Shrink ladders revisit the same candidate from several parents;
+   memoizing on the (structural) candidate means each distinct plan or
+   edit case is synthesized at most once per shrink session. *)
+let memoized check =
+  let seen = Hashtbl.create 64 in
+  fun x ->
+    match Hashtbl.find_opt seen x with
+    | Some v -> v
+    | None ->
+      let v = check x in
+      Hashtbl.add seen x v;
+      v
+
+let shrink_plan check plan =
+  let check = memoized check in
+  let rec go plan =
+    match List.find_opt (fun p -> is_fail (check p)) (Gen.shrink_plan plan) with
+    | Some smaller -> go smaller
+    | None -> plan
+  in
+  go plan
+
+let shrink_edits check c =
+  let check = memoized check in
+  let rec go c =
+    match List.find_opt (fun c' -> is_fail (check c')) (Gen.shrink_edit_case c) with
+    | Some smaller -> go smaller
+    | None -> c
+  in
+  go c
+
+type case_kind =
+  | Unplanned
+  | Planned of Gen.plan
+  | Edited of Gen.edit_case * Rtcad_sg.Engine.t
 
 let run ?(fast_sg = fun stg -> Oracle.fast_sg_result stg) ?(log = ignore) config =
   Obs.span "fuzz.run" @@ fun () ->
@@ -57,27 +99,35 @@ let run ?(fast_sg = fun stg -> Oracle.fast_sg_result stg) ?(log = ignore) config
   let check = check_plan ~fast_sg in
   let passed = ref 0 and skipped = ref 0 in
   let failure = ref None and ran = ref 0 in
-  let record ~case ~seed ?plan verdict =
+  let record ~case ~seed kind verdict =
     match verdict with
     | Oracle.Pass -> incr passed
     | Oracle.Skip reason ->
       incr skipped;
       log (Printf.sprintf "case %d: skipped (%s)" case reason)
     | Oracle.Fail finding ->
-      let plan, finding =
-        match plan with
-        | None -> (None, finding)
-        | Some p when config.shrink ->
+      let plan, edits, finding =
+        match kind with
+        | Unplanned -> (None, [], finding)
+        | Planned p when config.shrink ->
           log (Printf.sprintf "case %d failed [%s]; shrinking…" case finding.Oracle.oracle);
           let small = shrink_plan check p in
           let finding =
             match check small with Oracle.Fail f -> f | _ -> finding
           in
-          (Some small, finding)
-        | Some p -> (Some p, finding)
+          (Some small, [], finding)
+        | Planned p -> (Some p, [], finding)
+        | Edited (c, engine) when config.shrink ->
+          log (Printf.sprintf "case %d failed [%s]; shrinking…" case finding.Oracle.oracle);
+          let small = shrink_edits (check_edits ~engine) c in
+          let finding =
+            match check_edits ~engine small with Oracle.Fail f -> f | _ -> finding
+          in
+          (Some small.Gen.base, small.Gen.edits, finding)
+        | Edited (c, _) -> (Some c.Gen.base, c.Gen.edits, finding)
       in
       let g_text = Option.map (fun p -> Stg_io.to_string (Gen.stg_of_plan p)) plan in
-      failure := Some { case; case_seed = seed; finding; plan; g_text }
+      failure := Some { case; case_seed = seed; finding; plan; edits; g_text }
   in
   (* Everything a case does is derived from its sub-seed, so cases can be
      evaluated in any order — or concurrently — as long as the outcome is
@@ -87,25 +137,48 @@ let run ?(fast_sg = fun stg -> Oracle.fast_sg_result stg) ?(log = ignore) config
     (* Each case starts with cold BDD operation caches (on whichever
        domain runs it): op-cache growth from one case must not speed up
        — or slow down, via collisions — the cases after it, or the
-       campaign's behaviour would depend on the evaluation order. *)
+       campaign's behaviour would depend on the evaluation order.  The
+       edit battery additionally owns the analysis pool per case
+       ([Oracle.diff_incremental] clears it around each replay), so
+       cases stay order- and domain-independent there too. *)
     Bdd.clear_caches ();
     let seed = case_seed config case in
     let rng = Rng.create seed in
-    match Rng.weighted rng [ (2, `Bitset); (2, `Sim); (5, `Stg); (1, `Shape) ] with
-    | `Bitset -> (seed, None, guarded "bitset-diff" (fun () -> Oracle.diff_bitset rng))
-    | `Sim -> (seed, None, guarded "sim-diff" (fun () -> Oracle.diff_sim rng))
-    | `Stg ->
-      let plan = Gen.gen_plan rng ~max_places:config.max_places in
-      (seed, Some plan, check plan)
-    | `Shape ->
-      let plan = Gen.gen_shape rng in
-      (seed, Some plan, check plan)
+    if config.edits > 0 then begin
+      (* Edit-replay battery: a base spec, a short edit script, a forced
+         engine.  Bases are kept at flow scale — every step runs full
+         synthesis three ways. *)
+      let base =
+        match Rng.weighted rng [ (3, `Gen); (1, `Shape) ] with
+        | `Gen -> Gen.gen_plan rng ~max_places:(min config.max_places flow_budget)
+        | `Shape ->
+          let p = Gen.gen_shape rng in
+          if Gen.places_of_plan p <= flow_budget + 2 then p
+          else Gen.gen_plan rng ~max_places:(min config.max_places flow_budget)
+      in
+      let engine =
+        Rng.weighted rng
+          [
+            (2, Rtcad_sg.Engine.Symbolic);
+            (2, Rtcad_sg.Engine.Explicit);
+            (1, Rtcad_sg.Engine.Auto);
+          ]
+      in
+      let c = { Gen.base; edits = Gen.gen_edits rng (1 + Rng.int rng config.edits) } in
+      (seed, Edited (c, engine), check_edits ~engine c)
+    end
+    else
+      match Rng.weighted rng [ (2, `Bitset); (2, `Sim); (5, `Stg); (1, `Shape) ] with
+      | `Bitset -> (seed, Unplanned, guarded "bitset-diff" (fun () -> Oracle.diff_bitset rng))
+      | `Sim -> (seed, Unplanned, guarded "sim-diff" (fun () -> Oracle.diff_sim rng))
+      | `Stg ->
+        let plan = Gen.gen_plan rng ~max_places:config.max_places in
+        (seed, Planned plan, check plan)
+      | `Shape ->
+        let plan = Gen.gen_shape rng in
+        (seed, Planned plan, check plan)
   in
-  let record_result ~case (seed, plan, verdict) =
-    match plan with
-    | None -> record ~case ~seed verdict
-    | Some plan -> record ~case ~seed ~plan verdict
-  in
+  let record_result ~case (seed, kind, verdict) = record ~case ~seed kind verdict in
   if Par.jobs () = 1 || Par.in_parallel_region () || config.cases <= 1 then
     (try
        for case = 0 to config.cases - 1 do
@@ -176,4 +249,8 @@ let pp_outcome ppf o =
     (match f.plan with
     | Some p -> Format.fprintf ppf "@,minimal failing plan: %a" Gen.pp_plan p
     | None -> ());
+    if f.edits <> [] then begin
+      Format.fprintf ppf "@,minimal failing edits:";
+      List.iter (fun e -> Format.fprintf ppf " %a" Gen.pp_edit e) f.edits
+    end;
     Format.fprintf ppf "@]"

@@ -14,16 +14,24 @@ type config = {
   cases : int;
   max_places : int;  (** place budget for generated STG plans *)
   shrink : bool;
+  edits : int;
+      (** [> 0] switches the campaign to the incremental edit-replay
+          battery: every case builds a base specification, applies up to
+          this many random edits ({!Gen.edit}), and checks
+          {!Oracle.diff_incremental} — delta-seeded/cached synthesis
+          against from-scratch synthesis at every step, under a per-case
+          engine choice (explicit, symbolic, or auto). *)
 }
 
 val default : config
-(** [{ seed = 1; cases = 100; max_places = 14; shrink = true }] *)
+(** [{ seed = 1; cases = 100; max_places = 14; shrink = true; edits = 0 }] *)
 
 type failure = {
   case : int;  (** 0-based index of the failing case *)
   case_seed : int;  (** sub-seed; [rtsyn fuzz --seed] of a 1-case campaign *)
   finding : Oracle.finding;
   plan : Gen.plan option;  (** minimal failing plan, for plan-based oracles *)
+  edits : Gen.edit list;  (** minimal failing edit script (edit battery) *)
   g_text : string option;  (** the minimal plan's STG in [.g] syntax *)
 }
 

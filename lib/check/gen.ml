@@ -274,6 +274,153 @@ let shrink_plan plan =
     candidates
 
 (* ------------------------------------------------------------------ *)
+(* Edit scripts                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Structural edits over a finished STG, for the incremental-synthesis
+   differential battery.  Indices are taken modulo the current element
+   count at application time, so an edit script stays applicable to any
+   (shrunken) base.  Additions are behaviour-preserving duplications —
+   a duplicated transition exercises the delta-reachability seeded path
+   (the old transition set is a subset), a duplicated place changes the
+   place space and forces the seed-fallback path.  Removals may leave
+   the net inconsistent, unsafe or deadlocking; that is deliberate: the
+   incremental and from-scratch pipelines must agree on failure verdicts
+   just as exactly as on netlists. *)
+type edit =
+  | Add_transition of int  (** duplicate transition [i mod nt] *)
+  | Remove_transition of int
+  | Add_place of int  (** duplicate place [i mod np], same arcs and marking *)
+  | Remove_place of int
+  | Rename_signal of int
+  | Toggle_assumption
+      (** no structural change; flips the mode's [allow_input_first] *)
+
+let pp_edit ppf = function
+  | Add_transition i -> Format.fprintf ppf "add-transition %d" i
+  | Remove_transition i -> Format.fprintf ppf "remove-transition %d" i
+  | Add_place i -> Format.fprintf ppf "add-place %d" i
+  | Remove_place i -> Format.fprintf ppf "remove-place %d" i
+  | Rename_signal i -> Format.fprintf ppf "rename-signal %d" i
+  | Toggle_assumption -> Format.fprintf ppf "toggle-assumption"
+
+let apply_edit stg edit =
+  let module Bitset = Rtcad_util.Bitset in
+  let net = Stg.net stg in
+  let np = Petri.num_places net and nt = Petri.num_transitions net in
+  let ns = Stg.num_signals stg in
+  let place_names = Array.init np (Petri.place_name net) in
+  let transition_names = Array.init nt (Petri.transition_name net) in
+  let pre = Array.init nt (Petri.pre net) in
+  let post = Array.init nt (Petri.post net) in
+  let marking = Petri.initial_marking net in
+  let initial = List.filter (Bitset.mem marking) (List.init np Fun.id) in
+  let labels = Array.init nt (Stg.label stg) in
+  let signal_names = Array.init ns (Stg.signal_name stg) in
+  let kinds = Array.init ns (Stg.kind stg) in
+  let initial_values = Array.init ns (Stg.initial_value stg) in
+  let remake ?(place_names = place_names)
+      ?(transition_names = transition_names) ?(pre = pre) ?(post = post)
+      ?(initial = initial) ?(labels = labels) ?(signal_names = signal_names)
+      () =
+    Stg.make
+      ~net:(Petri.make ~place_names ~transition_names ~pre ~post ~initial)
+      ~labels ~signal_names ~kinds ~initial_values
+  in
+  match edit with
+  | Toggle_assumption -> stg
+  | Add_transition i ->
+    let t = i mod nt in
+    remake
+      ~transition_names:
+        (Array.append transition_names
+           [| Printf.sprintf "%s_d%d" transition_names.(t) nt |])
+      ~pre:(Array.append pre [| pre.(t) |])
+      ~post:(Array.append post [| post.(t) |])
+      ~labels:(Array.append labels [| labels.(t) |])
+      ()
+  | Remove_transition i ->
+    if nt <= 1 then stg
+    else begin
+      let t = i mod nt in
+      let sel a =
+        Array.of_list (List.filteri (fun j _ -> j <> t) (Array.to_list a))
+      in
+      remake
+        ~transition_names:(sel transition_names)
+        ~pre:(sel pre) ~post:(sel post) ~labels:(sel labels) ()
+    end
+  | Add_place i ->
+    let p = i mod np in
+    let dup arcs = if List.mem p arcs then arcs @ [ np ] else arcs in
+    remake
+      ~place_names:
+        (Array.append place_names
+           [| Printf.sprintf "%s_d%d" place_names.(p) np |])
+      ~pre:(Array.map dup pre) ~post:(Array.map dup post)
+      ~initial:(if Bitset.mem marking p then initial @ [ np ] else initial)
+      ()
+  | Remove_place i ->
+    if np <= 1 then stg
+    else begin
+      let p = i mod np in
+      let drop arcs =
+        List.filter_map
+          (fun q -> if q = p then None else Some (if q > p then q - 1 else q))
+          arcs
+      in
+      remake
+        ~place_names:
+          (Array.of_list
+             (List.filteri (fun j _ -> j <> p) (Array.to_list place_names)))
+        ~pre:(Array.map drop pre) ~post:(Array.map drop post)
+        ~initial:(drop initial) ()
+    end
+  | Rename_signal i ->
+    let s = i mod ns in
+    remake
+      ~signal_names:
+        (Array.mapi
+           (fun j n -> if j = s then Printf.sprintf "%s_r%d" n ns else n)
+           signal_names)
+      ()
+
+let gen_edit rng =
+  (* Raw indices (reduced modulo the live count at application time);
+     additions are weighted up because they keep the spec well-formed and
+     are the edits the seeded fixpoint accelerates. *)
+  let i = Rng.int rng 1024 in
+  Rng.weighted rng
+    [
+      (4, Add_transition i);
+      (2, Remove_transition i);
+      (2, Add_place i);
+      (1, Remove_place i);
+      (2, Rename_signal i);
+      (1, Toggle_assumption);
+    ]
+
+let gen_edits rng n = List.init n (fun _ -> gen_edit rng)
+
+type edit_case = { base : plan; edits : edit list }
+
+(* Lexicographic measure (places of base, number of edits): dropping an
+   edit keeps the base, shrinking the base strictly reduces places (and
+   every edit still applies, thanks to modulo indexing), so shrink loops
+   terminate. *)
+let shrink_edit_case { base; edits } =
+  let fewer_edits =
+    List.init (List.length edits) (fun i ->
+        { base; edits = List.filteri (fun j _ -> j <> i) edits })
+  in
+  let smaller_base = List.map (fun b -> { base = b; edits }) (shrink_plan base) in
+  fewer_edits @ smaller_base
+
+let pp_edit_case ppf { base; edits } =
+  Format.fprintf ppf "%a;" pp_plan base;
+  List.iter (fun e -> Format.fprintf ppf " %a" pp_edit e) edits
+
+(* ------------------------------------------------------------------ *)
 (* Netlists and stimuli                                                *)
 (* ------------------------------------------------------------------ *)
 

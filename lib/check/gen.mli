@@ -49,6 +49,42 @@ val shrink_plan : plan -> plan list
 
 val pp_plan : Format.formatter -> plan -> unit
 
+(** {2 Edit scripts}
+
+    Structural edits over a finished STG, driving the incremental-
+    synthesis differential battery: additions are behaviour-preserving
+    duplications (a duplicated transition keeps the old transition set a
+    subset of the new one, so the delta-reachability seed stays valid; a
+    duplicated place changes the place space and forces the seed
+    fallback), removals may break consistency, safety or liveness — on
+    purpose, since incremental and from-scratch synthesis must agree on
+    failure verdicts too.  Indices are reduced modulo the live element
+    count at application time, so a script survives base shrinking. *)
+
+type edit =
+  | Add_transition of int  (** duplicate transition [i mod nt] *)
+  | Remove_transition of int  (** drop transition [i mod nt] (no-op if only one) *)
+  | Add_place of int  (** duplicate place [i mod np], same arcs and marking *)
+  | Remove_place of int  (** drop place [i mod np] (no-op if only one) *)
+  | Rename_signal of int  (** fresh name for signal [i mod ns] *)
+  | Toggle_assumption
+      (** structurally a no-op; the oracle flips the RT mode's
+          [allow_input_first] flag *)
+
+val apply_edit : Rtcad_stg.Stg.t -> edit -> Rtcad_stg.Stg.t
+val gen_edit : Rtcad_util.Rng.t -> edit
+val gen_edits : Rtcad_util.Rng.t -> int -> edit list
+val pp_edit : Format.formatter -> edit -> unit
+
+type edit_case = { base : plan; edits : edit list }
+
+val shrink_edit_case : edit_case -> edit_case list
+(** Strictly smaller candidates under the lexicographic measure (base
+    places, edit count): drop one edit, or shrink the base keeping the
+    script. *)
+
+val pp_edit_case : Format.formatter -> edit_case -> unit
+
 (** {2 Netlists and stimuli} *)
 
 val gen_netlist : Rtcad_util.Rng.t -> Rtcad_netlist.Netlist.t

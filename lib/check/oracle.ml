@@ -8,6 +8,10 @@ module Netlist = Rtcad_netlist.Netlist
 module Sim = Rtcad_netlist.Sim
 module Flow = Rtcad_core.Flow
 module Check = Rtcad_core.Check
+module Store = Rtcad_core.Store
+module Symbolic = Rtcad_sg.Symbolic
+module Transform = Rtcad_stg.Transform
+module Bdd = Rtcad_logic.Bdd
 
 type finding = { oracle : string; detail : string }
 type verdict = Pass | Fail of finding | Skip of string
@@ -206,6 +210,98 @@ let diff_sim rng =
       | None -> fail oracle "trace diverges (lengths %d vs %d)" (List.length ft) (List.length rt)
     end
     else Pass
+
+(* ------------------------------------------------------------------ *)
+(* Incremental synthesis: delta ≡ scratch under edit replay            *)
+(* ------------------------------------------------------------------ *)
+
+(* One synthesis outcome, flattened to comparable text: the full report
+   (state counts, insertions, per-signal equations, constraints) plus
+   the printed netlist on success, the failure class and message
+   otherwise.  Two pipelines agree iff these strings are equal. *)
+let flow_outcome ?cache ?max_states ~mode ~engine stg =
+  match Flow.synthesize ?cache ?max_states ~mode ~engine stg with
+  | r ->
+    Format.asprintf "ok:%a@.%a" Flow.pp_report r Netlist.pp r.Flow.netlist
+  | exception Flow.Synthesis_failure m -> "synthesis-failure: " ^ m
+  | exception Sg.Inconsistent m -> "inconsistent: " ^ m
+  | exception Sg.Too_large n -> Printf.sprintf "too-large: %d" n
+  | exception Petri.Unsafe p -> Printf.sprintf "unsafe: place %d" p
+
+let analysis_outcome ?max_states stg0 =
+  match Symbolic.analyze_cached ?max_states stg0 with
+  | sym -> Ok sym
+  | exception Sg.Inconsistent m -> Error ("inconsistent: " ^ m)
+  | exception Sg.Too_large n -> Error (Printf.sprintf "too-large: %d" n)
+  | exception Petri.Unsafe p -> Error (Printf.sprintf "unsafe: place %d" p)
+
+(* Replay an edit script, and at every step (including the unedited
+   base) run the same specification through three pipelines:
+
+   - delta: with the artifact store and whatever the in-process analysis
+     pool retained from earlier steps — stage-key lookups, encode
+     replay, and delta-seeded symbolic reachability all fire here;
+   - warm: immediately again with the same store — the full-hit
+     reconstruction path (no analysis runs at all);
+   - scratch: cleared pool, cold operation caches, no store.
+
+   All three must produce byte-identical reports/netlists or identical
+   failure verdicts.  Separately, the pooled (possibly seeded) symbolic
+   analysis of each step's specification is compared against a
+   from-scratch fixpoint for a bit-identical reachable state set. *)
+let diff_incremental ?(engine = Rtcad_sg.Engine.Auto) base edits =
+  let oracle = "incremental" in
+  let store = Store.create () in
+  let mode_of toggled =
+    Flow.Rt { user = []; allow_input_first = toggled; allow_lazy = true }
+  in
+  let rec steps stg toggled step edits =
+    let mode = mode_of toggled in
+    let delta = flow_outcome ~cache:store ~mode ~engine stg in
+    let warm = flow_outcome ~cache:store ~mode ~engine stg in
+    let stg0 = Transform.contract_dummies ~strict:false stg in
+    let warm_sym = analysis_outcome stg0 in
+    Symbolic.Seeds.clear ();
+    Bdd.clear_caches ();
+    let scratch = flow_outcome ~mode ~engine stg in
+    let cold_sym = analysis_outcome stg0 in
+    if delta <> scratch then
+      fail oracle "step %d: delta vs scratch diverge@,delta:   %s@,scratch: %s"
+        step delta scratch
+    else if warm <> scratch then
+      fail oracle
+        "step %d: cache reconstruction vs scratch diverge@,warm:    %s@,scratch: %s"
+        step warm scratch
+    else
+      match (warm_sym, cold_sym) with
+      | Ok w, Ok c
+        when (not (Symbolic.equal_reachable w c))
+             || Symbolic.num_states w <> Symbolic.num_states c ->
+        fail oracle
+          "step %d: seeded reachable set differs from scratch (%d vs %d states)"
+          step (Symbolic.num_states w) (Symbolic.num_states c)
+      | Error w, Error c when w <> c ->
+        fail oracle "step %d: analysis verdicts diverge: %s vs %s" step w c
+      | (Ok _, Error _ | Error _, Ok _) ->
+        fail oracle "step %d: seeded analysis and scratch analysis disagree on %s"
+          step
+          (match warm_sym with Ok _ -> "failure (seeded passed)" | _ -> "success (seeded failed)")
+      | _ -> (
+        match edits with
+        | [] -> Pass
+        | e :: rest ->
+          let stg = Gen.apply_edit stg e in
+          let toggled =
+            match e with Gen.Toggle_assumption -> not toggled | _ -> toggled
+          in
+          steps stg toggled (step + 1) rest)
+  in
+  (* The battery owns the pool and the caches for its duration. *)
+  Symbolic.Seeds.clear ();
+  Bdd.clear_caches ();
+  let verdict = steps base false 0 edits in
+  Symbolic.Seeds.clear ();
+  verdict
 
 (* ------------------------------------------------------------------ *)
 (* Whole-flow invariants (Figure 2 closed loop)                        *)

@@ -37,6 +37,23 @@ val diff_sim : Rtcad_util.Rng.t -> verdict
     {!Ref_sim}, and diff final net values and canonicalized committed
     traces. *)
 
+val diff_incremental :
+  ?engine:Rtcad_sg.Engine.t -> Rtcad_stg.Stg.t -> Gen.edit list -> verdict
+(** Differential edit-replay: apply the edit script step by step and, at
+    every step (including the unedited base), synthesize the same
+    specification through the incremental machinery — once with a live
+    {!Rtcad_core.Store} and the warm in-process analysis pool (delta
+    seeding, stage-key reuse), once more against the now-populated store
+    (full cached reconstruction), and once from scratch with a cleared
+    pool and cold caches.  All three must agree byte-for-byte on
+    reports/netlists, or exactly on the failure verdict
+    ([Synthesis_failure] / [Inconsistent] / [Unsafe] / [Too_large]).
+    The pooled (possibly delta-seeded) symbolic reachability of every
+    step is additionally compared to a from-scratch fixpoint for a
+    bit-identical reachable set ({!Rtcad_sg.Symbolic.equal_reachable}).
+    [Toggle_assumption] edits flip the RT mode's [allow_input_first]
+    flag instead of editing the net. *)
+
 val flow_invariants : Rtcad_stg.Stg.t -> verdict
 (** End-to-end invariants of {!Rtcad_core.Flow.synthesize} in RT mode:
     the encoded state graph must actually satisfy CSC, and the emitted

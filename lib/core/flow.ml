@@ -1,6 +1,7 @@
 module Par = Rtcad_par.Par
 module Obs = Rtcad_obs.Obs
 module Stg = Rtcad_stg.Stg
+module Stg_io = Rtcad_stg.Stg_io
 module Transform = Rtcad_stg.Transform
 module Sg = Rtcad_sg.Sg
 module Engine = Rtcad_sg.Engine
@@ -17,6 +18,7 @@ module Implement = Rtcad_synth.Implement
 module Lazy_cover = Rtcad_synth.Lazy_cover
 module Emit = Rtcad_synth.Emit
 module Conformance = Rtcad_verify.Conformance
+module Netlist = Rtcad_netlist.Netlist
 
 type user_assumption = (string * Stg.dir) * (string * Stg.dir)
 
@@ -54,7 +56,8 @@ type signal_result = {
 (* What the reachability stage produced.  The explicit flow carries the
    graphs themselves; the symbolic flow never materializes one, so only
    the state counts survive (the BDDs are domain-local and dropped once
-   synthesis is done). *)
+   synthesis is done).  A flow reconstructed from cached artifacts also
+   carries only counts — the graphs were never rebuilt. *)
 type reach =
   | Explicit_graphs of { sg_full : Sg.t; sg : Sg.t }
   | Symbolic_counts of { states_full : int; states_used : int }
@@ -67,7 +70,7 @@ type t = {
   assumptions : Assumption.t list;
   constraints : Assumption.t list;
   signals : signal_result list;
-  netlist : Rtcad_netlist.Netlist.t;
+  netlist : Netlist.t;
 }
 
 exception Synthesis_failure of string
@@ -95,6 +98,104 @@ let num_states_used t =
   match t.reach with
   | Explicit_graphs { sg; _ } -> Sg.num_states sg
   | Symbolic_counts { states_used; _ } -> states_used
+
+(* --- stage keys and artifacts ------------------------------------------ *)
+
+(* Every stage of the flow is keyed by a content hash over everything
+   that determines its output: the canonical [.g] text of the
+   (dummy-contracted) specification — the same round-trip-stable printer
+   identity the serve cache keys on — plus the mode fingerprint, the
+   *resolved* engine, the state bound, and (for emission) the gate
+   style.  The flow is deterministic in these inputs (the jobs-invariance
+   contract), so keying a stage by its transitive inputs is equivalent to
+   keying it by its immediate ones, and all five keys are computable up
+   front without running anything.  [Sys.ocaml_version] joins the key
+   material because stage artifacts are [Marshal] payloads, whose format
+   is compiler-specific: entries written by a different compiler must
+   simply never be found. *)
+type keys = {
+  normalize : string;
+  encode : string;
+  reach_key : string;
+  covers : string;
+  emit : string;
+}
+
+let resolved_style ~mode = function
+  | Some s -> s
+  | None -> (
+    match mode with
+    | Si -> Emit.Static_cmos
+    | Rt _ -> Emit.Domino_cmos { footed = true })
+
+let style_fingerprint = function
+  | Emit.Static_cmos -> "static"
+  | Emit.Domino_cmos { footed = true } -> "domino"
+  | Emit.Domino_cmos { footed = false } -> "domino-unfooted"
+
+let keys_of_canon ~mode ~sel ~emit_style ~max_states canon =
+  let base =
+    [
+      Store.magic;
+      Sys.ocaml_version;
+      canon;
+      fingerprint mode;
+      (match sel with `Symbolic -> "symbolic" | `Explicit -> "explicit");
+      (match max_states with None -> "unbounded" | Some n -> string_of_int n);
+    ]
+  in
+  {
+    normalize = Store.key [ Store.magic; "normalize"; canon ];
+    encode = Store.key ("encode" :: base);
+    reach_key = Store.key ("reach" :: base);
+    covers = Store.key ("covers" :: base);
+    emit =
+      Store.key
+        (("emit" :: base)
+        @ [ style_fingerprint (resolved_style ~mode emit_style) ]);
+  }
+
+let stage_keys ?(mode = rt_default) ?(engine = Engine.Auto) ?emit_style
+    ?max_states spec_stg =
+  let stg0 = Transform.contract_dummies ~strict:false spec_stg in
+  keys_of_canon ~mode
+    ~sel:(Engine.select engine stg0)
+    ~emit_style ~max_states (Stg_io.to_string stg0)
+
+(* Stage artifacts, as stored: encode keeps the insertion list (the
+   encoded STG is reproduced by replaying them — cheap, exact, and spared
+   the hazards of round-tripping machine-generated place names through
+   the parser); reach keeps the full state count; covers keeps everything
+   the per-signal synthesis decided; emit keeps the netlist.  All are
+   pure data (covers and netlists are cube lists and record arrays — no
+   closures, no BDDs), so [Marshal] round-trips them. *)
+type covers_art = {
+  a_states_used : int;
+  a_assumptions : Assumption.t list;
+  a_used : Assumption.t list;
+  a_signals : signal_result list;
+}
+
+type ctx = { store : Store.t; keys : keys }
+
+let art_find ctx k =
+  match Store.find ctx.store k with
+  | None -> None
+  | Some payload -> (
+    (* The store already checksummed the payload; a decode failure here
+       means a format-version skew that slipped past the keying and is
+       treated as a miss. *)
+    try Some (Marshal.from_string payload 0) with Failure _ -> None)
+
+let art_store ctx ~stage ?cost_ms k v =
+  Store.store ~stage ?cost_ms ctx.store k (Marshal.to_string v [])
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, (Unix.gettimeofday () -. t0) *. 1000.0)
+
+(* --- shared stage bodies ----------------------------------------------- *)
 
 let instantiate_user stg user =
   List.concat_map
@@ -189,36 +290,68 @@ let choose_impl_sym ~mode view spec =
     ~lazy_of:(fun _ -> [])
     spec
 
+(* The encode stage: state-signal insertion via the CSC search, or — on
+   a stage-key hit — an exact replay of the cached winning insertions.
+   The search is deterministic in its inputs (jobs-invariant candidate
+   enumeration and tie-breaks), so replaying its decisions reproduces
+   the encoded STG bit for bit without re-running any analysis. *)
+let run_encode ?ctx ~resolve stg0 =
+  let cached = Option.bind ctx (fun c -> art_find c c.keys.encode) in
+  match cached with
+  | Some (ins : Csc.insertion list) ->
+    Obs.incr "flow.cache.encode_hit";
+    (List.fold_left Csc.apply stg0 ins, ins)
+  | None -> (
+    let result, ms = timed (fun () -> Obs.span "flow.encode" resolve) in
+    match result with
+    | Some (stg, ins) ->
+      Option.iter
+        (fun c -> art_store c ~stage:"encode" ~cost_ms:ms c.keys.encode ins)
+        ctx;
+      (stg, ins)
+    | None -> fail "state encoding failed: CSC conflicts could not be resolved")
+
 (* Emission, back-annotation and the conformance gate — identical for
-   both engines once the per-signal implementations are chosen. *)
-let finish ~mode ~stg ~insertions ~reach ~assumptions ~used ?emit_style chosen =
-  let signals =
-    List.map
-      (fun (spec, (impl, lazy_constraints)) ->
+   both engines (and for the cached-covers path) once the per-signal
+   implementations are chosen.  [signals]/[pairs] carry the chosen
+   cover-based implementations; everything here is engine-free. *)
+let finish ?ctx ~mode ~stg ~insertions ~reach ~assumptions ~used ~covers_ms
+    ~emit_style signals =
+  Option.iter
+    (fun c ->
+      art_store c ~stage:"covers" ~cost_ms:covers_ms c.keys.covers
         {
-          signal_name = Stg.signal_name stg spec.Nextstate.signal;
-          impl;
-          literals = Implement.literal_cost impl;
-          lazy_constraints;
+          a_states_used =
+            (match reach with
+            | Explicit_graphs { sg; _ } -> Sg.num_states sg
+            | Symbolic_counts { states_used; _ } -> states_used);
+          a_assumptions = assumptions;
+          a_used = used;
+          a_signals = signals;
         })
-      chosen
+    ctx;
+  let signal_index name =
+    let ns = Stg.num_signals stg in
+    let rec go u =
+      if u >= ns then fail "unknown signal %s in cached covers" name
+      else if String.equal (Stg.signal_name stg u) name then u
+      else go (u + 1)
+    in
+    go 0
   in
-  let emit_style =
-    match emit_style with
-    | Some s -> s
-    | None -> (
-      match mode with
-      | Si -> Emit.Static_cmos
-      | Rt _ -> Emit.Domino_cmos { footed = true })
-  in
-  let netlist =
+  let (netlist : Netlist.t), emit_ms =
+    timed @@ fun () ->
     Obs.span "flow.emit" (fun () ->
-        Emit.emit ~style:emit_style stg
-          (List.map (fun (spec, (impl, _)) -> (spec.Nextstate.signal, impl)) chosen))
+        (* Degenerate covers (constant drive for an output) are refusals,
+           not crashes: the gate library cannot realize them. *)
+        try
+          Emit.emit ~style:emit_style stg
+            (List.map (fun s -> (signal_index s.signal_name, s.impl)) signals)
+        with Invalid_argument msg -> fail "emission refused: %s" msg)
   in
   let constraints =
     List.sort_uniq Assumption.compare
-      (used @ List.concat_map (fun (_, (_, lc)) -> lc) chosen)
+      (used @ List.concat_map (fun s -> s.lazy_constraints) signals)
   in
   (* Close the Figure-2 loop: the emitted netlist must conform to the
      encoded specification — untimed in SI mode, under the generated
@@ -238,9 +371,25 @@ let finish ~mode ~stg ~insertions ~reach ~assumptions ~used ?emit_style chosen =
     if not r.Conformance.ok then
       fail "emitted netlist fails its conformance self-check (%d failure(s))"
         (List.length r.Conformance.failures));
+  Option.iter
+    (fun c -> art_store c ~stage:"emit" ~cost_ms:emit_ms c.keys.emit netlist)
+    ctx;
   { mode; stg; insertions; reach; assumptions; constraints; signals; netlist }
 
-let synthesize_explicit ~mode ~engine ?emit_style ?max_states stg0 =
+let signals_of_chosen stg chosen =
+  List.map
+    (fun ((spec : Nextstate.spec), (impl, lazy_constraints)) ->
+      {
+        signal_name = Stg.signal_name stg spec.Nextstate.signal;
+        impl;
+        literals = Implement.literal_cost impl;
+        lazy_constraints;
+      })
+    chosen
+
+(* --- the two engine pipelines ------------------------------------------ *)
+
+let synthesize_explicit ?ctx ~mode ~engine ~emit_style ?max_states stg0 =
   let csc_mode =
     match mode with Si -> Csc.Speed_independent | Rt _ -> Csc.Timing_aware
   in
@@ -259,17 +408,21 @@ let synthesize_explicit ~mode ~engine ?emit_style ?max_states stg0 =
             .Prune.pruned)
   in
   let stg, insertions =
-    match
-      Obs.span "flow.encode" (fun () ->
-          Csc.resolve_all ~mode:csc_mode ~engine ?view ?max_states stg0)
-    with
-    | Some (stg, ins) -> (stg, ins)
-    | None -> fail "state encoding failed: CSC conflicts could not be resolved"
+    run_encode ?ctx
+      ~resolve:(fun () -> Csc.resolve_all ~mode:csc_mode ~engine ?view ?max_states stg0)
+      stg0
   in
-  let sg_full =
-    Obs.span "flow.reach" (fun () -> Engine.build ~engine ?max_states stg)
+  let (sg_full, reach_ms) =
+    timed (fun () ->
+        Obs.span "flow.reach" (fun () -> Engine.build ~engine ?max_states stg))
   in
+  Option.iter
+    (fun c ->
+      art_store c ~stage:"reach" ~cost_ms:reach_ms c.keys.reach_key
+        (Sg.num_states sg_full))
+    ctx;
   Obs.set_gauge "flow.sg_states_full" (float_of_int (Sg.num_states sg_full));
+  let covers_t0 = Unix.gettimeofday () in
   let assumptions =
     Obs.span "flow.assume" (fun () -> gather_assumptions ~mode stg sg_full)
   in
@@ -316,9 +469,10 @@ let synthesize_explicit ~mode ~engine ?emit_style ?max_states stg0 =
         (spec, choose_impl ~mode sg spec))
       (Stg.non_input_signals (Sg.stg sg))
   in
-  finish ~mode ~stg ~insertions
+  let covers_ms = (Unix.gettimeofday () -. covers_t0) *. 1000.0 in
+  finish ?ctx ~mode ~stg ~insertions
     ~reach:(Explicit_graphs { sg_full; sg })
-    ~assumptions ~used ?emit_style chosen
+    ~assumptions ~used ~covers_ms ~emit_style (signals_of_chosen stg chosen)
 
 (* The symbolic flow: state encoding, assumption generation, pruning,
    next-state extraction and the monotonicity checks all run on the
@@ -330,7 +484,7 @@ let synthesize_explicit ~mode ~engine ?emit_style ?max_states stg0 =
    BDDs are domain-local; the specs here are precisely the ones whose
    graphs are too large to enumerate, so the per-signal work is BDD-
    bound, not embarrassingly parallel state scans). *)
-let synthesize_symbolic ~mode ?emit_style ?max_states stg0 =
+let synthesize_symbolic ?ctx ~mode ~emit_style ?max_states stg0 =
   let csc_mode =
     match mode with Si -> Csc.Speed_independent | Rt _ -> Csc.Timing_aware
   in
@@ -351,16 +505,27 @@ let synthesize_symbolic ~mode ?emit_style ?max_states stg0 =
             Symbolic.view_has_csc r.Prune.view ))
   in
   let stg, insertions =
-    match
-      Obs.span "flow.encode" (fun () ->
-          Csc.resolve_all ~mode:csc_mode ~engine:Engine.Symbolic ?sym_view
-            ?max_states stg0)
-    with
-    | Some (stg, ins) -> (stg, ins)
-    | None -> fail "state encoding failed: CSC conflicts could not be resolved"
+    run_encode ?ctx
+      ~resolve:(fun () ->
+        Csc.resolve_all ~mode:csc_mode ~engine:Engine.Symbolic ?sym_view
+          ?max_states stg0)
+      stg0
   in
-  let sym = Obs.span "flow.reach" (fun () -> Symbolic.analyze ?max_states stg) in
+  (* Reachability through the analysis pool: a same-process re-synthesis
+     reuses the encoding search's analysis outright, and an edited spec
+     re-seeds the fixpoint from the most recent compatible reachable set
+     (delta reachability) instead of starting from the initial state. *)
+  let sym, reach_ms =
+    timed (fun () ->
+        Obs.span "flow.reach" (fun () -> Symbolic.analyze_cached ?max_states stg))
+  in
+  Option.iter
+    (fun c ->
+      art_store c ~stage:"reach" ~cost_ms:reach_ms c.keys.reach_key
+        (Symbolic.num_states sym))
+    ctx;
   Obs.set_gauge "flow.sg_states_full" (float_of_int (Symbolic.num_states sym));
+  let covers_t0 = Unix.gettimeofday () in
   let assumptions =
     Obs.span "flow.assume" (fun () -> gather_assumptions_sym ~mode stg sym)
   in
@@ -399,18 +564,91 @@ let synthesize_symbolic ~mode ?emit_style ?max_states stg0 =
         (spec, choose_impl_sym ~mode view spec))
       (Stg.non_input_signals stg)
   in
-  finish ~mode ~stg ~insertions
+  let covers_ms = (Unix.gettimeofday () -. covers_t0) *. 1000.0 in
+  finish ?ctx ~mode ~stg ~insertions
     ~reach:
       (Symbolic_counts { states_full = Symbolic.num_states sym; states_used })
-    ~assumptions ~used ?emit_style chosen
+    ~assumptions ~used ~covers_ms ~emit_style (signals_of_chosen stg chosen)
 
-let synthesize ?(mode = rt_default) ?(engine = Engine.Auto) ?emit_style ?max_states
-    spec_stg =
+(* --- cached-flow reconstruction ---------------------------------------- *)
+
+(* With every upstream stage artifact present, a flow value is rebuilt
+   without running any analysis: the encoded STG by replaying the cached
+   insertions, the counts/assumptions/covers from their artifacts, and
+   the netlist either from its artifact (a full hit — nothing runs at
+   all) or, when only the emission key misses (e.g. a new gate style
+   over decided covers), by re-emitting and re-running the conformance
+   gate.  Reconstructed flows carry [Symbolic_counts] regardless of
+   engine — the graphs were never rebuilt. *)
+let reconstruct ~ctx ~mode ~emit_style stg0 =
+  match
+    ( art_find ctx ctx.keys.encode,
+      art_find ctx ctx.keys.reach_key,
+      art_find ctx ctx.keys.covers )
+  with
+  | Some (ins : Csc.insertion list), Some (states_full : int), Some cov ->
+    let stg = List.fold_left Csc.apply stg0 ins in
+    let reach =
+      Symbolic_counts { states_full; states_used = cov.a_states_used }
+    in
+    Some
+      (match art_find ctx ctx.keys.emit with
+      | Some (netlist : Netlist.t) ->
+        Obs.incr "flow.cache.flow_hit";
+        let constraints =
+          List.sort_uniq Assumption.compare
+            (cov.a_used
+            @ List.concat_map (fun s -> s.lazy_constraints) cov.a_signals)
+        in
+        {
+          mode;
+          stg;
+          insertions = ins;
+          reach;
+          assumptions = cov.a_assumptions;
+          constraints;
+          signals = cov.a_signals;
+          netlist;
+        }
+      | None ->
+        Obs.incr "flow.cache.covers_hit";
+        finish ~ctx ~mode ~stg ~insertions:ins ~reach
+          ~assumptions:cov.a_assumptions ~used:cov.a_used ~covers_ms:0.0
+          ~emit_style cov.a_signals)
+  | _ -> None
+
+let synthesize ?cache ?(mode = rt_default) ?(engine = Engine.Auto) ?emit_style
+    ?max_states spec_stg =
   Obs.span "flow.synthesize" @@ fun () ->
   let stg0 = Transform.contract_dummies ~strict:false spec_stg in
-  match Engine.select engine stg0 with
-  | `Symbolic -> synthesize_symbolic ~mode ?emit_style ?max_states stg0
-  | `Explicit -> synthesize_explicit ~mode ~engine ?emit_style ?max_states stg0
+  let sel = Engine.select engine stg0 in
+  let emit_style = resolved_style ~mode emit_style in
+  (* The [.g] printer refuses nets whose marking it cannot express; a
+     spec with no canonical text has no stage keys and runs uncached. *)
+  let ctx =
+    match cache with
+    | None -> None
+    | Some store -> (
+      match Stg_io.to_string stg0 with
+      | canon ->
+        Some
+          {
+            store;
+            keys =
+              keys_of_canon ~mode ~sel ~emit_style:(Some emit_style) ~max_states
+                canon;
+          }
+      | exception Failure _ ->
+        Obs.incr "flow.cache.unkeyed";
+        None)
+  in
+  match Option.bind ctx (fun ctx -> reconstruct ~ctx ~mode ~emit_style stg0) with
+  | Some t -> t
+  | None -> (
+    match sel with
+    | `Symbolic -> synthesize_symbolic ?ctx ~mode ~emit_style ?max_states stg0
+    | `Explicit ->
+      synthesize_explicit ?ctx ~mode ~engine ~emit_style ?max_states stg0)
 
 let pp_report ppf t =
   let stg = t.stg in

@@ -80,7 +80,46 @@ val num_states_full : t -> int
 val num_states_used : t -> int
 (** States of the (possibly pruned) space synthesis actually used. *)
 
+(** {2 Keyed stages}
+
+    The flow decomposes into five stages — normalize (parse +
+    dummy-contract), encode (CSC resolution), reach (reachability),
+    covers (assumptions + pruning + per-signal synthesis), emit
+    (netlist + conformance) — each keyed by a content hash over
+    everything that determines its output: the canonical [.g] text of
+    the contracted specification (the round-trip-stable printer
+    identity), the mode {!fingerprint}, the resolved engine, the state
+    bound, and (for emit) the gate style.  The flow is deterministic in
+    these inputs, so all five keys are computable up front without
+    running anything, and a {!Store.t} passed to {!synthesize} can
+    replay any suffix of the pipeline from cached artifacts. *)
+
+type keys = {
+  normalize : string;
+  encode : string;
+  reach_key : string;
+  covers : string;
+  emit : string;
+}
+
+val stage_keys :
+  ?mode:mode ->
+  ?engine:Rtcad_sg.Engine.t ->
+  ?emit_style:Rtcad_synth.Emit.style ->
+  ?max_states:int ->
+  Rtcad_stg.Stg.t ->
+  keys
+(** The five stage keys for a specification under the given options
+    (defaults as in {!synthesize}).  Invariant under any reformatting of
+    the input that preserves its canonical text — whitespace, comments,
+    element order, place renumbering — and distinct for every semantic
+    change (structure, mode, engine, bound; [emit] additionally varies
+    with style, [normalize] only with the text).  Raises [Failure] on a
+    net whose marking the [.g] printer cannot express (such a spec has no
+    canonical text; {!synthesize} treats it as uncacheable). *)
+
 val synthesize :
+  ?cache:Store.t ->
   ?mode:mode ->
   ?engine:Rtcad_sg.Engine.t ->
   ?emit_style:Rtcad_synth.Emit.style ->
@@ -101,7 +140,20 @@ val synthesize :
     specifications beyond the explicit bound reach a netlist.  The
     symbolic path skips lazy cover relaxation (it needs per-state
     successor walks), so its netlists may be slightly more conservative
-    under {!Rt}; under {!Si} the two engines agree exactly. *)
+    under {!Rt}; under {!Si} the two engines agree exactly.
+
+    [cache] enables incremental synthesis: stage artifacts are looked up
+    and stored under their {!stage_keys}.  On a full hit the flow value
+    is reconstructed without running any analysis (bit-identical
+    insertions, assumptions, covers, constraints and netlist; [reach]
+    degrades to {!Symbolic_counts} since no graph is rebuilt).  When only
+    the emission key misses — e.g. a new gate style over decided covers —
+    emission and the conformance gate rerun from the cached covers.  On a
+    cold run each stage's artifact is stored as it completes, and an
+    encode-stage hit alone still skips the CSC search.  Independently of
+    [cache], the symbolic reachability of edited specifications is
+    re-seeded from the most recent compatible analysis in this process
+    (delta reachability, {!Rtcad_sg.Symbolic.analyze_cached}). *)
 
 val pp_report : Format.formatter -> t -> unit
 (** Human-readable synthesis report: state counts, per-signal equations,

@@ -1,0 +1,82 @@
+(** Content-addressed artifact store for the staged synthesis flow.
+
+    Persists the artifacts of {!Flow}'s keyed stages (state-signal
+    insertions, reachability counts, per-signal covers, netlists) across
+    processes.  Two tiers, following the serve result cache design: a
+    sharded in-memory table with cost-based LRU eviction, and an
+    optional on-disk tier of checksummed entries written via an atomic
+    temp-file rename (safe against concurrent writers).  A disk entry
+    whose header or checksum does not verify — a flipped byte, a
+    truncated write, a foreign file — is counted, removed and reported
+    as a miss, so corruption can only ever cost a recompute, never a
+    wrong result. *)
+
+type t
+
+val magic : string
+(** Format tag of every disk entry: ["rtcad-flow-cache/1"]. *)
+
+val create : ?shards:int -> ?budget:int -> ?dir:string -> unit -> t
+(** [create ()] is a memory-only store (defaults: 4 shards, 64 MiB
+    in-memory budget).  With [dir] every store also writes a checksummed
+    entry under that directory (created if missing) and misses fall
+    through to it.  The budget bounds in-memory retained cost (payload
+    bytes + compute ms per entry), split evenly across shards; the disk
+    tier is unbounded here — [gc] trims it. *)
+
+val dir : t -> string option
+
+val key : string list -> string
+(** Content key of a part list: hex md5 over the length-prefixed
+    concatenation (injective over the list structure). *)
+
+val find : t -> string -> string option
+(** Memory first, then disk (a disk hit is promoted into memory). *)
+
+val store : ?cost_ms:float -> stage:string -> t -> string -> string -> unit
+(** [store ~stage t key payload] inserts into memory (evicting LRU
+    entries over budget) and best-effort persists to disk.  [stage]
+    (no spaces) is recorded in the disk header for attribution;
+    [cost_ms] weights the in-memory eviction cost. *)
+
+type stats = {
+  hits : int;  (** memory + disk *)
+  disk_hits : int;
+  misses : int;
+  stores : int;
+  evictions : int;
+  corrupt : int;
+  entries : int;  (** in-memory *)
+  retained_bytes : int;  (** in-memory *)
+}
+
+val stats : t -> stats
+
+(** {2 Directory operations}
+
+    The [rtsyn cache] subcommand works on a store directory without a
+    live store.  All three scan the directory, removing entries that
+    fail their checksum (and temp files abandoned by crashed writers). *)
+
+type disk_entry = {
+  de_key : string;
+  de_stage : string;
+  de_bytes : int;  (** whole file, header included *)
+  de_mtime : float;
+}
+
+type disk_stats = {
+  d_entries : int;
+  d_bytes : int;
+  d_corrupt : int;  (** undecodable entries found (and removed) by the scan *)
+  d_stages : (string * int) list;  (** per-stage entry counts, sorted *)
+}
+
+val ls : dir:string -> disk_entry list
+(** Entries sorted by (stage, key). *)
+
+val disk_stats : dir:string -> disk_stats
+
+val gc : dir:string -> budget:int -> int * int
+(** Remove oldest entries (mtime, then key) until total bytes fit the
+    budget.  Returns (entries removed, bytes remaining). *)

@@ -27,9 +27,10 @@ let run ?(env_delay = 2.0) ?(gate_delay = 1.0) ?(jitter = 0.0) ?(seed = 1) ~step
   List.iter (schedule 0.0) (Petri.enabled_transitions net !m);
   let trace = ref [] in
   let rec step k =
-    if k < steps then begin
-      if Hashtbl.length pending = 0 then
-        invalid_arg "Timed_sim.run: deadlock before requested steps";
+    (* A deadlock before [steps] firings simply ends the run: the partial
+       trace yields fewer gap observations, so candidate orderings are
+       judged conservatively instead of crashing on a non-live spec. *)
+    if k < steps && Hashtbl.length pending > 0 then begin
       (* Earliest fire time; random tie-break among the minima. *)
       let best = ref [] and best_time = ref infinity in
       Hashtbl.iter
@@ -54,7 +55,7 @@ let run ?(env_delay = 2.0) ?(gate_delay = 1.0) ?(jitter = 0.0) ?(seed = 1) ~step
     end
   in
   step 0;
-  Rtcad_obs.Obs.incr ~by:steps "rt.timed_sim.steps";
+  Rtcad_obs.Obs.incr ~by:(List.length !trace) "rt.timed_sim.steps";
   List.rev !trace
 
 (* Render a timed trace as signal waveforms.  Trace times are in delay

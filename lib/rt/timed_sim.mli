@@ -25,11 +25,12 @@ val run :
   steps:int ->
   Rtcad_stg.Stg.t ->
   trace
-(** Simulate [steps] firings from the initial marking.  [jitter] adds a
-    uniform random fraction of the delay ([0.0] by default, making the run
-    deterministic up to choice).  Default [env_delay] 2.0, [gate_delay]
-    1.0.  Raises [Invalid_argument] on deadlock before [steps] firings
-    (the controllers simulated here are all live). *)
+(** Simulate up to [steps] firings from the initial marking.  [jitter]
+    adds a uniform random fraction of the delay ([0.0] by default, making
+    the run deterministic up to choice).  Default [env_delay] 2.0,
+    [gate_delay] 1.0.  A deadlock before [steps] firings ends the run
+    with the partial trace — shorter traces yield fewer gap observations,
+    so orderings over non-live specs are judged conservatively. *)
 
 val vcd_of_trace : Rtcad_stg.Stg.t -> trace -> Rtcad_obs.Vcd.writer
 (** Render a trace as one waveform per STG signal (dummy transitions are

@@ -34,9 +34,10 @@ type config = {
   obs_mode : obs_mode;
   timeout_ms : float option;
   max_states : int option;
+  flow_store : Rtcad_core.Store.t option;
 }
 
-let default_config ?cache () =
+let default_config ?cache ?flow_store () =
   {
     queue = 64;
     cache = (match cache with Some c -> c | None -> Cache.create ());
@@ -44,6 +45,7 @@ let default_config ?cache () =
     obs_mode = Obs_off;
     timeout_ms = None;
     max_states = None;
+    flow_store;
   }
 
 (* Bumped whenever a response payload changes shape, so stale on-disk
@@ -251,7 +253,7 @@ let decode_check cfg req =
           Props.is_output_persistent sg,
           signals )
       | `Symbolic ->
-        let sym = Symbolic.analyze ?max_states contracted in
+        let sym = Symbolic.analyze_cached ?max_states contracted in
         ( Symbolic.num_states sym,
           Symbolic.deadlock_count sym = 0,
           Symbolic.live_transitions sym,
@@ -327,7 +329,10 @@ let decode_synth cfg req =
   let verify = Option.value ~default:false (bool_field req "verify") in
   let sel = Engine.select engine (Transform.contract_dummies stg) in
   let compute () =
-    let r = Flow.synthesize ~mode ~engine ?emit_style ?max_states stg in
+    let r =
+      Flow.synthesize ?cache:cfg.flow_store ~mode ~engine ?emit_style ?max_states
+        stg
+    in
     let a_str a = Format.asprintf "%a" (Assumption.pp r.Flow.stg) a in
     let base =
       [
@@ -524,7 +529,7 @@ let decode_fuzz _cfg req =
   let max_places = Option.value ~default:d.Fuzz.max_places (int_field req "max_places") in
   let shrink = Option.value ~default:d.Fuzz.shrink (bool_field req "shrink") in
   let compute () =
-    let o = Fuzz.run ~log:(fun _ -> ()) { Fuzz.seed; cases; max_places; shrink } in
+    let o = Fuzz.run ~log:(fun _ -> ()) { Fuzz.seed; cases; max_places; shrink; edits = 0 } in
     Json.Obj
       [
         ("ran", Json.Int o.Fuzz.ran);

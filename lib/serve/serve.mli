@@ -70,12 +70,17 @@ type config = {
   obs_mode : obs_mode;
   timeout_ms : float option;  (** per-request budget, [None] = unlimited *)
   max_states : int option;  (** default explicit-engine state bound *)
+  flow_store : Rtcad_core.Store.t option;
+      (** staged-flow artifact store threaded into [synth] misses: a
+          request whose whole-response cache entry was evicted (or that
+          varies only in style) can still replay the expensive stages
+          from per-stage artifacts *)
 }
 
-val default_config : ?cache:Cache.t -> unit -> config
+val default_config : ?cache:Cache.t -> ?flow_store:Rtcad_core.Store.t -> unit -> config
 (** Queue 64, a fresh in-memory cache ({!Cache.create} defaults: 8
     shards, 32 MiB cost budget) unless given, [Auto] engine, no capture,
-    no timeout, engine-default state bound. *)
+    no timeout, engine-default state bound, no flow store. *)
 
 (** {2 Session core}
 

@@ -244,7 +244,7 @@ let sym_verdicts sym_view =
 let has_conflicts ~engine ~view ~sym_view ?max_states stg =
   match view with
   | None when Engine.select engine stg = `Symbolic ->
-    snd ((sym_verdicts sym_view) (Symbolic.analyze ?max_states stg))
+    snd ((sym_verdicts sym_view) (Symbolic.analyze_cached ?max_states stg))
   | _ ->
     let view = Option.value view ~default:Fun.id in
     Encoding.has_csc (view (Sg.build ?max_states stg))
@@ -389,13 +389,17 @@ let search_symbolic ~mode ~sym_view ?max_states ~occ ~recorded stg =
   (* Base persistency matters only for speed-independent insertion; the
      timing-aware flow never pays for the base re-analysis. *)
   let was_persistent =
-    lazy (Symbolic.is_output_persistent (Symbolic.analyze ?max_states stg))
+    lazy (Symbolic.is_output_persistent (Symbolic.analyze_cached ?max_states stg))
   in
   let ordered = List.sort (fun (a, _) (b, _) -> Int.compare a b) survivors in
   let valid (_, ins) =
     (* Phase 1 analysed this exact STG without raising, so this
-       re-analysis (on the calling domain) cannot fail. *)
-    let sym = Symbolic.analyze ?max_states (apply_gen ~occ ~named:false stg ins) in
+       re-analysis (on the calling domain) cannot fail.  Running it
+       through the pool lets the flow's final reachability run of the
+       winning (re-named) insertion seed from this analysis instead of
+       starting over — the renamed STG differs only in place names, which
+       [Symbolic.seed_compatible] ignores. *)
+    let sym = Symbolic.analyze_cached ?max_states (apply_gen ~occ ~named:false stg ins) in
     let ok_persist =
       match mode with
       | Timing_aware -> true

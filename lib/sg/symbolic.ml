@@ -319,12 +319,83 @@ let count_markings ~all_vars ~num_signals set =
    block, preserving the adjacency [Bdd.unprime] relies on. *)
 let reorder_groups nvars = List.init nvars (fun k -> [ 2 * k; (2 * k) + 1 ])
 
-let analyze ?max_states stg =
+(* --- delta seeding ----------------------------------------------------- *)
+
+(* Semantic identity of a transition: label edge (by signal index), preset
+   and postset as sorted place-index lists.  Indices are meaningful across
+   two STGs only when their place/signal spaces coincide, which
+   [seed_compatible] establishes first. *)
+let transition_descr stg t =
+  let net = Stg.net stg in
+  ( (match Stg.label stg t with
+    | Stg.Dummy -> None
+    | Stg.Edge { signal; dir } -> Some (signal, dir)),
+    List.sort Int.compare (Petri.pre net t),
+    List.sort Int.compare (Petri.post net t) )
+
+(* A previous analysis may seed the fixpoint for an edited STG only when
+   every state it reached is necessarily still reachable: the state
+   encoding must be identical (same place/signal index spaces *and* the
+   same variable-order assignment, so the seed BDD means the same set of
+   states), the initial (marking, code) must be unchanged, and every old
+   transition must still exist — a pure transition addition guarantees
+   R_old ⊆ R_new.  A removed or rewired transition, a place change or a
+   different initial state can all strand previously reachable states, so
+   those edits invalidate the seed and the caller falls back to a
+   from-scratch run.  Exactness is unaffected either way: the seeded
+   start set is re-checked by [check_frontier] before the fixpoint can
+   complete. *)
+let seed_compatible old stg =
+  let net = Stg.net stg in
+  let old_net = Stg.net old.stg in
+  let nt = Petri.num_transitions net in
+  let old_nt = Petri.num_transitions old_net in
+  Petri.num_places net = Petri.num_places old_net
+  && Stg.num_signals stg = Stg.num_signals old.stg
+  && old_nt <= nt
+  && Bitset.equal (Petri.initial_marking net) (Petri.initial_marking old_net)
+  && Bitset.equal (Sg.initial_code stg) (Sg.initial_code old.stg)
+  && (let place_var, signal_var = variable_order stg in
+      place_var = old.place_var && signal_var = old.signal_var)
+  && (* old transitions ⊆ new transitions, as a multiset of descriptors *)
+  (let remaining = ref (List.init nt (transition_descr stg)) in
+   try
+     for t = 0 to old_nt - 1 do
+       let d = transition_descr old.stg t in
+       let rec remove = function
+         | [] -> raise Exit
+         | x :: rest -> if x = d then rest else x :: remove rest
+       in
+       remaining := remove !remaining
+     done;
+     true
+   with Exit -> false)
+
+(* The image operator's unprime discipline: every (present, primed) pair
+   on adjacent levels, even above odd.  Analyses maintain it themselves
+   (their reorder valve sifts pair groups), but a client-forced groupless
+   [Bdd.reorder] — or a pair-grouped one from an analysis over fewer
+   variables, which sees the higher pairs only as singletons — can break
+   it for the pairs used here.  With the analysis pool keeping BDDs live
+   across such calls, this is no longer hypothetical, so [analyze] checks
+   and sifts back to the identity before compiling any relation. *)
+let ensure_pair_order nvars =
+  let ok = ref true in
+  for k = 0 to nvars - 1 do
+    if Bdd.level_of ((2 * k) + 1) <> Bdd.level_of (2 * k) + 1 then ok := false
+  done;
+  if not !ok then begin
+    Obs.incr "sg.symbolic.order_restored";
+    Bdd.restore_order ()
+  end
+
+let analyze ?max_states ?seed stg =
   Obs.span "sg.symbolic" @@ fun () ->
   let net = Stg.net stg in
   let ns = Stg.num_signals stg in
   let np = Petri.num_places net in
   let nvars = np + ns in
+  ensure_pair_order nvars;
   let place_var, signal_var = variable_order stg in
   let ops =
     Array.init (Petri.num_transitions net) (compile_op stg ~place_var ~signal_var)
@@ -338,9 +409,28 @@ let analyze ?max_states stg =
     state_minterm ~place_var ~signal_var (Petri.initial_marking net)
       (Sg.initial_code stg)
   in
-  let reached = ref init and frontier = ref init in
+  (* A valid seed starts the fixpoint from the prior reachable set (plus
+     the initial state, which it already contains when compatible): the
+     whole seeded set enters the first frontier, so it is safety- and
+     consistency-checked against the *new* transitions before any result
+     is reported, and the sweeps then only have to discover the states
+     the edit actually added. *)
+  let start =
+    match seed with
+    | None -> init
+    | Some old ->
+      if seed_compatible old stg then begin
+        Obs.incr "sg.symbolic.seeded";
+        Bdd.bor old.reached init
+      end
+      else begin
+        Obs.incr "sg.symbolic.seed_fallback";
+        init
+      end
+  in
+  let reached = ref start and frontier = ref start in
   let levels = ref 0 and image_ops = ref 0 in
-  let peak = ref (Bdd.node_count init) in
+  let peak = ref (Bdd.node_count start) in
   let num_markings = ref 1 in
   (* The explicit BFS fires every enabled transition of every state, so a
      safety or consistency offence anywhere in the reachable space is an
@@ -513,6 +603,88 @@ let analyze ?max_states stg =
 let stg sym = sym.stg
 let num_states sym = sym.num_states
 let num_levels sym = sym.levels
+
+(* --- analysis reuse pool ----------------------------------------------- *)
+
+(* A small domain-local pool of recent analyses.  BDDs are domain-local,
+   so the pool must be too (each worker domain warms its own); entries
+   survive [Bdd.clear_caches] because the unique table is weak — pinning
+   at most [capacity] reachable sets bounds what the pool keeps alive.
+   Two reuse levels: an STG with the same canonical [.g] text as a pooled
+   analysis gets that analysis back verbatim (the text is the same
+   content identity the serve cache keys on), and an STG that is a pure
+   transition addition over a pooled one gets its fixpoint seeded from
+   the pooled reachable set. *)
+module Seeds = struct
+  type entry = { canon : string; sym : t }
+
+  let capacity = 4
+  let pool_key = Domain.DLS.new_key (fun () -> ref ([] : entry list))
+  let pool () = Domain.DLS.get pool_key
+  let clear () = pool () := []
+  let size () = List.length !(pool ())
+
+  (* The [.g] printer refuses nets whose marking it cannot express (a
+     marked implicit place that lost its producer or consumer to an
+     edit); such STGs have no canonical text and skip the exact tier. *)
+  let canon_of stg =
+    match Rtcad_stg.Stg_io.to_string stg with
+    | s -> Some s
+    | exception Failure _ -> None
+
+  let remember sym =
+    match canon_of sym.stg with
+    | None -> ()
+    | Some canon ->
+      let p = pool () in
+      let rest = List.filter (fun e -> e.canon <> canon) !p in
+      let rec take n = function
+        | [] -> []
+        | _ when n = 0 -> []
+        | e :: tl -> e :: take (n - 1) tl
+      in
+      p := { canon; sym } :: take (capacity - 1) rest
+
+  (* Equal canonical text means identical structure (indices, names,
+     kinds, initial state), so the pooled analysis is the analysis of
+     [stg] — only the [stg] field is swapped so callers see the value
+     they passed in. *)
+  let find_exact stg =
+    match canon_of stg with
+    | None -> None
+    | Some canon ->
+      List.find_map
+        (fun e -> if e.canon = canon then Some { e.sym with stg } else None)
+        !(pool ())
+
+  let find_seed stg =
+    List.find_map
+      (fun e -> if seed_compatible e.sym stg then Some e.sym else None)
+      !(pool ())
+end
+
+(* [analyze] through the reuse pool: exact canonical match returns the
+   pooled analysis (re-checking a caller-supplied bound, so [Too_large]
+   still surfaces), otherwise the fixpoint runs — seeded when a pooled
+   analysis covers a subset of the new STG — and the result joins the
+   pool.  Failures ([Unsafe], [Inconsistent], [Too_large]) are never
+   pooled.  Candidate probes inside the CSC search deliberately bypass
+   this (thousands of throwaway STGs would churn the pool for nothing);
+   the flow's per-stage analyses are the intended callers. *)
+let analyze_cached ?max_states stg =
+  match Seeds.find_exact stg with
+  | Some sym ->
+    (match max_states with
+    | Some bound when sym.num_states > bound -> raise (Sg.Too_large bound)
+    | _ ->
+      Obs.incr "sg.symbolic.reused";
+      sym)
+  | None ->
+    let seed = Seeds.find_seed stg in
+    let sym = analyze ?max_states ?seed stg in
+    Seeds.remember sym;
+    sym
+let equal_reachable a b = Bdd.equal a.reached b.reached
 let num_image_ops sym = sym.image_ops
 let peak_nodes sym = sym.peak_nodes
 let num_clusters sym = sym.clusters

@@ -18,18 +18,60 @@
 
 type t
 
-val analyze : ?max_states:int -> Rtcad_stg.Stg.t -> t
+val analyze : ?max_states:int -> ?seed:t -> Rtcad_stg.Stg.t -> t
 (** Run the symbolic fixpoint.  Unbounded by default — the point of the
     engine is state spaces the explicit builder cannot enumerate; pass
     [max_states] to replicate the explicit bound ({!Sg.Too_large} is
     raised when the marking count exceeds it).  Raises
     {!Sg.Inconsistent} or {!Rtcad_stg.Petri.Unsafe} exactly when
-    {!Sg.build} would. *)
+    {!Sg.build} would.
+
+    [seed] is a prior analysis to re-seed the fixpoint from.  When
+    {!seed_compatible} holds — the edit that produced this STG from the
+    seed's is a pure transition addition under an identical state
+    encoding — the fixpoint starts from the seed's reachable set instead
+    of the initial state and only discovers what the edit added.
+    Otherwise the seed is ignored and the run starts from scratch.
+    Results are bit-identical either way: the seeded start set re-enters
+    the first frontier and is checked against the new STG's transitions
+    exactly like discovered states. *)
+
+val seed_compatible : t -> Rtcad_stg.Stg.t -> bool
+(** Can [analyze ~seed] start from this analysis for that STG?  True
+    when the place/signal index spaces, variable-order assignment and
+    initial (marking, code) are identical and every seed transition
+    (label, preset, postset) still exists — i.e. the STG is the seed's
+    STG plus zero or more transitions, which guarantees every previously
+    reachable state is still reachable. *)
+
+val analyze_cached : ?max_states:int -> Rtcad_stg.Stg.t -> t
+(** {!analyze} through a small domain-local pool of recent analyses: an
+    STG whose canonical [.g] text matches a pooled analysis gets it back
+    without running the fixpoint (a [max_states] below the pooled state
+    count still raises {!Sg.Too_large}); otherwise the fixpoint runs,
+    seeded from a {!seed_compatible} pooled analysis when one exists,
+    and the result joins the pool.  Failures are never pooled.  The pool
+    is per-domain (BDDs are domain-local) and bounded. *)
+
+(** The domain-local analysis pool behind {!analyze_cached}. *)
+module Seeds : sig
+  val clear : unit -> unit
+  (** Drop this domain's pooled analyses (tests and memory-sensitive
+      campaign loops). *)
+
+  val size : unit -> int
+end
 
 val stg : t -> Rtcad_stg.Stg.t
 
 val num_states : t -> int
 (** Number of reachable states, by BDD model counting. *)
+
+val equal_reachable : t -> t -> bool
+(** Bit-identical reachable state sets (BDD equality, which hash-consing
+    makes physical).  Both analyses must come from the same domain.  The
+    differential edit-replay battery uses this to prove a seeded
+    (delta) fixpoint reached exactly the from-scratch set. *)
 
 val num_levels : t -> int
 (** Chained sweeps the fixpoint took to converge (each sweep covers at

@@ -1,0 +1,69 @@
+The flow artifact store: `synth --cache` persists per-stage artifacts
+(encode, reach, covers, emit) under a directory, a second run replays
+them, and `rtsyn cache` inspects or trims the directory.
+
+Cold synthesis populates the store.  The synthesis report itself is
+byte-stable, so no masking is needed here.
+
+  $ rtsyn synth fifo --cache store > cold.out
+  $ rtsyn cache stats store | sed -E 's/^bytes: [0-9]+/bytes: N/'
+  entries: 4
+  bytes: N
+  corrupt removed: 0
+    covers     1
+    emit       1
+    encode     1
+    reach      1
+
+Warm synthesis in a fresh process must be byte-identical to cold.
+
+  $ rtsyn synth fifo --cache store > warm.out
+  $ cmp cold.out warm.out
+
+A different style only adds one emit artifact: the expensive stages
+(encode, reach, covers) are shared.
+
+  $ rtsyn synth fifo --style static --cache store > /dev/null
+  $ rtsyn cache stats store | sed -E 's/^bytes: [0-9]+/bytes: N/'
+  entries: 5
+  bytes: N
+  corrupt removed: 0
+    covers     1
+    emit       2
+    encode     1
+    reach      1
+
+`ls` prints one line per entry: stage, key, bytes.  Keys are md5 hex
+and sizes vary with the Marshal format, so both are masked.
+
+  $ rtsyn cache ls store | sed -E 's/[0-9a-f]{32}/KEY/; s/[0-9]+$/N/' | sort
+  covers     KEY N
+  emit       KEY N
+  emit       KEY N
+  encode     KEY N
+  reach      KEY N
+
+A corrupted entry is detected, counted and removed by the next scan —
+and never served.
+
+  $ for f in store/*.art; do printf 'garbage' >> "$f"; break; done
+  $ rtsyn cache stats store | grep corrupt
+  corrupt removed: 1
+  $ rtsyn cache stats store | grep corrupt
+  corrupt removed: 0
+
+`gc` trims oldest entries to a byte budget; --budget is required.
+
+  $ rtsyn cache gc store
+  rtsyn: cache gc requires --budget BYTES
+  [1]
+  $ rtsyn cache gc store --budget 1 | sed -E 's/[0-9]+ entries/N entries/'
+  removed N entries, 0 bytes remain
+  $ rtsyn cache stats store | head -1
+  entries: 0
+
+Errors are clean: a file or a missing path is not a store directory.
+
+  $ rtsyn cache stats cold.out
+  rtsyn: cold.out is not a directory
+  [1]

@@ -83,7 +83,7 @@ let broken_fast_sg stg =
   | r -> r
 
 let test_fuzz_catches_and_shrinks () =
-  let config = { Fuzz.seed = 1; cases = 50; max_places = 14; shrink = true } in
+  let config = { Fuzz.seed = 1; cases = 50; max_places = 14; shrink = true; edits = 0 } in
   let outcome = Fuzz.run ~fast_sg:broken_fast_sg config in
   match outcome.Fuzz.failure with
   | None -> Alcotest.fail "emulated kernel bug went undetected"
@@ -99,7 +99,7 @@ let test_fuzz_catches_and_shrinks () =
     check "minimal .g text emitted" true (f.Fuzz.g_text <> None)
 
 let test_fuzz_deterministic () =
-  let config = { Fuzz.seed = 3; cases = 25; max_places = 10; shrink = true } in
+  let config = { Fuzz.seed = 3; cases = 25; max_places = 10; shrink = true; edits = 0 } in
   let a = Fuzz.run config and b = Fuzz.run config in
   check_int "ran" a.Fuzz.ran b.Fuzz.ran;
   check_int "passed" a.Fuzz.passed b.Fuzz.passed;
