@@ -7,7 +7,7 @@ ifdef RTCAD_JOBS
 export RTCAD_JOBS
 endif
 
-.PHONY: all build test fuzz fuzz-edits bench bench-clean verify golden golden-update smoke-symbolic smoke-symbolic-synth smoke-incremental smoke-serve smoke-serve-concurrent test-serve clean
+.PHONY: all build test fuzz fuzz-edits bench bench-clean verify golden golden-update smoke-symbolic smoke-symbolic-synth smoke-incremental smoke-serve smoke-serve-concurrent smoke-rappid test-serve clean
 
 all: build
 
@@ -103,6 +103,15 @@ smoke-serve:
 	  '{"op":"stats"}' \
 	  '{"op":"shutdown"}' \
 	  | dune exec bin/rtsyn.exe -- serve | grep -c '"cached":true'
+
+# Streaming-RAPPID smoke: a 1M-instruction virtual stream through the
+# 4-shard decoder farm.  The heap budget is the point — a 1M-instruction
+# run peaks near 300k words, while materializing the stream would blow
+# past 1.3M, so the guard fails the build if anyone reintroduces a
+# length-proportional allocation.  Deterministic in the job count.
+smoke-rappid:
+	dune exec bin/rtsyn.exe -- rappid --instrs 1000000 --shards 4 --seed 7 \
+	  --heap-budget-words 1000000
 
 # Concurrent-daemon smoke: 4 socket clients against one mux daemon plus
 # the 4-sessions-back-to-back baseline, one rep each.  The concurrent

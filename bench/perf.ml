@@ -238,6 +238,37 @@ let run_serve_sequential () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Streaming RAPPID farm as a kernel                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Million-scale run through the constant-memory path: the 10M-instruction
+   virtual stream is never materialized (a 10M-element array would be
+   ~80 MB; the farm peaks in the hundreds of kilobytes).  [peak_heap_words]
+   is meaningful in an isolated `--only rappid_stream` run; in a full
+   suite it reflects whichever earlier kernel grew the heap most. *)
+
+let stream_instrs = 10_000_000
+let stream_shards = 4
+let stream_extras = ref []
+
+let run_rappid_stream () =
+  let t0 = Unix.gettimeofday () in
+  let farm = R.run_farm ~shards:stream_shards ~seed:7 W.typical ~instructions:stream_instrs in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let s = farm.R.f_stats in
+  stream_extras :=
+    [
+      ("instrs", float_of_int stream_instrs);
+      ("shards", float_of_int farm.R.f_shards);
+      ("instrs_per_sec", float_of_int stream_instrs /. wall_s);
+      ("model_gips", s.R.s_result.R.gips);
+      ("latency_p50_ps", s.R.s_p50_ps);
+      ("latency_p95_ps", s.R.s_p95_ps);
+      ("latency_p99_ps", s.R.s_p99_ps);
+      ("peak_heap_words", float_of_int (Gc.quick_stat ()).Gc.top_heap_words);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Kernels                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -281,6 +312,17 @@ let kernels () =
       k_descr = "RAPPID microarchitecture model, 200k-instruction typical stream";
       k_fn = (fun () -> ignore (R.run stream));
       k_extras = None;
+    };
+    {
+      k_name = "rappid_stream";
+      k_descr =
+        Printf.sprintf
+          "Streaming RAPPID decoder farm: %dM-instruction virtual stream over \
+           %d shards, constant memory, latency percentiles from the in-run \
+           1-2-5 histogram"
+          (stream_instrs / 1_000_000) stream_shards;
+      k_fn = run_rappid_stream;
+      k_extras = Some (fun () -> !stream_extras);
     };
     {
       k_name = "rt_flow";
@@ -405,7 +447,7 @@ let write_results_to ~path ~reps timings =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"schema\": \"rtcad-bench-perf/5\",\n";
+  p "  \"schema\": \"rtcad-bench-perf/6\",\n";
   p "  \"generated_at_unix\": %.0f,\n" (Unix.time ());
   p "  \"reps\": %d,\n" reps;
   (* v2: the job count the kernels actually ran with, plus what the
@@ -605,11 +647,12 @@ let load_json path =
 
 let member key = function Obj kvs -> List.assoc_opt key kvs | _ -> None
 
-(* v1 baselines predate the jobs fields, v2 the p50_ms statistic; all
-   carry the same kernel shape, so every version stays comparable. *)
+(* v1 baselines predate the jobs fields, v2 the p50_ms statistic, v6 the
+   rappid_stream kernel; all carry the same kernel shape, so every
+   version stays comparable. *)
 let known_schemas =
   [ "rtcad-bench-perf/1"; "rtcad-bench-perf/2"; "rtcad-bench-perf/3";
-    "rtcad-bench-perf/4"; "rtcad-bench-perf/5" ]
+    "rtcad-bench-perf/4"; "rtcad-bench-perf/5"; "rtcad-bench-perf/6" ]
 
 let kernel_stats path =
   let root = load_json path in

@@ -34,6 +34,8 @@ module Timed_sim = Rtcad_rt.Timed_sim
 module Serve = Rtcad_serve.Serve
 module Serve_cache = Rtcad_serve.Cache
 module Mux = Rtcad_serve.Mux
+module Workload = Rtcad_rappid.Workload
+module Rappid = Rtcad_rappid.Rappid
 
 (* "ring10" → Some 10; the library exposes [ring n] as a family, not a
    fixed list, so the CLI accepts any member by name. *)
@@ -588,6 +590,97 @@ let pos_int_conv what =
   in
   Arg.conv ~docv:"N" (parse, Format.pp_print_int)
 
+(* --- rappid --- *)
+
+(* The model report on stdout is deterministic in (params, seed, profile,
+   instructions, shards) — that is what the cram test pins.  Host-side
+   measurements (wall-clock throughput, peak heap) go to stderr. *)
+let run_rappid () obs instructions shards seed profile chunk heap_budget =
+  with_obs obs @@ fun () ->
+  if instructions < 0 then begin
+    Printf.eprintf "rtsyn: --instrs must be non-negative\n";
+    1
+  end
+  else begin
+    let t0 = Unix.gettimeofday () in
+    let farm = Rappid.run_farm ~chunk ~shards ~seed profile ~instructions in
+    let wall = Unix.gettimeofday () -. t0 in
+    let peak = (Gc.quick_stat ()).Gc.top_heap_words in
+    Format.printf "%a@." Rappid.pp_farm farm;
+    if wall > 0.0 && instructions > 0 then
+      Printf.eprintf "host: %.0f instrs/sec wall (%.3f s), peak heap %d words\n%!"
+        (float_of_int instructions /. wall)
+        wall peak;
+    match heap_budget with
+    | Some budget when peak > budget ->
+      Printf.eprintf
+        "rtsyn: peak heap %d words exceeds budget %d words (stream length \
+         must not drive memory)\n"
+        peak budget;
+      1
+    | _ -> 0
+  end
+
+let rappid_cmd =
+  let instructions =
+    Arg.(
+      value
+      & opt int 1_000_000
+      & info [ "instrs" ] ~docv:"N"
+          ~doc:"Virtual instruction-stream length (streamed, never materialized).")
+  in
+  let shards =
+    Arg.(
+      value
+      & opt (pos_int_conv "shard count") 1
+      & info [ "shards" ] ~docv:"K"
+          ~doc:
+            "Independent decoder instances; the virtual stream is split into \
+             $(docv) contiguous slices and the per-shard results are merged \
+             in shard order, so the report does not depend on the job count.")
+  in
+  let seed =
+    Arg.(value & opt int 7 & info [ "seed" ] ~docv:"S" ~doc:"Workload seed.")
+  in
+  let profile =
+    let variants =
+      List.map (fun p -> (p.Workload.name, p)) Workload.all_profiles
+    in
+    Arg.(
+      value
+      & opt (enum variants) Workload.typical
+      & info [ "profile" ] ~docv:"PROFILE"
+          ~doc:"Instruction-length mix: $(b,typical), $(b,uniform), $(b,short) \
+                or $(b,long).")
+  in
+  let chunk =
+    Arg.(
+      value
+      & opt (pos_int_conv "chunk size") Rappid.default_chunk
+      & info [ "chunk" ] ~docv:"C"
+          ~doc:
+            "Refill-buffer length per shard (memory knob only: the result is \
+             bit-identical for any chunk size).")
+  in
+  let heap_budget =
+    Arg.(
+      value
+      & opt (some (pos_int_conv "heap budget")) None
+      & info [ "heap-budget-words" ] ~docv:"W"
+          ~doc:
+            "Fail (exit 1) if the OCaml heap ever grows past $(docv) words — \
+             the smoke test's constant-memory guard.")
+  in
+  Cmd.v
+    (Cmd.info "rappid"
+       ~doc:
+         "Stream a synthetic instruction mix through the RAPPID length-decode \
+          model: constant-memory generation, an optional sharded decoder \
+          farm, and first-class latency percentiles")
+    Term.(
+      const run_rappid $ jobs_term $ obs_term $ instructions $ shards $ seed
+      $ profile $ chunk $ heap_budget)
+
 (* --- cache --- *)
 
 (* Directory maintenance for the staged-flow artifact store written by
@@ -839,6 +932,16 @@ let main =
   Cmd.group
     (Cmd.info "rtsyn" ~version:"1.0"
        ~doc:"Relative-timing synthesis for asynchronous circuits")
-    [ check_cmd; synth_cmd; sim_cmd; show_cmd; list_cmd; fuzz_cmd; cache_cmd; serve_cmd ]
+    [
+      check_cmd;
+      synth_cmd;
+      sim_cmd;
+      show_cmd;
+      list_cmd;
+      fuzz_cmd;
+      rappid_cmd;
+      cache_cmd;
+      serve_cmd;
+    ]
 
 let () = exit (Cmd.eval' main)

@@ -49,6 +49,38 @@ let bucket_of v =
   let rec go i = if i >= n || v <= bounds.(i) then i else go (i + 1) in
   go 0
 
+let hist_bounds = bounds
+
+(* Percentile estimate over 1-2-5 buckets: find the bucket holding the
+   requested rank and interpolate linearly inside it.  The estimate is
+   upper-edge biased (a bucket's observations are assumed spread over
+   its whole span), deterministic, and depends only on the counts — so
+   merged histograms yield the same percentiles at any job count. *)
+let percentile_of_buckets ~counts p =
+  if Array.length counts <> Array.length bounds + 1 then
+    invalid_arg "Obs.percentile_of_buckets: counts must cover every bucket";
+  if not (p >= 0.0 && p <= 100.0) then
+    invalid_arg "Obs.percentile_of_buckets: percentile out of [0,100]";
+  let total = Array.fold_left ( + ) 0 counts in
+  if total = 0 then 0.0
+  else begin
+    let rank = max 1 (int_of_float (ceil (p /. 100.0 *. float_of_int total))) in
+    let rec go i cum =
+      if i > Array.length bounds then infinity
+      else
+        let c = counts.(i) in
+        if cum + c >= rank && c > 0 then
+          if i = Array.length bounds then infinity
+          else begin
+            let hi = bounds.(i) in
+            let lo = if i = 0 then 0.0 else bounds.(i - 1) in
+            lo +. ((hi -. lo) *. (float_of_int (rank - cum) /. float_of_int c))
+          end
+        else go (i + 1) (cum + c)
+    in
+    go 0 0
+  end
+
 type metric =
   | Counter of int ref
   | Gauge of float ref
@@ -161,6 +193,32 @@ let observe name v =
     h.h_sum <- h.h_sum +. v;
     let b = bucket_of v in
     h.h_buckets.(b) <- h.h_buckets.(b) + 1
+  end
+
+(* Bulk merge: fold an externally-accumulated histogram (same 1-2-5
+   ladder, e.g. the RAPPID farm's per-shard latency counts) into a
+   named metric without paying a name lookup per observation.  [sum]
+   carries the true observation total so means stay exact. *)
+let observe_buckets name ~counts ~sum =
+  if !enabled_flag then begin
+    if Array.length counts <> Array.length bounds + 1 then
+      invalid_arg "Obs.observe_buckets: counts must cover every bucket";
+    let s = store () in
+    let h =
+      match Hashtbl.find_opt s.metrics name with
+      | Some (Hist h) -> h
+      | Some _ -> invalid_arg ("Obs: metric kind mismatch for " ^ name)
+      | None ->
+        let h =
+          { h_count = 0; h_sum = 0.0; h_buckets = Array.make (Array.length bounds + 1) 0 }
+        in
+        Hashtbl.replace s.metrics name (Hist h);
+        h
+    in
+    let n = Array.fold_left ( + ) 0 counts in
+    h.h_count <- h.h_count + n;
+    h.h_sum <- h.h_sum +. sum;
+    Array.iteri (fun i c -> h.h_buckets.(i) <- h.h_buckets.(i) + c) counts
   end
 
 let record_span s name ~ts ~dur args =
@@ -285,6 +343,20 @@ let metric snap name = List.assoc_opt name snap.metrics
 
 let counter snap name =
   match metric snap name with Some (Count n) -> n | _ -> 0
+
+(* Percentiles of a merged snapshot histogram: rebuild the dense bucket
+   array (snapshots only keep non-empty buckets) and estimate. *)
+let percentile v p =
+  match v with
+  | Hist_v h ->
+    let counts = Array.make (Array.length bounds + 1) 0 in
+    List.iter
+      (fun (bound, n) ->
+        let i = bucket_of bound in
+        counts.(i) <- counts.(i) + n)
+      h.buckets;
+    Some (percentile_of_buckets ~counts p)
+  | Count _ | Gauge_v _ -> None
 
 (* --- sinks --- *)
 

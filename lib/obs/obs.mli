@@ -40,6 +40,21 @@ val observe : string -> float -> unit
 (** Record one observation into a named histogram (1-2-5 decade buckets
     from 1 to 1e9, plus overflow). *)
 
+val hist_bounds : float array
+(** The shared 1-2-5 bucket ladder ([1 .. 1e9]): bucket [i] counts
+    observations [<= hist_bounds.(i)], with one extra overflow bucket.
+    Hot loops that cannot afford a name lookup per observation (the
+    RAPPID farm's per-instruction latencies) accumulate their own
+    [int array] over this ladder and merge it in with
+    {!observe_buckets}. *)
+
+val observe_buckets : string -> counts:int array -> sum:float -> unit
+(** Fold an externally-accumulated histogram into a named metric:
+    [counts] must have [Array.length hist_bounds + 1] entries (the last
+    is the overflow bucket) and [sum] is the exact total of the
+    underlying observations.  Equivalent to the corresponding sequence
+    of {!observe} calls, at the cost of one lookup. *)
+
 val span : ?args:(unit -> (string * string) list) -> string -> (unit -> 'a) -> 'a
 (** [span name f] times [f ()] and records a completed-span event
     (surviving exceptions, which are re-raised).  When disabled this is
@@ -82,6 +97,19 @@ val metric : snapshot -> string -> value option
 val counter : snapshot -> string -> int
 (** Merged value of a counter metric; [0] when absent or not a counter.
     The synthesis server reports its cache hit rate from these. *)
+
+val percentile_of_buckets : counts:int array -> float -> float
+(** [percentile_of_buckets ~counts p] estimates the [p]-th percentile
+    ([0 <= p <= 100]) of a dense bucket array over {!hist_bounds} (plus
+    overflow): the bucket holding the requested rank is found and the
+    value interpolated linearly inside it.  Deterministic in the counts
+    alone, so merged histograms give identical percentiles at any job
+    count.  [0.0] for an empty histogram, [infinity] when the rank
+    lands in the overflow bucket. *)
+
+val percentile : value -> float -> float option
+(** {!percentile_of_buckets} applied to a snapshot histogram value
+    ([Hist_v]); [None] for counters and gauges. *)
 
 (** {2 Sinks} *)
 

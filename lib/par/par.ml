@@ -197,6 +197,22 @@ let map_array ?chunk f a =
       out
   end
 
+let mapi_array ?chunk f a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else if jobs () = 1 || in_parallel_region () || n = 1 then Array.mapi f a
+  else begin
+    let out = Array.make n None in
+    parallel_for ?chunk n (fun i ->
+        out.(i) <- Some (try Ok (f i a.(i)) with e -> Error (e, Printexc.get_raw_backtrace ())));
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | None -> assert false (* every index below n was claimed *))
+      out
+  end
+
 let map_list ?chunk f l = Array.to_list (map_array ?chunk f (Array.of_list l))
 
 let try_map_list ?chunk f l =

@@ -64,6 +64,13 @@ val map_array : ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
     [Array.map f a], including which exception escapes (the one raised
     by the lowest-indexed failing element). *)
 
+val mapi_array : ?chunk:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
+(** [Array.mapi f a] with the {!map_array} guarantees: each slot sees
+    its own index, results land in input order and the lowest-indexed
+    exception wins.  The RAPPID decoder farm fans its shards out with
+    this — the index is the shard number, so a worker-index-ordered
+    merge of the output array is the serial merge. *)
+
 val map_list : ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [List.map f l], parallelised with the {!map_array} guarantees. *)
 

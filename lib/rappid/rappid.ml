@@ -1,3 +1,6 @@
+module Par = Rtcad_par.Par
+module Obs = Rtcad_obs.Obs
+
 type params = {
   columns : int;
   rows : int;
@@ -54,90 +57,314 @@ type result = {
   energy_per_instr_pj : float;
 }
 
-let run ?(params = default) (stream : Workload.stream) =
-  let p = params in
-  let n = Array.length stream.Workload.lengths in
-  if n = 0 then invalid_arg "Rappid.run: empty stream";
-  let starts = Workload.starts stream in
-  let num_lines = (stream.Workload.total_bytes + p.columns - 1) / p.columns in
-  (* Line availability: supplied by the input FIFO, but a line can only be
-     latched once the line [depth] earlier has been fully consumed. *)
-  let line_avail = Array.make num_lines 0.0 in
-  let line_consumed = Array.make num_lines 0.0 in
-  let row_free = Array.make p.rows 0.0 in
-  let decode_time len =
+let zero_result =
+  {
+    instructions = 0;
+    lines = 0;
+    total_ps = 0.0;
+    gips = 0.0;
+    lines_per_sec = 0.0;
+    avg_latency_ps = 0.0;
+    worst_latency_ps = 0.0;
+    tag_rate_ghz = 0.0;
+    decode_rate_ghz = 0.0;
+    steer_rate_ghz = 0.0;
+    energy_pj = 0.0;
+    energy_per_instr_pj = 0.0;
+  }
+
+(* --- the incremental decoder core ---
+
+   One decoder instance folded over instruction lengths in program
+   order.  Live state is O(columns + rows): the per-line availability
+   and consumption instants are kept in a circular window of
+   [line_buffer_depth + 2] slots — an instruction spans at most two
+   lines and a line load looks back exactly [line_buffer_depth] lines,
+   so older entries can never be read again.  Per-instruction latencies
+   go into a 1-2-5 histogram (the [Obs.hist_bounds] ladder) plus exact
+   sum/max accumulators instead of a list, so feeding an instruction
+   allocates nothing and memory does not grow with the stream.
+
+   The float operations are performed in exactly the order the original
+   materialized loop used, and the accumulated quantities (latencies,
+   tag intervals, energies) are sums of whole-picosecond values, which
+   double addition represents exactly — so the folded result is
+   bit-identical to the historical array implementation (the golden
+   RAPPID summary pins this). *)
+
+type decoder = {
+  p : params;
+  window : int;
+  line_avail : float array; (* indexed by line mod window *)
+  line_consumed : float array;
+  row_free : float array;
+  mutable last_line_loaded : int;
+  mutable addr : int; (* byte address of the next instruction *)
+  mutable fed : int; (* instructions folded in so far *)
+  mutable tag : float; (* tag arrival at the next instruction *)
+  mutable energy : float;
+  mutable lat_sum : float;
+  mutable lat_max : float;
+  mutable tag_interval_sum : float;
+  mutable decode_sum : float;
+  lat_hist : int array; (* Obs.hist_bounds buckets + overflow *)
+}
+
+let hist_len = Array.length Obs.hist_bounds + 1
+
+let bucket_index v =
+  let bounds = Obs.hist_bounds in
+  let n = Array.length bounds in
+  let rec go i = if i >= n || v <= bounds.(i) then i else go (i + 1) in
+  go 0
+
+let decoder_create p =
+  {
+    p;
+    window = p.line_buffer_depth + 2;
+    line_avail = Array.make (p.line_buffer_depth + 2) 0.0;
+    line_consumed = Array.make (p.line_buffer_depth + 2) 0.0;
+    row_free = Array.make p.rows 0.0;
+    last_line_loaded = -1;
+    addr = 0;
+    fed = 0;
+    tag = 0.0;
+    energy = 0.0;
+    lat_sum = 0.0;
+    lat_max = 0.0;
+    tag_interval_sum = 0.0;
+    decode_sum = 0.0;
+    lat_hist = Array.make hist_len 0;
+  }
+
+(* Line [l] becomes available at the later of its FIFO supply instant
+   and the recovery of the byte latches it reuses. *)
+let load_line d l =
+  let p = d.p in
+  let supply = float_of_int l *. p.line_fetch_ps in
+  let reuse =
+    if l < p.line_buffer_depth then 0.0
+    else d.line_consumed.((l - p.line_buffer_depth) mod d.window) +. p.latch_ps
+  in
+  d.line_avail.(l mod d.window) <- max supply reuse;
+  d.line_consumed.(l mod d.window) <- 0.0;
+  d.energy <- d.energy +. (float_of_int p.columns *. (p.e_latch_pj +. p.e_decode_pj));
+  d.last_line_loaded <- l
+
+let feed d len =
+  let p = d.p in
+  let first = d.addr and last = d.addr + len - 1 in
+  d.addr <- d.addr + len;
+  let l_first = Workload.line_of_byte first and l_last = Workload.line_of_byte last in
+  for l = d.last_line_loaded + 1 to l_last do
+    load_line d l
+  done;
+  let bytes_ready = d.line_avail.(l_last mod d.window) in
+  let avail_first = d.line_avail.(l_first mod d.window) in
+  let decode_time =
     if len <= p.common_length then p.decode_common_ps else p.decode_uncommon_ps
   in
-  let tag_time len =
+  let decode_ready = avail_first +. decode_time in
+  let ready = max bytes_ready decode_ready in
+  (* The tag waits for the instruction to be ready, then releases both
+     the issue (steering) and the hop to the next instruction. *)
+  let tagged = max d.tag ready in
+  let row = d.fed mod p.rows in
+  let issue = max (tagged +. p.steer_ps) d.row_free.(row) in
+  d.row_free.(row) <- issue +. p.buffer_recover_ps;
+  let tag_time =
     if len <= p.common_length then p.tag_common_ps else p.tag_uncommon_ps
   in
-  let latencies = ref [] in
-  let tag_intervals = ref [] in
-  let energy = ref 0.0 in
-  let tag = ref 0.0 (* tag arrival at the next instruction *) in
-  let issue_count = ref 0 in
-  let last_line_loaded = ref (-1) in
-  let load_line l =
-    (* supply + reuse constraint *)
-    let supply = float_of_int l *. p.line_fetch_ps in
-    let reuse =
-      if l < p.line_buffer_depth then 0.0
-      else line_consumed.(l - p.line_buffer_depth) +. p.latch_ps
+  let next_tag = tagged +. tag_time in
+  d.tag_interval_sum <- d.tag_interval_sum +. (next_tag -. d.tag);
+  d.tag <- next_tag;
+  d.decode_sum <- d.decode_sum +. decode_time;
+  let lat = issue -. avail_first in
+  d.lat_sum <- d.lat_sum +. lat;
+  if lat > d.lat_max then d.lat_max <- lat;
+  d.lat_hist.(bucket_index lat) <- d.lat_hist.(bucket_index lat) + 1;
+  d.energy <- d.energy +. p.e_tag_pj +. p.e_steer_pj +. p.e_buffer_pj;
+  d.fed <- d.fed + 1;
+  (* Mark the spanned lines consumed (conservatively at issue time). *)
+  for l = l_first to l_last do
+    let i = l mod d.window in
+    if issue > d.line_consumed.(i) then d.line_consumed.(i) <- issue
+  done
+
+let result_of d =
+  let p = d.p in
+  let n = d.fed in
+  if n = 0 then zero_result
+  else begin
+    let num_lines = (d.addr + p.columns - 1) / p.columns in
+    (* Completion instant of the last issue. *)
+    let total_ps =
+      max 1.0 (Array.fold_left max 0.0 d.row_free -. p.buffer_recover_ps)
     in
-    line_avail.(l) <- max supply reuse;
-    energy := !energy +. (float_of_int p.columns *. (p.e_latch_pj +. p.e_decode_pj));
-    last_line_loaded := l
+    let fn = float_of_int n in
+    {
+      instructions = n;
+      lines = num_lines;
+      total_ps;
+      gips = fn /. (total_ps /. 1000.0);
+      lines_per_sec = float_of_int num_lines /. (total_ps *. 1e-12);
+      avg_latency_ps = d.lat_sum /. fn;
+      worst_latency_ps = d.lat_max;
+      tag_rate_ghz = 1000.0 /. (d.tag_interval_sum /. fn);
+      decode_rate_ghz = 1000.0 /. (d.decode_sum /. fn);
+      steer_rate_ghz = 1000.0 /. (p.steer_ps +. p.buffer_recover_ps);
+      energy_pj = d.energy;
+      energy_per_instr_pj = d.energy /. fn;
+    }
+  end
+
+let run ?(params = default) (stream : Workload.stream) =
+  let d = decoder_create params in
+  Array.iter (fun len -> feed d len) stream.Workload.lengths;
+  result_of d
+
+(* --- streaming runs and the decoder farm --- *)
+
+type stream_stats = {
+  s_result : result;
+  s_hist : int array;
+  s_p50_ps : float;
+  s_p95_ps : float;
+  s_p99_ps : float;
+}
+
+type farm = {
+  f_stats : stream_stats;
+  f_shards : int;
+  f_shard_instructions : int array;
+}
+
+let default_chunk = 65536
+
+(* Raw accumulators of one shard's decoder, merged left-to-right in
+   shard order.  Every float is a sum of whole-picosecond values, so
+   the merge is exact and independent of which domain ran the shard. *)
+type shard_out = {
+  o_n : int;
+  o_bytes : int;
+  o_lines : int;
+  o_total_ps : float;
+  o_energy : float;
+  o_lat_sum : float;
+  o_lat_max : float;
+  o_tag_sum : float;
+  o_decode_sum : float;
+  o_hist : int array;
+}
+
+(* One shard = one decoder folded over its slice of the virtual stream,
+   read through a cursor in chunk-sized refills of one caller-owned
+   buffer.  The cursor's limit is the slice end, so the loop needs no
+   bookkeeping of its own. *)
+let run_shard params ~chunk ~seed ~profile (start, len) =
+  let d = decoder_create params in
+  let c = Workload.cursor ~start ~seed profile ~instructions:(start + len) in
+  let buf = Array.make (max 1 chunk) 0 in
+  let rec go () =
+    let got = Workload.fill c buf in
+    if got > 0 then begin
+      for i = 0 to got - 1 do
+        feed d buf.(i)
+      done;
+      go ()
+    end
   in
-  load_line 0;
-  for k = 0 to n - 1 do
-    let len = stream.Workload.lengths.(k) in
-    let first = starts.(k) and last = starts.(k) + len - 1 in
-    let l_first = Workload.line_of_byte first and l_last = Workload.line_of_byte last in
-    for l = !last_line_loaded + 1 to min l_last (num_lines - 1) do
-      load_line l
-    done;
-    let bytes_ready = line_avail.(min l_last (num_lines - 1)) in
-    let decode_ready = line_avail.(l_first) +. decode_time len in
-    let ready = max bytes_ready decode_ready in
-    (* The tag waits for the instruction to be ready, then releases both
-       the issue (steering) and the hop to the next instruction. *)
-    let tagged = max !tag ready in
-    let row = k mod p.rows in
-    let issue = max (tagged +. p.steer_ps) row_free.(row) in
-    row_free.(row) <- issue +. p.buffer_recover_ps;
-    let next_tag = tagged +. tag_time len in
-    tag_intervals := (next_tag -. !tag) :: !tag_intervals;
-    tag := next_tag;
-    incr issue_count;
-    latencies := (issue -. line_avail.(l_first)) :: !latencies;
-    energy := !energy +. p.e_tag_pj +. p.e_steer_pj +. p.e_buffer_pj;
-    (* Mark the spanned lines consumed (conservatively at issue time). *)
-    for l = l_first to min l_last (num_lines - 1) do
-      line_consumed.(l) <- max line_consumed.(l) issue
-    done
-  done;
-  (* Completion instant of the last issue. *)
-  let total_ps = max 1.0 (Array.fold_left max 0.0 row_free -. p.buffer_recover_ps) in
-  let avg xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs) in
-  let gips = float_of_int n /. (total_ps /. 1000.0) in
-  let avg_tag = avg !tag_intervals in
-  let decode_avg =
-    avg (Array.to_list (Array.map decode_time stream.Workload.lengths))
+  go ();
+  let r = result_of d in
+  {
+    o_n = d.fed;
+    o_bytes = d.addr;
+    o_lines = r.lines;
+    o_total_ps = r.total_ps;
+    o_energy = d.energy;
+    o_lat_sum = d.lat_sum;
+    o_lat_max = d.lat_max;
+    o_tag_sum = d.tag_interval_sum;
+    o_decode_sum = d.decode_sum;
+    o_hist = d.lat_hist;
+  }
+
+let percentiles_of_hist hist =
+  ( Obs.percentile_of_buckets ~counts:hist 50.0,
+    Obs.percentile_of_buckets ~counts:hist 95.0,
+    Obs.percentile_of_buckets ~counts:hist 99.0 )
+
+let stats_of_result result hist =
+  let p50, p95, p99 = percentiles_of_hist hist in
+  { s_result = result; s_hist = hist; s_p50_ps = p50; s_p95_ps = p95; s_p99_ps = p99 }
+
+(* Worker-index-ordered merge (shard order = slot order under
+   [Par.mapi_array]): counters and histograms sum, completion time is
+   the slowest shard — the farm's decoders run side by side.  Every
+   accumulator merges with exact float sums, so the merged result is
+   bit-identical at any RTCAD_JOBS. *)
+let merge_shards params outs =
+  let p = params in
+  let n = Array.fold_left (fun a o -> a + o.o_n) 0 outs in
+  if n = 0 then stats_of_result zero_result (Array.make hist_len 0)
+  else begin
+    let lines = Array.fold_left (fun a o -> a + o.o_lines) 0 outs in
+    let total_ps = Array.fold_left (fun a o -> max a o.o_total_ps) 0.0 outs in
+    let energy = Array.fold_left (fun a o -> a +. o.o_energy) 0.0 outs in
+    let lat_sum = Array.fold_left (fun a o -> a +. o.o_lat_sum) 0.0 outs in
+    let lat_max = Array.fold_left (fun a o -> max a o.o_lat_max) 0.0 outs in
+    let tag_sum = Array.fold_left (fun a o -> a +. o.o_tag_sum) 0.0 outs in
+    let decode_sum = Array.fold_left (fun a o -> a +. o.o_decode_sum) 0.0 outs in
+    let hist = Array.make hist_len 0 in
+    Array.iter (fun o -> Array.iteri (fun i c -> hist.(i) <- hist.(i) + c) o.o_hist) outs;
+    let fn = float_of_int n in
+    let result =
+      {
+        instructions = n;
+        lines;
+        total_ps;
+        gips = fn /. (total_ps /. 1000.0);
+        lines_per_sec = float_of_int lines /. (total_ps *. 1e-12);
+        avg_latency_ps = lat_sum /. fn;
+        worst_latency_ps = lat_max;
+        tag_rate_ghz = 1000.0 /. (tag_sum /. fn);
+        decode_rate_ghz = 1000.0 /. (decode_sum /. fn);
+        steer_rate_ghz = 1000.0 /. (p.steer_ps +. p.buffer_recover_ps);
+        energy_pj = energy;
+        energy_per_instr_pj = energy /. fn;
+      }
+    in
+    stats_of_result result hist
+  end
+
+let run_farm ?(params = default) ?(chunk = default_chunk) ?(shards = 1) ~seed profile
+    ~instructions =
+  if chunk < 1 then invalid_arg "Rappid.run_farm: chunk must be positive";
+  if instructions < 0 then invalid_arg "Rappid.run_farm: negative instruction count";
+  let ranges = Workload.shard_ranges ~instructions ~shards in
+  let outs =
+    Par.mapi_array
+      (fun s range ->
+        (* Recorded from whichever worker domain runs the shard: the
+           per-worker obs stores merge counters and histograms by sum,
+           so totals are identical at any job count. *)
+        Obs.span ~args:(fun () -> [ ("shard", string_of_int s) ]) "rappid.shard"
+          (fun () ->
+            let o = run_shard params ~chunk ~seed ~profile range in
+            Obs.incr ~by:o.o_n "rappid.instructions";
+            Obs.incr ~by:o.o_lines "rappid.lines";
+            Obs.observe_buckets "rappid.latency_ps" ~counts:o.o_hist ~sum:o.o_lat_sum;
+            o))
+      ranges
   in
   {
-    instructions = n;
-    lines = num_lines;
-    total_ps;
-    gips;
-    lines_per_sec = float_of_int num_lines /. (total_ps *. 1e-12);
-    avg_latency_ps = avg !latencies;
-    worst_latency_ps = List.fold_left max 0.0 !latencies;
-    tag_rate_ghz = 1000.0 /. avg_tag;
-    decode_rate_ghz = 1000.0 /. decode_avg;
-    steer_rate_ghz = 1000.0 /. (p.steer_ps +. p.buffer_recover_ps);
-    energy_pj = !energy;
-    energy_per_instr_pj = !energy /. float_of_int n;
+    f_stats = merge_shards params outs;
+    f_shards = shards;
+    f_shard_instructions = Array.map (fun o -> o.o_n) outs;
   }
+
+let run_stream ?params ?chunk ~seed profile ~instructions =
+  (run_farm ?params ?chunk ~shards:1 ~seed profile ~instructions).f_stats
 
 (* Structural area: per column a length decoder (dominant), byte latch and
    tag unit; a crossbar switch point per column x row; per row an output
@@ -181,5 +408,23 @@ let pp_result ppf r =
      latency: avg %.0f ps, worst %.0f ps@,cycles: tag %.2f GHz, decode %.2f GHz, \
      steer %.2f GHz@,energy: %.1f pJ/instr@]"
     r.instructions r.lines r.gips (r.lines_per_sec /. 1e6) r.avg_latency_ps
+    r.worst_latency_ps r.tag_rate_ghz r.decode_rate_ghz r.steer_rate_ghz
+    r.energy_per_instr_pj
+
+let pp_ps ppf v =
+  if v = infinity then Format.pp_print_string ppf "inf"
+  else Format.fprintf ppf "%.0f" v
+
+let pp_farm ppf f =
+  let r = f.f_stats.s_result in
+  Format.fprintf ppf
+    "@[<v>instructions: %d over %d decoder shard(s) (%d lines)@,\
+     throughput: %.2f instr/ns aggregate (slowest shard sets completion)@,\
+     latency: p50 %a ps, p95 %a ps, p99 %a ps (1-2-5 histogram estimate)@,\
+     latency: avg %.1f ps, worst %.0f ps@,\
+     cycles: tag %.2f GHz, decode %.2f GHz, steer %.2f GHz@,\
+     energy: %.2f pJ/instr@]"
+    r.instructions f.f_shards r.lines r.gips pp_ps f.f_stats.s_p50_ps pp_ps
+    f.f_stats.s_p95_ps pp_ps f.f_stats.s_p99_ps r.avg_latency_ps
     r.worst_latency_ps r.tag_rate_ghz r.decode_rate_ghz r.steer_rate_ghz
     r.energy_per_instr_pj

@@ -58,7 +58,77 @@ type result = {
   energy_per_instr_pj : float;
 }
 
+val zero_result : result
+(** What a run over an empty stream returns: every field zero.  Callers
+    that divide by throughput or latency must check [instructions]. *)
+
 val run : ?params:params -> Workload.stream -> result
+(** Fold one decoder over a materialized stream.  An empty stream
+    yields {!zero_result} (it is not an error).  Implemented on the
+    same incremental core as {!run_stream}, so the result is
+    bit-identical to streaming the same seed. *)
+
+(** {2 Streaming runs and the decoder farm}
+
+    The same decoder recurrence folded over a {!Workload.cursor} in
+    chunk-sized refills of one reused buffer: live state is
+    O(columns + rows) — a circular window of [line_buffer_depth + 2]
+    line slots plus scalar accumulators — so peak memory is independent
+    of stream length.  Per-instruction latencies are recorded into a
+    1-2-5 histogram ({!Obs.hist_bounds} ladder) during the fold and
+    surface as p50/p95/p99 estimates.
+
+    {!run_farm} fans [shards] independent decoder instances out over
+    the {!Rtcad_par.Par} domain pool, each streaming its contiguous
+    slice of the virtual instruction stream
+    ({!Workload.shard_ranges}), and merges counts, energies and
+    latency histograms in shard order.  Shard boundaries and the merge
+    order depend only on [(instructions, shards)], and every merged
+    float is an exact sum of whole-picosecond values, so the result is
+    bit-identical at any [RTCAD_JOBS]. *)
+
+type stream_stats = {
+  s_result : result;  (** merged aggregate result *)
+  s_hist : int array;
+      (** latency histogram over [Obs.hist_bounds] plus overflow *)
+  s_p50_ps : float;  (** latency percentile estimates (bucket-interpolated) *)
+  s_p95_ps : float;
+  s_p99_ps : float;
+}
+
+type farm = {
+  f_stats : stream_stats;
+  f_shards : int;
+  f_shard_instructions : int array;  (** instructions per shard, in order *)
+}
+
+val default_chunk : int
+(** Refill-buffer size used when [?chunk] is omitted (65536). *)
+
+val run_stream :
+  ?params:params ->
+  ?chunk:int ->
+  seed:int ->
+  Workload.profile ->
+  instructions:int ->
+  stream_stats
+(** One decoder over the whole virtual stream, constant memory.
+    Bit-identical to [run (Workload.generate ...)] for any chunk
+    size. *)
+
+val run_farm :
+  ?params:params ->
+  ?chunk:int ->
+  ?shards:int ->
+  seed:int ->
+  Workload.profile ->
+  instructions:int ->
+  farm
+(** The sharded decoder farm (default [shards = 1]).  When
+    observability is enabled, each shard records its instruction and
+    line counters and its latency histogram from whichever worker
+    domain ran it — the per-worker stores merge by sum, so recorded
+    totals are job-count independent too. *)
 
 val area_transistors : params -> int
 (** Structural area estimate: decoders, tag units, byte latches, crossbar
@@ -70,3 +140,8 @@ val summary_json : result -> string
 (** Stable JSON rendering of a run (six-decimal floats, fixed field
     order) — the byte format of the golden corpus snapshot, used by both
     the golden-trace test and the synthesis server's replay path. *)
+
+val pp_farm : Format.formatter -> farm -> unit
+(** Farm report: aggregate throughput, latency percentiles, cycle
+    rates and energy.  Deterministic in (params, seed, profile,
+    instructions, shards). *)

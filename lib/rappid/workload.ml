@@ -19,13 +19,64 @@ let long =
 
 let all_profiles = [ typical; uniform; short; long ]
 
+let profile_named n = List.find_opt (fun p -> p.name = n) all_profiles
+
+(* --- streaming generation ---
+
+   One instruction costs exactly one splitmix draw ([Rng.weighted] makes
+   a single [Rng.int] call), so instruction [i] of stream [seed] is a
+   pure function of [(seed, i)]: a cursor positioned with [Rng.jump]
+   produces bit for bit the lengths a sequential run from the seed
+   would.  That is the whole determinism story — chunked, materialized
+   and sharded runs all read the same virtual array.  (The qcheck
+   property suite pins the one-draw-per-instruction invariant.) *)
+
+type cursor = {
+  c_profile : profile;
+  c_rng : Rng.t;
+  c_limit : int; (* stream length: indices < c_limit exist *)
+  mutable c_next : int; (* absolute index of the next instruction *)
+}
+
+let cursor ?(start = 0) ~seed profile ~instructions =
+  if instructions < 0 then invalid_arg "Workload.cursor: negative instruction count";
+  if start < 0 || start > instructions then invalid_arg "Workload.cursor: start out of range";
+  let rng = Rng.create seed in
+  Rng.jump rng start;
+  { c_profile = profile; c_rng = rng; c_limit = instructions; c_next = start }
+
+let remaining c = c.c_limit - c.c_next
+
+let fill c buf =
+  let n = min (Array.length buf) (remaining c) in
+  for i = 0 to n - 1 do
+    buf.(i) <- Rng.weighted c.c_rng c.c_profile.weights
+  done;
+  c.c_next <- c.c_next + n;
+  n
+
+(* Deterministic contiguous partition: the first [instructions mod
+   shards] shards take one extra instruction, so any two calls (and any
+   job count) agree on every boundary. *)
+let shard_ranges ~instructions ~shards =
+  if shards < 1 then invalid_arg "Workload.shard_ranges: shard count must be positive";
+  if instructions < 0 then invalid_arg "Workload.shard_ranges: negative instruction count";
+  let base = instructions / shards and rem = instructions mod shards in
+  Array.init shards (fun s ->
+      let len = base + if s < rem then 1 else 0 in
+      let start = (s * base) + min s rem in
+      (start, len))
+
 type stream = { lengths : int array; total_bytes : int }
 
+(* The array API is a thin wrapper over the cursor: one fill of the
+   whole index range, so a materialized stream is by construction the
+   streamed one. *)
 let generate ~seed profile ~instructions =
-  let rng = Rng.create seed in
-  let lengths =
-    Array.init instructions (fun _ -> Rng.weighted rng profile.weights)
-  in
+  let c = cursor ~seed profile ~instructions in
+  let lengths = Array.make instructions 0 in
+  let filled = fill c lengths in
+  assert (filled = instructions);
   { lengths; total_bytes = Array.fold_left ( + ) 0 lengths }
 
 let line_of_byte addr = addr / 16

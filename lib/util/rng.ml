@@ -4,8 +4,18 @@ type t = { mutable state : int64 }
 
 let create seed = { state = Int64.of_int seed }
 
+(* The state advances by a fixed increment per draw, so skipping [n]
+   draws is a single multiply-add — what lets a streaming workload
+   cursor start mid-sequence in O(1) and still produce exactly the
+   draws a sequential run would have. *)
+let gamma = 0x9E3779B97F4A7C15L
+
+let jump t n =
+  if n < 0 then invalid_arg "Rng.jump";
+  t.state <- Int64.add t.state (Int64.mul (Int64.of_int n) gamma)
+
 let next t =
-  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  t.state <- Int64.add t.state gamma;
   let z = t.state in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in

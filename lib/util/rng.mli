@@ -26,3 +26,10 @@ val weighted : t -> (int * 'a) list -> 'a
 
 val split : t -> t
 (** An independent generator derived from the current state. *)
+
+val jump : t -> int -> unit
+(** [jump t n] advances the generator by exactly [n] draws in O(1):
+    afterwards it produces the same values a generator that had made
+    [n] single draws would.  Splitmix's state moves by a fixed
+    increment per draw, so mid-stream positioning is a multiply-add —
+    the basis of the constant-memory workload cursor.  [n >= 0]. *)

@@ -1,0 +1,56 @@
+The streaming RAPPID front end.  Everything on stdout is a pure function
+of (seed, profile, instructions, shards) — the host-side throughput and
+heap lines go to stderr, which is dropped here.
+
+  $ rtsyn rappid --instrs 20000 --seed 7 2>/dev/null
+  instructions: 20000 over 1 decoder shard(s) (4078 lines)
+  throughput: 3.05 instr/ns aggregate (slowest shard sets completion)
+  latency: p50 3077 ps, p95 4808 ps, p99 4962 ps (1-2-5 histogram estimate)
+  latency: avg 2500.8 ps, worst 4950 ps
+  cycles: tag 3.05 GHz, decode 0.92 GHz, steer 0.70 GHz
+  energy: 17.52 pJ/instr
+
+Sharding splits the virtual stream into contiguous slices but merges the
+counts, energies and latency histograms in shard order, so the report is
+byte-identical at any job count:
+
+  $ RTCAD_JOBS=1 rtsyn rappid --instrs 100000 --shards 4 --seed 7 2>/dev/null > jobs1.out
+  $ RTCAD_JOBS=2 rtsyn rappid --instrs 100000 --shards 4 --seed 7 2>/dev/null > jobs2.out
+  $ cmp jobs1.out jobs2.out
+
+…and the chunk size is a memory knob only, never a result knob:
+
+  $ rtsyn rappid --instrs 100000 --shards 4 --seed 7 --chunk 311 2>/dev/null > chunked.out
+  $ cmp jobs1.out chunked.out
+
+An empty stream is not an error — it reports zeroes and exits cleanly:
+
+  $ rtsyn rappid --instrs 0 2>/dev/null
+  instructions: 0 over 1 decoder shard(s) (0 lines)
+  throughput: 0.00 instr/ns aggregate (slowest shard sets completion)
+  latency: p50 0 ps, p95 0 ps, p99 0 ps (1-2-5 histogram estimate)
+  latency: avg 0.0 ps, worst 0 ps
+  cycles: tag 0.00 GHz, decode 0.00 GHz, steer 0.00 GHz
+  energy: 0.00 pJ/instr
+
+A negative count is rejected:
+
+  $ rtsyn rappid --instrs=-5
+  rtsyn: --instrs must be non-negative
+  [1]
+
+The profile flag only accepts the built-in mixes:
+
+  $ rtsyn rappid --profile nosuch 2>&1 | head -1
+  rtsyn: option '--profile': invalid value 'nosuch', expected one of 'typical',
+
+An absurdly small heap budget trips the constant-memory guard:
+
+  $ rtsyn rappid --instrs 1000 --heap-budget-words 1 2>/dev/null
+  instructions: 1000 over 1 decoder shard(s) (205 lines)
+  throughput: 3.07 instr/ns aggregate (slowest shard sets completion)
+  latency: p50 3034 ps, p95 4803 ps, p99 4961 ps (1-2-5 histogram estimate)
+  latency: avg 2457.3 ps, worst 4230 ps
+  cycles: tag 3.07 GHz, decode 0.93 GHz, steer 0.70 GHz
+  energy: 17.58 pJ/instr
+  [1]

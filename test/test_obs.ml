@@ -204,6 +204,74 @@ let test_summary_json_normalised () =
       check "normalised jobs pinned to 0" true (contains j "\"jobs\": 0");
       check "normalised wall_ms pinned to 0" true (contains j "\"wall_ms\": 0"))
 
+(* --- histogram percentiles --- *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let dense () = Array.make (Array.length Obs.hist_bounds + 1) 0
+
+(* Same 1-2-5 bucketing rule the recorder uses: first bound >= v. *)
+let bucket_of v =
+  let b = Obs.hist_bounds in
+  let n = Array.length b in
+  let rec go i = if i >= n || v <= b.(i) then i else go (i + 1) in
+  go 0
+
+let test_percentile_of_buckets () =
+  let counts = dense () in
+  check_float "empty histogram" 0.0 (Obs.percentile_of_buckets ~counts 50.0);
+  (* 10 observations in the (2, 5] bucket: p50 interpolates to rank 5 of
+     10 across the bucket's width. *)
+  counts.(2) <- 10;
+  check_float "single bucket p50" (2.0 +. (3.0 *. 0.5))
+    (Obs.percentile_of_buckets ~counts 50.0);
+  check_float "single bucket p100 hits upper edge" 5.0
+    (Obs.percentile_of_buckets ~counts 100.0);
+  (* Split 90/10 across (2,5] and (5,10]: p95 lands in the second. *)
+  let counts = dense () in
+  counts.(2) <- 90;
+  counts.(3) <- 10;
+  check "p95 in upper bucket" true
+    (let p = Obs.percentile_of_buckets ~counts 95.0 in
+     p > 5.0 && p <= 10.0);
+  check "p50 in lower bucket" true
+    (let p = Obs.percentile_of_buckets ~counts 50.0 in
+     p > 2.0 && p <= 5.0)
+
+let test_percentile_overflow_and_bounds () =
+  let counts = dense () in
+  counts.(Array.length counts - 1) <- 3;
+  check "overflow bucket is unbounded" true
+    (Obs.percentile_of_buckets ~counts 99.0 = infinity);
+  check "rejects short counts" true
+    (try
+       ignore (Obs.percentile_of_buckets ~counts:[| 1 |] 50.0);
+       false
+     with Invalid_argument _ -> true);
+  check "rejects p > 100" true
+    (try
+       ignore (Obs.percentile_of_buckets ~counts 101.0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_observe_buckets_merges () =
+  with_obs (fun () ->
+      (* A bulk-merged histogram must be indistinguishable from the same
+         observations recorded one at a time. *)
+      Obs.observe "ob_seq" 3.0;
+      Obs.observe "ob_seq" 3.0;
+      Obs.observe "ob_seq" 700.0;
+      let counts = dense () in
+      counts.(bucket_of 3.0) <- 2;
+      counts.(bucket_of 700.0) <- 1;
+      Obs.observe_buckets "ob_bulk" ~counts ~sum:706.0;
+      let snap = Obs.snapshot () in
+      let v n = List.assoc n snap.Obs.metrics in
+      check "bulk = sequential" true (v "ob_bulk" = v "ob_seq");
+      match (Obs.percentile (v "ob_bulk") 50.0, Obs.percentile (v "ob_seq") 50.0) with
+      | Some a, Some b -> check_float "same p50" b a
+      | _ -> Alcotest.fail "expected histogram percentiles")
+
 let test_write_file_failure_leaves_nothing () =
   let path = "/nonexistent-rtcad-dir/out.json" in
   (match Obs.write_file ~path "data" with
@@ -238,6 +306,10 @@ let suite =
         Alcotest.test_case "reset on re-enable" `Quick test_reset_on_reenable;
         Alcotest.test_case "span survives exception" `Quick test_span_survives_exception;
         Alcotest.test_case "summary json normalised" `Quick test_summary_json_normalised;
+        Alcotest.test_case "bucket percentiles" `Quick test_percentile_of_buckets;
+        Alcotest.test_case "percentile edge cases" `Quick
+          test_percentile_overflow_and_bounds;
+        Alcotest.test_case "bulk observe merges" `Quick test_observe_buckets_merges;
         Alcotest.test_case "sink failure leaves nothing" `Quick
           test_write_file_failure_leaves_nothing;
         Alcotest.test_case "sink write round-trip" `Quick test_write_file_roundtrip;

@@ -117,12 +117,115 @@ let test_table1_holds_across_mixes () =
       check (profile.W.name ^ ": rappid wins latency") true (c.M.latency_ratio > 1.0))
     W.all_profiles
 
-let test_empty_stream_rejected () =
-  check "rappid rejects empty" true
-    (try
-       ignore (R.run { W.lengths = [||]; total_bytes = 0 });
-       false
-     with Invalid_argument _ -> true)
+let test_empty_stream_zeroed () =
+  (* An empty stream is not an error: it decodes to the all-zero result. *)
+  let r = R.run { W.lengths = [||]; total_bytes = 0 } in
+  check "empty stream yields zero_result" true (r = R.zero_result);
+  check_int "zero instructions" 0 r.R.instructions;
+  let s = R.run_stream ~seed:3 W.typical ~instructions:0 in
+  check "streamed empty matches" true (s.R.s_result = R.zero_result);
+  check "empty percentiles are zero" true
+    (s.R.s_p50_ps = 0.0 && s.R.s_p95_ps = 0.0 && s.R.s_p99_ps = 0.0)
+
+(* Streaming / farm determinism. *)
+
+let results_equal (a : R.result) (b : R.result) = compare a b = 0
+
+let test_stream_matches_materialized () =
+  (* The tentpole contract: folding the decoder over cursor refills is
+     bit-identical to running the materialized array, for any chunk. *)
+  List.iter
+    (fun chunk ->
+      let r = R.run (W.generate ~seed:7 W.typical ~instructions:5_000) in
+      let s = R.run_stream ~chunk ~seed:7 W.typical ~instructions:5_000 in
+      check
+        (Printf.sprintf "chunk %d bit-identical" chunk)
+        true
+        (results_equal r s.R.s_result))
+    [ 1; 7; 4096 ]
+
+let prop_stream_matches_materialized =
+  QCheck.Test.make ~name:"streamed run = materialized run (any chunk)"
+    ~count:40
+    QCheck.(
+      triple (int_range 0 2000) (int_range 0 1_000_000)
+        (pair (int_range 0 3) (int_range 1 97)))
+    (fun (instructions, seed, (pidx, chunk)) ->
+      let profile = List.nth W.all_profiles pidx in
+      let r = R.run (W.generate ~seed profile ~instructions) in
+      let s = R.run_stream ~chunk ~seed profile ~instructions in
+      results_equal r s.R.s_result)
+
+let prop_cursor_matches_generate =
+  (* One splitmix draw per instruction: a cursor jumped to [start] sees
+     exactly the suffix of the materialized stream. *)
+  QCheck.Test.make ~name:"jumped cursor = stream suffix" ~count:60
+    QCheck.(pair (int_range 0 500) (int_range 0 1_000_000))
+    (fun (instructions, seed) ->
+      let s = W.generate ~seed W.typical ~instructions in
+      let start = instructions / 2 in
+      let c = W.cursor ~start ~seed W.typical ~instructions in
+      let buf = Array.make (max 1 (instructions - start)) 0 in
+      let n = W.fill c buf in
+      n = instructions - start
+      && Array.sub buf 0 n = Array.sub s.W.lengths start n)
+
+let with_jobs n f =
+  let old = Rtcad_par.Par.jobs () in
+  Rtcad_par.Par.set_jobs n;
+  Fun.protect ~finally:(fun () -> Rtcad_par.Par.set_jobs old) f
+
+let test_farm_jobs_invariant () =
+  (* The merged farm result is bit-identical at any job count. *)
+  let farm_at jobs =
+    with_jobs jobs (fun () ->
+        R.run_farm ~chunk:911 ~shards:4 ~seed:13 W.typical ~instructions:9_973)
+  in
+  let f1 = farm_at 1 and f2 = farm_at 2 and f4 = farm_at 4 in
+  check "jobs 1 = jobs 2" true (compare f1 f2 = 0);
+  check "jobs 2 = jobs 4" true (compare f2 f4 = 0)
+
+let test_farm_single_shard_matches_stream () =
+  let s = R.run_stream ~seed:7 W.typical ~instructions:20_000 in
+  let f = R.run_farm ~shards:1 ~seed:7 W.typical ~instructions:20_000 in
+  check "1-shard farm = stream" true (compare f.R.f_stats s = 0);
+  check_int "shard count" 1 f.R.f_shards
+
+let test_farm_conserves_instructions () =
+  List.iter
+    (fun shards ->
+      let f = R.run_farm ~shards ~seed:7 W.typical ~instructions:10_007 in
+      check_int
+        (Printf.sprintf "%d shards issue all instructions" shards)
+        10_007 f.R.f_stats.R.s_result.R.instructions;
+      check_int "shard lengths sum" 10_007
+        (Array.fold_left ( + ) 0 f.R.f_shard_instructions))
+    [ 1; 2; 3; 5 ]
+
+let test_shard_ranges_partition () =
+  List.iter
+    (fun (instructions, shards) ->
+      let ranges = W.shard_ranges ~instructions ~shards in
+      check_int "shard count" shards (Array.length ranges);
+      let pos = ref 0 in
+      Array.iter
+        (fun (start, len) ->
+          check_int "contiguous" !pos start;
+          check "non-negative" true (len >= 0);
+          pos := start + len)
+        ranges;
+      check_int "covers stream" instructions !pos)
+    [ (0, 1); (0, 3); (10, 3); (10_007, 4); (5, 8) ]
+
+let test_percentiles_ordered () =
+  let s = R.run_stream ~seed:7 W.typical ~instructions:20_000 in
+  check "p50 <= p95" true (s.R.s_p50_ps <= s.R.s_p95_ps);
+  check "p95 <= p99" true (s.R.s_p95_ps <= s.R.s_p99_ps);
+  check "p50 positive" true (s.R.s_p50_ps > 0.0);
+  check "p99 bounded by worst" true
+    (s.R.s_p99_ps <= s.R.s_result.R.worst_latency_ps *. 5.0 +. 1.0);
+  check_int "histogram counts every instruction" 20_000
+    (Array.fold_left ( + ) 0 s.R.s_hist)
 
 let suite =
   [
@@ -139,7 +242,22 @@ let suite =
         Alcotest.test_case "average-case behaviour" `Quick test_rappid_average_case;
         Alcotest.test_case "row scaling" `Quick test_rappid_scaling;
         Alcotest.test_case "speculation energy" `Quick test_rappid_speculation_energy;
-        Alcotest.test_case "empty stream" `Quick test_empty_stream_rejected;
+        Alcotest.test_case "empty stream" `Quick test_empty_stream_zeroed;
+      ] );
+    ( "rappid-stream",
+      [
+        Alcotest.test_case "chunked = materialized" `Quick
+          test_stream_matches_materialized;
+        QCheck_alcotest.to_alcotest prop_stream_matches_materialized;
+        QCheck_alcotest.to_alcotest prop_cursor_matches_generate;
+        Alcotest.test_case "farm jobs-invariant" `Quick test_farm_jobs_invariant;
+        Alcotest.test_case "farm(1) = stream" `Quick
+          test_farm_single_shard_matches_stream;
+        Alcotest.test_case "farm conserves instructions" `Quick
+          test_farm_conserves_instructions;
+        Alcotest.test_case "shard ranges partition" `Quick
+          test_shard_ranges_partition;
+        Alcotest.test_case "percentiles ordered" `Quick test_percentiles_ordered;
       ] );
     ( "clocked",
       [
